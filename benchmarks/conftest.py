@@ -1,0 +1,25 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rendered text goes to ``benchmarks/results/<name>.txt`` (and the pytest
+captured output), so `pytest benchmarks/ --benchmark-only` leaves behind a
+complete reproduction report alongside the timing table.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write one experiment's rendering to the results directory."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record

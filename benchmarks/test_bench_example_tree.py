@@ -1,0 +1,20 @@
+"""E1 — Table 1 / Figure 1: the worked regression-tree example.
+
+Benchmarks the exact tree construction of Section 4.2 and verifies the
+resulting tree is identical to the paper's Figure 1.
+"""
+
+from repro.core.regression_tree import RegressionTreeSequence
+from repro.experiments import example_tree
+
+
+def test_bench_worked_example(benchmark, record):
+    tree = benchmark(
+        lambda: RegressionTreeSequence(k_max=4).fit(
+            example_tree.TABLE1_EIPVS, example_tree.TABLE1_CPIS))
+    assert tree.root.feature == 0
+    assert tree.root.threshold == 20.0
+
+    result = example_tree.run_example()
+    assert result.matches_figure1
+    record("e1_example_tree", example_tree.render())

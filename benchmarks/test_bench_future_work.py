@@ -1,0 +1,32 @@
+"""E14/E15 — the paper's future-work studies, answered.
+
+* E14: can a higher EIP sampling rate capture a Q-III benchmark's CPI
+  variance?  (Paper Section 7, open question.)  In our substrate: denser
+  EIPVs reduce histogram noise — RE improves somewhat — but cannot cross
+  into strong-phase territory, because the variance is data-dependent.
+* E15: do EIPVs and basic-block vectors give the same regression-tree
+  verdict?  (Paper Section 8, open question.)  Yes: per-workload RE moves
+  slightly, the phase/no-phase conclusions do not.
+"""
+
+from repro.experiments import future_work
+
+
+def test_bench_sampling_rate_sweep(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: future_work.sampling_rate_sweep(n_intervals=40, seed=11,
+                                                k_max=30),
+        rounds=1, iterations=1)
+    bbv = future_work.bbv_comparison(seed=11, k_max=30)
+    record("e14_e15_future_work",
+           future_work.render(rate_result=result, bbv_result=bbv))
+
+    # Rates only refine, never rescue: RE improves monotonically-ish but
+    # stays above the strong-phase threshold.
+    assert result.higher_rate_does_not_rescue
+    res = [row.re_kopt for row in result.rows]
+    assert res[-1] <= res[0] + 0.05   # denser sampling never hurts much
+    assert all(row.re_kopt > 0.15 for row in result.rows)
+
+    # BBVs agree with EIPVs on every workload's conclusion.
+    assert bbv.conclusions_agree

@@ -1,0 +1,32 @@
+"""E9 — Section 4.6: regression tree vs. k-means clustering.
+
+Paper shape verified: at each method's best k <= 50 under the identical
+10-fold protocol, the CPI-supervised regression tree predicts CPI better
+than CPI-blind k-means clustering on the workloads where prediction
+quality differs (paper: ~80% average improvement; our substrate
+reproduces the direction with a smaller magnitude — see EXPERIMENTS.md).
+"""
+
+from repro.experiments import kmeans_comparison
+
+
+def test_bench_kmeans_comparison(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: kmeans_comparison.run(seed=11, k_max=50),
+        rounds=1, iterations=1)
+
+    record("e9_kmeans", kmeans_comparison.render(result))
+
+    assert result.fuzzy_count >= 5
+    # Direction: the CPI-supervised tree predicts CPI better than
+    # CPI-blind clustering across the fuzzy workloads.  (The paper's ~80%
+    # magnitude is substrate-dependent; see EXPERIMENTS.md.)
+    assert result.average_improvement >= 0.10, (
+        f"average improvement {result.average_improvement:.0%}: "
+        f"paper reports ~80%, we require the direction (>=10%)")
+    fuzzy = [c for c in result.comparisons
+             if max(c.tree_re, c.kmeans_re) >= 0.05]
+    wins = sum(c.tree_re <= c.kmeans_re + 0.02 for c in fuzzy)
+    assert wins >= 0.6 * len(fuzzy), (
+        f"tree should win or tie on most fuzzy workloads "
+        f"({wins}/{len(fuzzy)})")

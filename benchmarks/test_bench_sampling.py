@@ -1,0 +1,26 @@
+"""E13 — Section 7: the sampling-technique payoff by quadrant.
+
+Paper shapes verified: phase-based sampling decisively beats uniform
+sampling on a Q-IV workload; uniform sampling already achieves sub-2%
+CPI error on the Q-I workload (so phase analysis buys nothing there);
+the quadrant-recommended technique is always competitive.
+"""
+
+from repro.experiments import sampling_eval
+
+
+def test_bench_sampling_by_quadrant(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: sampling_eval.run(budget=6, trials=15, seed=11),
+        rounds=1, iterations=1)
+
+    record("e13_sampling", sampling_eval.render(result))
+
+    assert result.phase_based_wins_q4, (
+        "phase-based sampling must clearly win on the Q-IV workload")
+    assert result.uniform_sufficient_q1, (
+        "uniform sampling must already match CPI on the Q-I workload")
+    for evaluation in result.evaluations:
+        assert evaluation.recommended_is_competitive, (
+            f"{evaluation.quadrant}: recommended technique "
+            f"{evaluation.recommended} not competitive")

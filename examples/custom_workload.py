@@ -1,0 +1,109 @@
+"""Building and analyzing your own workload with the public API.
+
+The library is not limited to the paper's 50 benchmarks: a workload is
+just code regions + a schedule + threads + a scheduler.  This example
+builds a synthetic "web cache" service with three behaviours —
+
+* a request-parsing loop (cheap, loopy),
+* a hash-table lookup path (memory-bound),
+* periodic eviction sweeps (streaming, episodic) —
+
+then asks the paper's question: can its EIPs predict its CPI?
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+from repro.analysis import format_curve
+from repro.core import analyze_predictability
+from repro.trace import build_eipvs, collect_trace
+from repro.uarch import ExecutionProfile, itanium2
+from repro.workloads.os_model import SchedulerConfig, make_kernel_thread
+from repro.workloads.program import (
+    EpisodeState,
+    EpisodicSchedule,
+    FlatMixSchedule,
+    Program,
+)
+from repro.workloads.regions import CodeRegion, layout_regions
+from repro.workloads.system import ContentionModel, SimulatedSystem, Workload
+from repro.workloads.thread_model import WorkloadThread
+
+MB = 1024 * 1024
+
+
+def build_web_cache_workload(n_threads: int = 4) -> Workload:
+    """A synthetic in-memory cache service."""
+    parse = lambda base: CodeRegion(
+        name="svc.parse", eip_base=base, n_eips=120,
+        profile=ExecutionProfile(base_cpi=0.7, code_footprint=24 * 1024,
+                                 data_footprint=256 * 1024,
+                                 data_locality=0.999,
+                                 branch_fraction=0.2,
+                                 mispredict_rate=0.04),
+        jitter=0.05, eip_concentration=1.0)
+    lookup = lambda base: CodeRegion(
+        name="svc.lookup", eip_base=base, n_eips=200,
+        profile=ExecutionProfile(base_cpi=0.9,
+                                 data_footprint=512 * MB,
+                                 data_locality=0.97,
+                                 memory_fraction=0.45,
+                                 memory_level_parallelism=1.4),
+        jitter=0.1, eip_concentration=0.5)
+    evict = lambda base: CodeRegion(
+        name="svc.evict", eip_base=base, n_eips=60,
+        profile=ExecutionProfile(base_cpi=0.6,
+                                 data_footprint=512 * MB,
+                                 data_locality=0.93,
+                                 memory_fraction=0.4,
+                                 memory_level_parallelism=3.0),
+        jitter=0.04, eip_concentration=1.5)
+    regions = layout_regions([parse, lookup, evict], start=0x08048000)
+
+    evict_state = EpisodeState(rate=0.0005, mean_length=400)
+    threads = []
+    for i in range(n_threads):
+        base = FlatMixSchedule(regions[:2], weights=[0.55, 0.45])
+        schedule = EpisodicSchedule(base, regions[2], rate=0.0,
+                                    mean_length=1, episode_weight=0.7,
+                                    state=evict_state)
+        threads.append(WorkloadThread(
+            thread_id=i, process="webcache",
+            program=Program(f"svc.worker.{i}", schedule)))
+
+    return Workload(
+        name="webcache",
+        threads=threads,
+        scheduler=SchedulerConfig(mean_quantum=200_000, os_share=0.08),
+        kernel=make_kernel_thread(thread_id=n_threads, n_eips=90),
+        contention=ContentionModel(sigma=0.08, rho=0.99),
+        metadata={"class": "custom"},
+    )
+
+
+def main() -> int:
+    workload = build_web_cache_workload()
+    system = SimulatedSystem(itanium2(), workload, seed=3)
+    print("simulating 50 intervals of the web-cache service...")
+    trace = collect_trace(system, 50 * 100_000_000)
+    dataset = build_eipvs(trace)
+    dataset.workload_name = "webcache"
+
+    result = analyze_predictability(dataset, k_max=40, seed=3)
+    print(format_curve(result.curve.k_values, result.curve.re,
+                       "webcache: relative error vs chambers",
+                       mark_k=result.k_opt))
+    print(f"\nCPI mean {result.cpi_mean:.2f}, variance "
+          f"{result.cpi_variance:.4f}")
+    print(f"quadrant: {result.quadrant.value} "
+          f"({result.explained_fraction:.0%} of CPI variance explained "
+          f"by EIPVs)")
+    print("\nThe eviction sweeps have distinct EIPs *and* distinct CPI, "
+          "so the tree can explain that part of the variance; the "
+          "bus-contention drift remains invisible to control flow.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

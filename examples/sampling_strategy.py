@@ -1,0 +1,64 @@
+"""Choosing a simulation-sampling strategy with the paper's methodology.
+
+Given a workload, the paper proposes: measure CPI variance and EIP->CPI
+predictability, place the workload in a quadrant, and pick the sampling
+technique that quadrant calls for.  This example runs the methodology and
+then *checks the advice empirically*: every technique estimates the
+full-run CPI from a small budget, and we compare errors.
+
+Usage::
+
+    python examples/sampling_strategy.py [workload] [budget]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.sampling import TECHNIQUES, compare_techniques, select_technique
+from repro.trace import build_eipvs, collect_trace
+from repro.uarch import itanium2
+from repro.workloads import DEFAULT, SimulatedSystem, get_workload
+
+
+def main() -> int:
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "spec.art"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+    n_intervals = 132 if workload_name.startswith("odbh") else 60
+
+    workload = get_workload(workload_name, DEFAULT)
+    system = SimulatedSystem(itanium2(), workload, seed=11)
+    trace = collect_trace(system, n_intervals * 100_000_000)
+    dataset = build_eipvs(trace)
+    dataset.workload_name = workload_name
+
+    print(f"{workload_name}: true CPI {float(np.mean(dataset.cpis)):.3f} "
+          f"over {dataset.n_intervals} intervals\n")
+
+    recommendation = select_technique(dataset, seed=11)
+    print(f"quadrant: {recommendation.quadrant.value} "
+          f"(variance {recommendation.analysis.cpi_variance:.4f}, "
+          f"RE {recommendation.analysis.re_kopt:.3f})")
+    print(f"recommended technique: {recommendation.technique}")
+    print(f"  {recommendation.rationale}\n")
+
+    results = compare_techniques(dataset, budget=budget, trials=25,
+                                 seed=11)
+    rows = []
+    for result in sorted(results, key=lambda r: r.mean_abs_error):
+        marker = ("<- recommended"
+                  if result.technique == recommendation.technique else "")
+        rows.append([result.technique, f"{result.mean_rel_error:.3%}",
+                     f"{result.max_abs_error:.4f}", marker])
+    print(format_table(
+        ["technique", "mean rel error", "max abs error", ""],
+        rows, title=f"CPI-estimate error at budget={budget} "
+                    f"(25 trials each)"))
+
+    print(f"\nall techniques implemented: {', '.join(sorted(TECHNIQUES))}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

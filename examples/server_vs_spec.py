@@ -1,0 +1,77 @@
+"""The paper's core contrast: server workloads vs SPEC vs DSS queries.
+
+Reproduces the narrative of Sections 5-6 side by side for four workloads:
+
+* ``odbc``      — OLTP: huge flat code, L3-dominated CPI, nothing to
+  predict (Q-I);
+* ``spec.art``  — classic loopy SPEC code with strong phases (Q-IV);
+* ``odbh.q13``  — a DSS query whose phases EIPVs track (Q-IV);
+* ``odbh.q18``  — Q13's evil twin: same small code, data-dependent CPI
+  via a real B-tree index scan (Q-III).
+
+For each: unique-EIP census, CPI breakdown shares, RE curve and quadrant.
+
+Usage::
+
+    python examples/server_vs_spec.py
+"""
+
+from repro.analysis import breakdown_series, format_table, sparkline, spread_series
+from repro.core import analyze_predictability
+from repro.trace import build_eipvs, collect_trace
+from repro.uarch import itanium2
+from repro.workloads import DEFAULT, SimulatedSystem, get_workload
+
+WORKLOADS = ("odbc", "spec.art", "odbh.q13", "odbh.q18")
+
+
+def study(name: str, n_intervals: int = 60, seed: int = 11):
+    workload = get_workload(name, DEFAULT)
+    system = SimulatedSystem(itanium2(), workload, seed=seed)
+    trace = collect_trace(system, n_intervals * 100_000_000)
+    dataset = build_eipvs(trace)
+    dataset.workload_name = name
+    analysis = analyze_predictability(dataset, k_max=50, seed=seed)
+    breakdown = breakdown_series(trace, bins=60)
+    spread = spread_series(trace)
+    return trace, analysis, breakdown, spread
+
+
+def main() -> int:
+    rows = []
+    curves = []
+    for name in WORKLOADS:
+        n_intervals = 132 if name.startswith("odbh") else 60
+        print(f"running {name} ({n_intervals} intervals)...")
+        trace, analysis, breakdown, spread = study(name, n_intervals)
+        rows.append([
+            name,
+            spread.unique_eips,
+            round(analysis.cpi_mean, 2),
+            round(analysis.cpi_variance, 4),
+            f"{breakdown.component_share('exe'):.0%}",
+            round(analysis.re_kopt, 3),
+            analysis.k_opt,
+            analysis.quadrant.value,
+        ])
+        curves.append((name, analysis.curve))
+
+    print()
+    print(format_table(
+        ["workload", "EIPs", "CPI", "CPI var", "EXE share", "RE_kopt",
+         "k_opt", "quadrant"],
+        rows, title="server vs SPEC vs DSS (paper Sections 5-7)"))
+
+    print("\nrelative-error curves (k = 1..50):")
+    for name, curve in curves:
+        print(f"  {name:>10} |{sparkline(curve.re, lo=0.0, hi=1.3)}| "
+              f"RE_kopt={curve.re_kopt:.3f}")
+
+    print("\nreading: ODB-C's curve never dips (nothing to predict);"
+          "\nart and Q13 plunge (strong phases); Q18 stays high despite"
+          "\nits small code — its B-tree descents make CPI data-dependent.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""Setup shim for legacy editable installs (offline environments without
+the `wheel` package cannot use the PEP 660 editable path)."""
+from setuptools import setup
+
+setup()

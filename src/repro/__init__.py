@@ -1,0 +1,16 @@
+"""Reproduction of "The Fuzzy Correlation between Code and Performance
+Predictability" (Annavaram et al., MICRO 2004).
+
+See README.md for a tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for paper-vs-measured results.  The subpackages:
+
+- :mod:`repro.core` — regression trees, cross-validation, quadrants;
+- :mod:`repro.uarch` — machine models and CPI accounting;
+- :mod:`repro.workloads` — the 50 benchmark models and their substrates;
+- :mod:`repro.trace` — VTune-style sampling and EIP vectors;
+- :mod:`repro.sampling` — sampling techniques and the quadrant selector;
+- :mod:`repro.analysis` — variance/spread/breakdown analyses;
+- :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,33 @@
+"""Analyses over traces and EIPV datasets: variance, spread, breakdown."""
+
+from repro.analysis.breakdown import BreakdownSeries, breakdown_series
+from repro.analysis.calibration import CalibrationRow, calibrate_workload, calibration_report
+from repro.analysis.report import format_breakdown, format_curve, format_table, sparkline
+from repro.analysis.spread import SpreadSeries, spread_series
+from repro.analysis.threading_stats import measure_threading, threading_row
+from repro.analysis.variance import (
+    CodeFootprintSummary,
+    CPISummary,
+    interval_cpi_summary,
+    sample_cpi_summary,
+)
+
+__all__ = [
+    "BreakdownSeries",
+    "CalibrationRow",
+    "CPISummary",
+    "CodeFootprintSummary",
+    "SpreadSeries",
+    "breakdown_series",
+    "calibrate_workload",
+    "calibration_report",
+    "format_breakdown",
+    "format_curve",
+    "format_table",
+    "interval_cpi_summary",
+    "measure_threading",
+    "sample_cpi_summary",
+    "sparkline",
+    "spread_series",
+    "threading_row",
+]

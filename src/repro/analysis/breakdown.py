@@ -1,0 +1,87 @@
+"""CPI-breakdown time series (paper Figures 4, 5, 12).
+
+Section 5.1 stacks the four CPI components (WORK/FE/EXE/OTHER) over time
+to show *why* a workload's CPI behaves as it does: ODB-C's EXE (L3-miss)
+band dominates uniformly; Q18's bottleneck shifts between EXE and FE over
+time.  The Itanium 2 stall counters the paper reads are carried through our
+sampler, so the breakdown here is exact, like the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.events import SampleTrace
+from repro.uarch.stalls import COMPONENTS
+
+
+@dataclass(frozen=True)
+class BreakdownSeries:
+    """Stacked component-CPI series over time.
+
+    ``component_cpis[c]`` aligns with :data:`COMPONENTS` order and holds
+    per-point CPI contributed by that component; points are time-bin
+    averages.
+    """
+
+    times: np.ndarray
+    component_cpis: dict
+    total_cpi: np.ndarray
+
+    def dominant_component(self) -> str:
+        """Component contributing the most cycles overall."""
+        totals = {name: float(series.sum())
+                  for name, series in self.component_cpis.items()}
+        return max(totals, key=totals.get)
+
+    def component_share(self, name: str) -> float:
+        """Fraction of all cycles attributed to one component."""
+        if name not in self.component_cpis:
+            raise KeyError(f"unknown component {name!r}")
+        total = sum(float(s.sum()) for s in self.component_cpis.values())
+        if total == 0:
+            return 0.0
+        return float(self.component_cpis[name].sum()) / total
+
+    def share_timeline(self, name: str) -> np.ndarray:
+        """Per-point share of one component in total CPI."""
+        if name not in self.component_cpis:
+            raise KeyError(f"unknown component {name!r}")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(self.total_cpi > 0,
+                            self.component_cpis[name]
+                            / np.maximum(self.total_cpi, 1e-300), 0.0)
+
+
+def breakdown_series(trace: SampleTrace, bins: int = 100) -> BreakdownSeries:
+    """Aggregate the trace's stall counters into ``bins`` time buckets."""
+    if bins < 1:
+        raise ValueError("bins must be positive")
+    if len(trace) < bins:
+        bins = len(trace)
+    times = np.cumsum(trace.cycles) / (trace.frequency_mhz * 1e6)
+    edges = np.linspace(0.0, times[-1], bins + 1)
+    which = np.clip(np.searchsorted(edges, times, side="right") - 1,
+                    0, bins - 1)
+
+    instructions = np.zeros(bins)
+    np.add.at(instructions, which, trace.instructions)
+    instructions = np.maximum(instructions, 1)
+
+    columns = {
+        "work": trace.work_cycles,
+        "fe": trace.fe_cycles,
+        "exe": trace.exe_cycles,
+        "other": trace.other_cycles,
+    }
+    component_cpis = {}
+    for name in COMPONENTS:
+        sums = np.zeros(bins)
+        np.add.at(sums, which, columns[name])
+        component_cpis[name] = sums / instructions
+    total = sum(component_cpis.values())
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return BreakdownSeries(times=centers, component_cpis=component_cpis,
+                           total_cpi=total)

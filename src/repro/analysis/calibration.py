@@ -1,0 +1,109 @@
+"""Model-vs-paper calibration report.
+
+Each workload model carries the paper's measured facts in its metadata
+(unique EIPs, context-switch rate, OS share, CPI variance, quadrant).
+:func:`calibration_report` runs the models and puts measured values next
+to the paper's — the first thing to check after touching any workload
+parameter, and a compact summary of how faithful the substrate is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.trace.eipv import build_eipvs
+from repro.trace.sampler import collect_trace
+from repro.trace.threads import slice_level_stats
+from repro.uarch.machine import get_machine
+from repro.workloads.registry import get_workload
+from repro.workloads.scale import DEFAULT, WorkloadScale
+from repro.workloads.system import SimulatedSystem
+
+#: The workloads whose metadata carries enough paper facts to check.
+DEFAULT_WORKLOADS = ("odbc", "sjas", "spec.mcf", "spec.gzip", "odbh.q13")
+
+
+@dataclass(frozen=True)
+class CalibrationRow:
+    """One workload's paper-vs-measured facts."""
+
+    workload: str
+    paper_unique_eips: int | None
+    measured_unique_eips: int
+    paper_switch_rate: float | None
+    measured_switch_rate: float
+    paper_cpi_variance: float | None
+    measured_cpi_variance: float
+
+    def eip_ratio_ok(self, scale: WorkloadScale,
+                     tolerance: float = 2.0) -> bool:
+        """Measured unique EIPs within ``tolerance``x of the scaled paper
+        count (None when the paper count is unknown -> trivially ok)."""
+        if self.paper_unique_eips is None:
+            return True
+        target = max(1, int(self.paper_unique_eips * scale.eip_scale))
+        ratio = self.measured_unique_eips / target
+        return 1.0 / tolerance <= ratio <= tolerance
+
+    def switch_rate_ok(self, tolerance: float = 2.0) -> bool:
+        if self.paper_switch_rate is None:
+            return True
+        ratio = self.measured_switch_rate / self.paper_switch_rate
+        return 1.0 / tolerance <= ratio <= tolerance
+
+
+def calibrate_workload(name: str, n_intervals: int = 20, seed: int = 3,
+                       scale: WorkloadScale = DEFAULT) -> CalibrationRow:
+    """Measure one workload's calibration facts."""
+    machine = get_machine("itanium2")
+    workload = get_workload(name, scale)
+    metadata = workload.metadata
+
+    system = SimulatedSystem(machine, workload, seed=seed)
+    slices = system.run(n_intervals * 100_000_000)
+    stats = slice_level_stats(slices, machine.frequency_mhz)
+
+    system.reset(seed=seed)
+    trace = collect_trace(system, n_intervals * 100_000_000)
+    dataset = build_eipvs(trace)
+
+    return CalibrationRow(
+        workload=name,
+        paper_unique_eips=metadata.get("paper_unique_eips"),
+        measured_unique_eips=len(trace.unique_eips()),
+        paper_switch_rate=metadata.get("paper_context_switches_per_s"),
+        measured_switch_rate=stats.context_switches_per_second,
+        paper_cpi_variance=metadata.get("paper_cpi_variance"),
+        measured_cpi_variance=dataset.cpi_variance,
+    )
+
+
+def calibration_report(workloads=DEFAULT_WORKLOADS, n_intervals: int = 20,
+                       seed: int = 3,
+                       scale: WorkloadScale = DEFAULT) -> str:
+    """Run the calibration panel and render it."""
+    rows = []
+    for name in workloads:
+        row = calibrate_workload(name, n_intervals=n_intervals, seed=seed,
+                                 scale=scale)
+        scaled_eips = ("-" if row.paper_unique_eips is None else
+                       int(row.paper_unique_eips * scale.eip_scale))
+        rows.append([
+            row.workload,
+            scaled_eips,
+            row.measured_unique_eips,
+            "-" if row.paper_switch_rate is None
+            else round(row.paper_switch_rate),
+            round(row.measured_switch_rate),
+            "-" if row.paper_cpi_variance is None
+            else row.paper_cpi_variance,
+            round(row.measured_cpi_variance, 4),
+            "ok" if (row.eip_ratio_ok(scale) and row.switch_rate_ok())
+            else "CHECK",
+        ])
+    return format_table(
+        ["workload", "EIPs (paper, scaled)", "EIPs (measured)",
+         "ctx/s (paper)", "ctx/s (measured)", "CPI var (paper)",
+         "CPI var (measured)", ""],
+        rows, title=f"model calibration vs paper (scale={scale.name})")

@@ -1,0 +1,86 @@
+"""EIP-spread and CPI-spread time series (paper Figures 3, 9, 11).
+
+The paper visualizes each workload as two aligned scatter/step plots over
+wall-clock time: which EIPs are being sampled (spread of code), and the
+instantaneous CPI.  These functions compute the underlying series; the
+benchmark harness prints compact renderings, and downstream users can plot
+them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.events import SampleTrace
+
+
+@dataclass(frozen=True)
+class SpreadSeries:
+    """The data behind one EIP/CPI spread figure.
+
+    ``times`` are per-sample wall-clock seconds; ``eip_ranks`` give each
+    sample's EIP as a dense rank (the figures' y-axis orders EIPs, not raw
+    addresses); ``cpis`` are the per-sample instantaneous CPIs.
+    """
+
+    times: np.ndarray
+    eip_ranks: np.ndarray
+    cpis: np.ndarray
+    unique_eips: int
+    duration_seconds: float
+
+    def cpi_timeline(self, bins: int = 120) -> tuple[np.ndarray, np.ndarray]:
+        """(bin centers in seconds, mean CPI per bin) for a compact curve."""
+        if bins < 1:
+            raise ValueError("bins must be positive")
+        edges = np.linspace(0.0, self.duration_seconds, bins + 1)
+        which = np.clip(np.searchsorted(edges, self.times, side="right") - 1,
+                        0, bins - 1)
+        sums = np.zeros(bins)
+        counts = np.zeros(bins)
+        np.add.at(sums, which, self.cpis)
+        np.add.at(counts, which, 1)
+        with np.errstate(invalid="ignore"):
+            means = np.where(counts > 0, sums / np.maximum(counts, 1),
+                             np.nan)
+        centers = (edges[:-1] + edges[1:]) / 2.0
+        return centers, means
+
+    def eips_touched_per_bin(self, bins: int = 120) -> np.ndarray:
+        """Number of distinct EIPs sampled in each time bin."""
+        edges = np.linspace(0.0, self.duration_seconds, bins + 1)
+        which = np.clip(np.searchsorted(edges, self.times, side="right") - 1,
+                        0, bins - 1)
+        touched = np.zeros(bins, dtype=np.int64)
+        for b in range(bins):
+            touched[b] = len(np.unique(self.eip_ranks[which == b]))
+        return touched
+
+
+def spread_series(trace: SampleTrace,
+                  window_seconds: float | None = None) -> SpreadSeries:
+    """Build the spread series, optionally truncated to a time window.
+
+    The paper's Figure 3 uses a 60-second steady-state window; pass
+    ``window_seconds=60`` for the same view.
+    """
+    times = np.cumsum(trace.cycles) / (trace.frequency_mhz * 1e6)
+    cpis = trace.cpis
+    eips = trace.eips
+    if window_seconds is not None:
+        keep = times <= window_seconds
+        if not keep.any():
+            raise ValueError("window shorter than the first sample")
+        times = times[keep]
+        cpis = cpis[keep]
+        eips = eips[keep]
+    unique, ranks = np.unique(eips, return_inverse=True)
+    return SpreadSeries(
+        times=times,
+        eip_ranks=ranks,
+        cpis=cpis,
+        unique_eips=len(unique),
+        duration_seconds=float(times[-1]),
+    )

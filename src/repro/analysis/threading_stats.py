@@ -1,0 +1,30 @@
+"""Threading-behaviour comparison (paper Section 5.2).
+
+Thin wrapper around :mod:`repro.trace.threads` that packages the paper's
+Section 5.2 contrast — context-switch rate and OS-time share across
+workload classes — into a table-friendly form.
+"""
+
+from __future__ import annotations
+
+from repro.trace.threads import ThreadingStats, slice_level_stats
+from repro.uarch.machine import MachineConfig
+from repro.workloads.system import SimulatedSystem, Workload
+
+
+def measure_threading(machine: MachineConfig, workload: Workload,
+                      total_instructions: int, seed: int = 0) -> ThreadingStats:
+    """Run the workload and measure its exact threading statistics."""
+    system = SimulatedSystem(machine, workload, seed=seed)
+    slices = system.run(total_instructions)
+    return slice_level_stats(slices, machine.frequency_mhz)
+
+
+def threading_row(name: str, stats: ThreadingStats,
+                  paper_switch_rate: float | None = None) -> list:
+    """One row for the Section 5.2 comparison table."""
+    row = [name, round(stats.context_switches_per_second),
+           f"{stats.os_time_share:.1%}", stats.n_threads]
+    if paper_switch_rate is not None:
+        row.append(round(paper_switch_rate))
+    return row

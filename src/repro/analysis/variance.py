@@ -1,0 +1,80 @@
+"""CPI variance and summary statistics.
+
+The paper's quadrant classification hinges on one number per workload —
+the population variance of interval CPI — plus supporting summaries
+(mean, spread of the per-sample CPIs, unique-EIP counts).  These helpers
+compute them from traces and EIPV datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.eipv import EIPVDataset
+from repro.trace.events import SampleTrace
+
+
+@dataclass(frozen=True)
+class CPISummary:
+    """Distributional summary of CPI for one run."""
+
+    mean: float
+    variance: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @staticmethod
+    def from_values(values: np.ndarray) -> "CPISummary":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("no CPI values")
+        return CPISummary(
+            mean=float(values.mean()),
+            variance=float(values.var()),
+            std=float(values.std()),
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+            n=int(values.size),
+        )
+
+
+def interval_cpi_summary(dataset: EIPVDataset) -> CPISummary:
+    """Summary of per-interval CPI (the paper's granularity)."""
+    return CPISummary.from_values(dataset.cpis)
+
+
+def sample_cpi_summary(trace: SampleTrace) -> CPISummary:
+    """Summary of per-sample instantaneous CPI."""
+    return CPISummary.from_values(trace.cpis)
+
+
+@dataclass(frozen=True)
+class CodeFootprintSummary:
+    """How widely execution spreads over the code (Section 5's contrast)."""
+
+    unique_eips: int
+    samples: int
+    top10_share: float     # fraction of samples in the 10 hottest EIPs
+    gini: float            # concentration of the EIP sample histogram
+
+    @staticmethod
+    def from_trace(trace: SampleTrace) -> "CodeFootprintSummary":
+        eips, counts = np.unique(trace.eips, return_counts=True)
+        counts = np.sort(counts)
+        total = counts.sum()
+        top10 = counts[-10:].sum() if len(counts) >= 10 else total
+        # Gini coefficient of the sample-count distribution.
+        n = len(counts)
+        cumulative = np.cumsum(counts, dtype=np.float64)
+        gini = float(1.0 - 2.0 * (cumulative.sum() / (n * total))
+                     + 1.0 / n) if total > 0 else 0.0
+        return CodeFootprintSummary(
+            unique_eips=int(len(eips)),
+            samples=int(total),
+            top10_share=float(top10 / total),
+            gini=gini,
+        )

@@ -1,0 +1,119 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    All 50 workloads with their paper-aligned quadrant targets.
+``analyze WORKLOAD``
+    Run the full pipeline on one workload and print the RE curve,
+    quadrant and sampling recommendation.
+``census``
+    The Table 2 / Figure 13 quadrant census (optionally a subset).
+``experiment ID [ID...]``
+    Regenerate one of the paper's tables/figures (e1..e14).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.report import format_curve, format_table
+from repro.core.predictability import analyze_predictability
+from repro.experiments.common import RunConfig, collect, default_intervals
+from repro.experiments.runner import EXPERIMENTS, run_all
+from repro.sampling.selector import recommend_for
+from repro.workloads.registry import get_workload, workload_names
+from repro.workloads.scale import DEFAULT, get_scale
+
+
+def _cmd_list(_args) -> int:
+    rows = []
+    for name in workload_names():
+        workload = get_workload(name, DEFAULT)
+        rows.append([name, workload.metadata.get("class", "?"),
+                     workload.metadata.get("paper_quadrant", "?")])
+    print(format_table(["workload", "class", "paper quadrant"], rows,
+                       title="the paper's 50-workload census"))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    scale = get_scale(args.scale)
+    n_intervals = args.intervals or default_intervals(args.workload)
+    print(f"analyzing {args.workload} ({n_intervals} intervals, "
+          f"scale={scale.name}, seed={args.seed})...")
+    _, dataset = collect(RunConfig(args.workload, n_intervals=n_intervals,
+                                   seed=args.seed, scale=scale,
+                                   machine=args.machine))
+    result = analyze_predictability(dataset, k_max=args.k_max,
+                                    seed=args.seed)
+    print(format_curve(result.curve.k_values, result.curve.re,
+                       "relative error vs chambers", mark_k=result.k_opt))
+    print()
+    print(result.summary())
+    recommendation = recommend_for(result)
+    print(f"recommended sampling: {recommendation.technique}")
+    print(f"  {recommendation.rationale}")
+    return 0
+
+
+def _cmd_census(args) -> int:
+    from repro.experiments import table2_quadrants
+    workloads = args.workloads or None
+    result = table2_quadrants.run(workloads=workloads, seed=args.seed,
+                                  k_max=args.k_max)
+    print(table2_quadrants.render(result))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    print(run_all(args.ids))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The Fuzzy Correlation between Code "
+                    "and Performance Predictability' (MICRO 2004)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all workloads") \
+        .set_defaults(func=_cmd_list)
+
+    analyze = sub.add_parser("analyze", help="analyze one workload")
+    analyze.add_argument("workload")
+    analyze.add_argument("--intervals", type=int, default=None)
+    analyze.add_argument("--seed", type=int, default=11)
+    analyze.add_argument("--k-max", type=int, default=50)
+    analyze.add_argument("--scale", default="default",
+                         choices=["tiny", "default", "paper"])
+    analyze.add_argument("--machine", default="itanium2",
+                         choices=["itanium2", "pentium4", "xeon"])
+    analyze.set_defaults(func=_cmd_analyze)
+
+    census = sub.add_parser("census", help="Table 2 quadrant census")
+    census.add_argument("workloads", nargs="*",
+                        help="subset of workloads (default: all 50)")
+    census.add_argument("--seed", type=int, default=11)
+    census.add_argument("--k-max", type=int, default=50)
+    census.set_defaults(func=_cmd_census)
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate paper tables/figures")
+    experiment.add_argument("ids", nargs="*",
+                            help=f"ids: {', '.join(sorted(EXPERIMENTS))} "
+                                 f"(default: all)")
+    experiment.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

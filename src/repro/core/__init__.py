@@ -1,0 +1,61 @@
+"""The paper's primary contribution: regression-tree predictability analysis."""
+
+from repro.core.comparison import MethodComparison, compare_methods, kmeans_relative_errors
+from repro.core.cross_validation import (
+    DEFAULT_FOLDS,
+    DEFAULT_K_MAX,
+    KOPT_TOLERANCE,
+    RECurve,
+    cross_validated_sse,
+    fold_indices,
+    relative_error_curve,
+)
+from repro.core.kmeans import (
+    KMeansResult,
+    kmeans,
+    l1_normalize,
+    predict_cpi_by_cluster,
+    prepare_eipvs,
+    random_projection,
+)
+from repro.core.predictability import PredictabilityResult, analyze_predictability
+from repro.core.quadrant import (
+    RE_THRESHOLD,
+    RECOMMENDED_SAMPLING,
+    VARIANCE_THRESHOLD,
+    Quadrant,
+    QuadrantResult,
+    classify,
+    classify_result,
+)
+from repro.core.regression_tree import RegressionTreeSequence, TreeNode
+
+__all__ = [
+    "DEFAULT_FOLDS",
+    "DEFAULT_K_MAX",
+    "KMeansResult",
+    "KOPT_TOLERANCE",
+    "MethodComparison",
+    "PredictabilityResult",
+    "Quadrant",
+    "QuadrantResult",
+    "RECOMMENDED_SAMPLING",
+    "RECurve",
+    "RE_THRESHOLD",
+    "RegressionTreeSequence",
+    "TreeNode",
+    "VARIANCE_THRESHOLD",
+    "analyze_predictability",
+    "classify",
+    "classify_result",
+    "compare_methods",
+    "cross_validated_sse",
+    "fold_indices",
+    "kmeans",
+    "kmeans_relative_errors",
+    "l1_normalize",
+    "predict_cpi_by_cluster",
+    "prepare_eipvs",
+    "random_projection",
+    "relative_error_curve",
+]

@@ -1,0 +1,101 @@
+"""Quadrant classification of workloads (paper Section 7, Figure 13).
+
+Two thresholds partition the (CPI variance, relative error) plane:
+
+* variance 0.01 separates "flat CPI" (left) from "varying CPI" (right);
+* RE 0.15 separates "strong phase behaviour" (bottom) from "weak" (top).
+
+::
+
+            RE > 0.15   |  Q-I   Q-III     (weak phases)
+            RE <= 0.15  |  Q-II  Q-IV      (strong phases)
+                           low    high     CPI variance
+
+The paper's punchline: no single sampling technique serves all quadrants —
+uniform/random sampling suffices for Q-I/Q-II (and is *required* for Q-III,
+where phases do not exist to exploit), while phase-based sampling pays off
+only in Q-IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+#: The paper's CPI-variance threshold.
+VARIANCE_THRESHOLD = 0.01
+
+#: The paper's relative-error threshold.
+RE_THRESHOLD = 0.15
+
+
+class Quadrant(Enum):
+    """The four workload-behaviour classes of Figure 13."""
+
+    Q1 = "Q-I"
+    Q2 = "Q-II"
+    Q3 = "Q-III"
+    Q4 = "Q-IV"
+
+    @property
+    def high_variance(self) -> bool:
+        return self in (Quadrant.Q3, Quadrant.Q4)
+
+    @property
+    def strong_phases(self) -> bool:
+        return self in (Quadrant.Q2, Quadrant.Q4)
+
+
+#: Paper Section 7: recommended sampling technique per quadrant.
+RECOMMENDED_SAMPLING = {
+    Quadrant.Q1: "uniform",      # a few random/uniform samples suffice
+    Quadrant.Q2: "uniform",      # phases exist but variance is negligible
+    Quadrant.Q3: "stratified",   # no usable phases: dense statistical
+                                 # sampling over strata of the CPI range
+    Quadrant.Q4: "phase_based",  # few phase representatives capture CPI
+}
+
+
+@dataclass(frozen=True)
+class QuadrantResult:
+    """One workload's placement in the quadrant plane."""
+
+    workload: str
+    cpi_variance: float
+    relative_error: float
+    k_opt: int
+    quadrant: Quadrant
+
+    @property
+    def recommended_sampling(self) -> str:
+        return RECOMMENDED_SAMPLING[self.quadrant]
+
+
+def classify(cpi_variance: float, relative_error: float,
+             variance_threshold: float = VARIANCE_THRESHOLD,
+             re_threshold: float = RE_THRESHOLD) -> Quadrant:
+    """Place a (variance, RE) point into its quadrant."""
+    if cpi_variance < 0:
+        raise ValueError("cpi_variance cannot be negative")
+    if relative_error < 0:
+        raise ValueError("relative_error cannot be negative")
+    high_variance = cpi_variance > variance_threshold
+    strong = relative_error <= re_threshold
+    if high_variance:
+        return Quadrant.Q4 if strong else Quadrant.Q3
+    return Quadrant.Q2 if strong else Quadrant.Q1
+
+
+def classify_result(workload: str, cpi_variance: float,
+                    relative_error: float, k_opt: int,
+                    variance_threshold: float = VARIANCE_THRESHOLD,
+                    re_threshold: float = RE_THRESHOLD) -> QuadrantResult:
+    """Convenience constructor bundling the classification."""
+    return QuadrantResult(
+        workload=workload,
+        cpi_variance=cpi_variance,
+        relative_error=relative_error,
+        k_opt=k_opt,
+        quadrant=classify(cpi_variance, relative_error,
+                          variance_threshold, re_threshold),
+    )

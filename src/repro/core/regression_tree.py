@@ -1,0 +1,470 @@
+"""Regression trees over EIP vectors (paper Section 4).
+
+The tree recursively splits the EIPV space with axis-aligned walls of the
+form ``count(EIP_i) <= threshold``, choosing at every step the (EIP,
+threshold) pair that minimizes the weighted intra-chamber CPI variance —
+exactly the construction of Section 4.1.  The example of Table 1/Figure 1
+is reproduced verbatim by the unit tests.
+
+Design notes:
+
+* **Best-first growth.** The paper asks for "the optimal tree T_k" for
+  each ``k <= 50``.  We grow one tree best-first (always splitting the leaf
+  whose best split removes the most CPI variance) and record each split's
+  rank; the first ``k - 1`` splits then *are* the tree ``T_k``, giving the
+  whole nested family in one build.  This is the standard greedy CART
+  construction (exact at each step), matching rpart's behaviour that the
+  paper relied on.
+
+* **Sparsity.** An EIPV holds at most ``samples_per_interval`` non-zero
+  counts out of N unique EIPs, so columns are overwhelmingly zero.  The
+  split search keeps per-feature non-zero lists and treats the zero block
+  in closed form, making each node's exact search O(nnz + N) instead of
+  O(m * N).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: A split's CPI-variance reduction must exceed this to be applied
+#: (guards against floating-point noise producing spurious splits).
+MIN_GAIN = 1e-12
+
+
+@dataclass(eq=False)  # identity comparison: nodes hold numpy arrays
+class TreeNode:
+    """One node of the regression tree.
+
+    Leaves have ``feature is None``.  ``value`` is the mean CPI of the
+    node's training points (the prediction for any EIPV landing here);
+    ``sse`` is their sum of squared deviations.  ``split_rank`` is the
+    order in which this node was split during best-first growth (0 for the
+    root); ``None`` while the node is a leaf.
+    """
+
+    rows: np.ndarray
+    value: float
+    sse: float
+    depth: int
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    split_rank: int | None = None
+    best_split: tuple | None = field(default=None, repr=False)
+
+    @property
+    def n(self) -> int:
+        return len(self.rows)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class _FeatureStore:
+    """Sparse (feature, row, value) triplets sorted by (feature, value).
+
+    One lexicographic sort at fit time lets every node's exact split search
+    run as a handful of segmented-prefix-sum numpy operations over just the
+    node's non-zero entries.
+    """
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise ValueError("feature matrix must be 2-D")
+        self.n_rows, self.n_features = matrix.shape
+        rows, features = np.nonzero(matrix)
+        values = matrix[rows, features].astype(np.float64)
+        order = np.lexsort((values, features))
+        self.feat = features[order].astype(np.int64)
+        self.row = rows[order].astype(np.int64)
+        self.val = values[order]
+        # Column j's triplets live in feat_offsets[j]:feat_offsets[j + 1].
+        self.feat_offsets = np.searchsorted(
+            self.feat, np.arange(self.n_features + 1))
+
+    def column(self, feature: int) -> tuple[np.ndarray, np.ndarray]:
+        """(rows, values) of one feature's non-zero entries."""
+        start, end = self.feat_offsets[feature], self.feat_offsets[feature + 1]
+        return self.row[start:end], self.val[start:end]
+
+
+def _best_threshold(values: np.ndarray, y: np.ndarray, n0: int,
+                    sum0: float, sumsq0: float, n: int, total_sum: float,
+                    total_sumsq: float) -> tuple[float, float]:
+    """Exact best split of one feature within a node.
+
+    ``values``/``y`` are the node's non-zero feature values and their CPIs;
+    the zero block is summarized by (n0, sum0, sumsq0).  Returns
+    ``(children_sse, threshold)`` for the best "x <= threshold" split, or
+    ``(inf, 0)`` when the feature is constant within the node.
+    """
+    n_nz = len(values)
+    if n_nz == 0 or (n0 == 0 and n_nz == 1):
+        return np.inf, 0.0
+
+    order = np.argsort(values, kind="stable")
+    v_sorted = values[order]
+    y_sorted = y[order]
+
+    # Prefix sums over the sorted non-zero block.
+    cum_sum = np.cumsum(y_sorted)
+    cum_sumsq = np.cumsum(y_sorted * y_sorted)
+    positions = np.arange(1, n_nz + 1)
+
+    # Candidate split points: after the zero block (threshold 0, only when
+    # both sides non-empty), and after each run of equal non-zero values
+    # except the last.
+    n_left = n0 + positions
+    sum_left = sum0 + cum_sum
+    sumsq_left = sumsq0 + cum_sumsq
+
+    boundary = v_sorted[:-1] != v_sorted[1:] if n_nz > 1 else np.array([],
+                                                                       bool)
+    valid = np.zeros(n_nz, dtype=bool)
+    if n_nz > 1:
+        valid[:-1] = boundary  # split between distinct adjacent values
+
+    best_sse = np.inf
+    best_threshold = 0.0
+
+    if n0 > 0:
+        # Split "x <= 0": zero block left, all non-zeros right.
+        left_sse = sumsq0 - sum0 * sum0 / n0
+        right_n = n - n0
+        right_sum = total_sum - sum0
+        right_sumsq = total_sumsq - sumsq0
+        right_sse = right_sumsq - right_sum * right_sum / right_n
+        sse = left_sse + right_sse
+        if sse < best_sse:
+            best_sse = sse
+            best_threshold = 0.0
+
+    if valid.any():
+        idx = np.nonzero(valid)[0]
+        nl = n_left[idx].astype(np.float64)
+        nr = n - nl
+        sl = sum_left[idx]
+        ql = sumsq_left[idx]
+        sr = total_sum - sl
+        qr = total_sumsq - ql
+        sse_candidates = (ql - sl * sl / nl) + (qr - sr * sr / nr)
+        best = int(np.argmin(sse_candidates))
+        if sse_candidates[best] < best_sse:
+            best_sse = float(sse_candidates[best])
+            best_threshold = float(v_sorted[idx[best]])
+
+    return best_sse, best_threshold
+
+
+class RegressionTreeSequence:
+    """The nested family of trees T_1 .. T_k_max over one dataset.
+
+    Build once with :meth:`fit`; then :meth:`predict` evaluates any member
+    T_k by treating splits of rank >= k - 1 as un-applied.
+    """
+
+    def __init__(self, k_max: int = 50, min_leaf: int = 1) -> None:
+        if k_max < 1:
+            raise ValueError("k_max must be at least 1")
+        if min_leaf < 1:
+            raise ValueError("min_leaf must be at least 1")
+        self.k_max = k_max
+        self.min_leaf = min_leaf
+        self.root: TreeNode | None = None
+        self.n_splits = 0
+        self._store: _FeatureStore | None = None
+
+    # -- construction ---------------------------------------------------
+
+    def fit(self, matrix: np.ndarray, y: np.ndarray) -> "RegressionTreeSequence":
+        """Grow the tree family on (EIPV matrix, CPI vector)."""
+        matrix = np.asarray(matrix)
+        y = np.asarray(y, dtype=np.float64)
+        if matrix.shape[0] != len(y):
+            raise ValueError("matrix rows must match y length")
+        if len(y) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        store = _FeatureStore(matrix)
+        self._store = store
+        self._y = y
+
+        rows = np.arange(len(y), dtype=np.int32)
+        self.root = self._make_node(rows, depth=0)
+        self._find_best_split(self.root)
+
+        # Best-first growth: repeatedly split the leaf with the largest
+        # variance reduction.
+        frontier = [self.root]
+        self.n_splits = 0
+        while self.n_splits < self.k_max - 1:
+            best_node = None
+            best_gain = MIN_GAIN
+            for node in frontier:
+                if node.best_split is None:
+                    continue
+                gain = node.sse - node.best_split[0]
+                if gain > best_gain:
+                    best_gain = gain
+                    best_node = node
+            if best_node is None:
+                break
+            self._apply_split(best_node)
+            frontier.remove(best_node)
+            frontier.extend([best_node.left, best_node.right])
+            self.n_splits += 1
+        return self
+
+    def _make_node(self, rows: np.ndarray, depth: int) -> TreeNode:
+        y = self._y[rows]
+        total = float(y.sum())
+        value = total / len(rows)
+        sse = float(((y - value) ** 2).sum())
+        return TreeNode(rows=rows, value=value, sse=sse, depth=depth)
+
+    def _find_best_split(self, node: TreeNode) -> None:
+        """Compute and cache the node's best (feature, threshold).
+
+        Fully vectorized: the node's non-zero entries are filtered from the
+        store's (feature, value)-sorted triplets; segmented prefix sums then
+        score every candidate ``count(EIP) <= t`` wall of every feature in
+        one pass.  The per-feature zero block (intervals where the EIP was
+        never sampled) is handled in closed form.
+        """
+        rows = node.rows
+        n = len(rows)
+        if n < 2 * self.min_leaf or node.sse <= MIN_GAIN:
+            node.best_split = None
+            return
+        y_node = self._y[rows]
+        total_sum = float(y_node.sum())
+        total_sumsq = float((y_node * y_node).sum())
+
+        in_node = np.zeros(self._store.n_rows, dtype=bool)
+        in_node[rows] = True
+        select = in_node[self._store.row]
+        if not select.any():
+            node.best_split = None
+            return
+        feat = self._store.feat[select]
+        val = self._store.val[select]
+        y_nz = self._y[self._store.row[select]]
+        y_sq = y_nz * y_nz
+        count = len(feat)
+
+        # Segment bookkeeping: one segment per feature present in the node,
+        # entries within a segment already sorted by value.
+        new_seg = np.empty(count, dtype=bool)
+        new_seg[0] = True
+        np.not_equal(feat[1:], feat[:-1], out=new_seg[1:])
+        seg_start = np.nonzero(new_seg)[0]
+        n_segments = len(seg_start)
+        seg_id = np.cumsum(new_seg) - 1
+        seg_end = np.append(seg_start[1:], count)
+        seg_len = seg_end - seg_start
+
+        # Per-entry prefix sums within each segment.
+        cs = np.cumsum(y_nz)
+        cq = np.cumsum(y_sq)
+        offset_s = np.concatenate(([0.0], cs[seg_start[1:] - 1]))
+        offset_q = np.concatenate(([0.0], cq[seg_start[1:] - 1]))
+        positions = np.arange(1, count + 1)
+        cnt_nz_left = positions - seg_start[seg_id]
+        sum_nz_left = cs - offset_s[seg_id]
+        sq_nz_left = cq - offset_q[seg_id]
+
+        # Per-segment totals and zero-block summaries.
+        seg_sum = np.add.reduceat(y_nz, seg_start)
+        seg_sq = np.add.reduceat(y_sq, seg_start)
+        n0 = (n - seg_len).astype(np.float64)
+        sum0 = total_sum - seg_sum
+        sq0 = total_sumsq - seg_sq
+
+        # Candidate splits after each non-zero entry ("x <= val").
+        n_left = n0[seg_id] + cnt_nz_left
+        sum_left = sum0[seg_id] + sum_nz_left
+        sq_left = sq0[seg_id] + sq_nz_left
+        n_right = n - n_left
+        last_in_seg = np.zeros(count, dtype=bool)
+        last_in_seg[seg_end - 1] = True
+        same_as_next = np.zeros(count, dtype=bool)
+        if count > 1:
+            same_as_next[:-1] = (val[:-1] == val[1:]) & ~last_in_seg[:-1]
+        valid = ~last_in_seg & ~same_as_next & (n_right > 0)
+        # When the zero block is empty the last candidate would put
+        # everything left; excluded via n_right above.  A candidate is
+        # also only a real wall when both sides meet min_leaf.
+        valid &= (n_left >= self.min_leaf) & (n_right >= self.min_leaf)
+
+        best_sse = np.inf
+        best_feature = -1
+        best_threshold = 0.0
+        if valid.any():
+            sum_right = total_sum - sum_left
+            sq_right = total_sumsq - sq_left
+            with np.errstate(divide="ignore", invalid="ignore"):
+                sse = ((sq_left - sum_left * sum_left / n_left)
+                       + (sq_right - sum_right * sum_right
+                          / np.maximum(n_right, 1)))
+            sse[~valid] = np.inf
+            index = int(np.argmin(sse))
+            best_sse = float(sse[index])
+            best_feature = int(feat[index])
+            best_threshold = float(val[index])
+
+        # Candidate "x <= 0" splits: zero block left, non-zeros right.
+        zero_ok = ((n0 >= self.min_leaf) & (seg_len >= self.min_leaf))
+        if zero_ok.any():
+            with np.errstate(divide="ignore", invalid="ignore"):
+                sse0 = ((sq0 - sum0 * sum0 / np.maximum(n0, 1))
+                        + (seg_sq - seg_sum * seg_sum / seg_len))
+            sse0[~zero_ok] = np.inf
+            index0 = int(np.argmin(sse0))
+            if sse0[index0] < best_sse:
+                best_sse = float(sse0[index0])
+                best_feature = int(feat[seg_start[index0]])
+                best_threshold = 0.0
+
+        if best_feature < 0 or node.sse - best_sse <= MIN_GAIN:
+            node.best_split = None
+        else:
+            node.best_split = (best_sse, best_feature, best_threshold)
+
+    def _apply_split(self, node: TreeNode) -> None:
+        """Execute the node's cached best split and prepare the children."""
+        sse_children, feature, threshold = node.best_split
+        rows = node.rows
+        rows_j, values_j = self._store.column(feature)
+        # Feature value per node row (zeros by default).
+        in_node = np.zeros(self._store.n_rows, dtype=np.float64)
+        in_node[rows_j] = values_j
+        go_left = in_node[rows] <= threshold
+        left_rows = rows[go_left]
+        right_rows = rows[~go_left]
+        if len(left_rows) == 0 or len(right_rows) == 0:
+            raise AssertionError("degenerate split should have been skipped")
+        node.feature = feature
+        node.threshold = threshold
+        node.split_rank = self.n_splits
+        node.left = self._make_node(left_rows, node.depth + 1)
+        node.right = self._make_node(right_rows, node.depth + 1)
+        self._find_best_split(node.left)
+        self._find_best_split(node.right)
+
+    # -- evaluation -----------------------------------------------------
+
+    def max_k(self) -> int:
+        """Largest chamber count this sequence actually reached."""
+        return self.n_splits + 1
+
+    def leaf_for(self, x: np.ndarray, k: int) -> TreeNode:
+        """The chamber of T_k that the vector ``x`` falls into."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        node = self.root
+        while (node.split_rank is not None and node.split_rank <= k - 2):
+            if x[node.feature] <= node.threshold:
+                node = node.left
+            else:
+                node = node.right
+        return node
+
+    def predict(self, matrix: np.ndarray, k: int | None = None) -> np.ndarray:
+        """Predicted CPI (chamber mean) of each row of ``matrix`` under T_k."""
+        if k is None:
+            k = self.max_k()
+        matrix = np.asarray(matrix)
+        return np.fromiter(
+            (self.leaf_for(row, k).value for row in matrix),
+            dtype=np.float64, count=matrix.shape[0])
+
+    def predict_all_k(self, matrix: np.ndarray) -> np.ndarray:
+        """Predictions under every member tree at once.
+
+        Returns an array of shape ``(len(matrix), max_k)`` whose column
+        ``k - 1`` equals ``predict(matrix, k)``.  Split ranks are strictly
+        increasing along any root-to-leaf path (a child exists only after
+        its parent split), so one walk per row yields all k.
+        """
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        matrix = np.asarray(matrix)
+        k_max = self.max_k()
+        out = np.empty((matrix.shape[0], k_max))
+        for i, x in enumerate(matrix):
+            node = self.root
+            ranks = []
+            values = []
+            while node.split_rank is not None:
+                ranks.append(node.split_rank)
+                values.append(node.value)
+                node = (node.left if x[node.feature] <= node.threshold
+                        else node.right)
+            ranks.append(k_max)  # the leaf holds for every remaining k
+            values.append(node.value)
+            ranks_arr = np.asarray(ranks)
+            values_arr = np.asarray(values)
+            # T_k applies splits of rank <= k - 2; the prediction is the
+            # first node on the path whose split rank exceeds k - 2.
+            path_index = np.searchsorted(ranks_arr, np.arange(k_max),
+                                         side="left")
+            out[i] = values_arr[path_index]
+        return out
+
+    def leaves(self, k: int | None = None) -> list[TreeNode]:
+        """The chambers of T_k, left-to-right."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        if k is None:
+            k = self.max_k()
+        result: list[TreeNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.split_rank is not None and node.split_rank <= k - 2:
+                stack.append(node.right)
+                stack.append(node.left)
+            else:
+                result.append(node)
+        return result
+
+    def training_sse(self, k: int | None = None) -> float:
+        """Total within-chamber SSE of T_k on the training data."""
+        return sum(leaf.sse for leaf in self.leaves(k))
+
+    def describe(self, k: int | None = None, eip_index=None,
+                 max_depth: int = 6) -> str:
+        """ASCII rendering of T_k (for reports and debugging)."""
+        lines: list[str] = []
+
+        def label(feature: int) -> str:
+            if eip_index is None:
+                return f"EIP[{feature}]"
+            entry = eip_index[feature]
+            if isinstance(entry, str):
+                return entry
+            return f"EIP 0x{int(entry):x}"
+
+        if k is None:
+            k = self.max_k()
+
+        def walk(node: TreeNode, prefix: str) -> None:
+            internal = node.split_rank is not None and node.split_rank <= k - 2
+            if not internal or node.depth >= max_depth:
+                lines.append(f"{prefix}leaf: n={node.n} "
+                             f"mean CPI={node.value:.3f}")
+                return
+            lines.append(f"{prefix}{label(node.feature)} <= "
+                         f"{node.threshold:g}?")
+            walk(node.left, prefix + "  ")
+            walk(node.right, prefix + "  ")
+
+        walk(self.root, "")
+        return "\n".join(lines)

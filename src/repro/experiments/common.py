@@ -1,0 +1,69 @@
+"""Shared plumbing for experiment modules.
+
+Every experiment needs the same pipeline: build workload -> simulate ->
+sample -> EIPVs -> analysis.  :func:`collect` runs it once;
+:func:`collect_cached` memoizes per (workload, machine, intervals, seed,
+scale) within the process so benchmarks that share inputs don't re-simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.eipv import EIPVDataset, build_eipvs
+from repro.trace.events import SampleTrace
+from repro.trace.sampler import collect_trace
+from repro.uarch.machine import MachineConfig, get_machine
+from repro.workloads.registry import get_workload
+from repro.workloads.scale import DEFAULT, WorkloadScale
+from repro.workloads.system import SimulatedSystem
+
+#: Instructions per EIPV interval (the paper's 100M).
+INTERVAL = 100_000_000
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Reproducible description of one simulated, sampled run."""
+
+    workload: str
+    n_intervals: int = 60
+    seed: int = 11
+    machine: str = "itanium2"
+    scale: WorkloadScale = DEFAULT
+    interval_instructions: int = INTERVAL
+
+    def total_instructions(self) -> int:
+        return self.n_intervals * self.interval_instructions
+
+
+def collect(config: RunConfig) -> tuple[SampleTrace, EIPVDataset]:
+    """Simulate, sample, and build EIPVs for one run."""
+    machine: MachineConfig = get_machine(config.machine)
+    workload = get_workload(config.workload, config.scale)
+    system = SimulatedSystem(machine, workload, seed=config.seed)
+    trace = collect_trace(system, config.total_instructions())
+    dataset = build_eipvs(trace, config.interval_instructions)
+    dataset.workload_name = config.workload
+    return trace, dataset
+
+
+_CACHE: dict[RunConfig, tuple[SampleTrace, EIPVDataset]] = {}
+
+
+def collect_cached(config: RunConfig) -> tuple[SampleTrace, EIPVDataset]:
+    """Memoized :func:`collect` (per process)."""
+    if config not in _CACHE:
+        _CACHE[config] = collect(config)
+    return _CACHE[config]
+
+
+def default_intervals(workload: str) -> int:
+    """Experiment-appropriate run length per workload class.
+
+    DSS queries need many plan passes for the tree to generalize across
+    phase-boundary mixture intervals; servers and SPEC settle faster.
+    """
+    if workload.startswith("odbh."):
+        return 132
+    return 60

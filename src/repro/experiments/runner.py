@@ -1,0 +1,80 @@
+"""Experiment registry and run-all driver.
+
+Each experiment id (DESIGN.md's E1-E13) maps to a ``render()`` callable
+producing the text reproduction of its table/figure.  ``python -m
+repro.experiments.runner [ids...]`` runs them from the command line;
+the benchmark harness calls the same entry points.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    example_tree,
+    future_work,
+    fig2_odbc_sjas,
+    fig3_spread,
+    fig45_breakdown,
+    fig67_threads,
+    fig8_q13,
+    fig10_q18,
+    kmeans_comparison,
+    robustness,
+    sampling_eval,
+    table2_quadrants,
+)
+
+#: Experiment id -> (description, render callable).
+EXPERIMENTS = {
+    "e1": ("Table 1 / Figure 1 worked example", example_tree.render),
+    "e2": ("Figure 2: RE curves for ODB-C and SjAS",
+           fig2_odbc_sjas.render),
+    "e3": ("Figure 3: EIP and CPI spread", fig3_spread.render),
+    "e4": ("Figures 4-5: CPI breakdown", fig45_breakdown.render),
+    "e5": ("Figures 6-7 + Sec 5.2: thread separation",
+           fig67_threads.render),
+    "e6": ("Figures 8-9: ODB-H Q13", fig8_q13.render),
+    "e7": ("Figures 10-12: ODB-H Q18", fig10_q18.render),
+    "e8": ("Table 2 / Figure 13: quadrant census",
+           table2_quadrants.render),
+    "e9": ("Section 4.6: tree vs k-means", kmeans_comparison.render),
+    "e10": ("Section 7.1: robustness sweeps", robustness.render),
+    "e13": ("Section 7: sampling techniques by quadrant",
+            sampling_eval.render),
+    "e14": ("Future work: higher EIP sampling rates on Q-III",
+            future_work.render),
+}
+
+
+def run_experiment(experiment_id: str) -> str:
+    """Render one experiment by id (e.g. ``"e2"``)."""
+    key = experiment_id.lower()
+    if key not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; "
+                       f"known: {known}")
+    _, render = EXPERIMENTS[key]
+    return render()
+
+
+def run_all(ids=None) -> str:
+    """Render several experiments, separated by banners."""
+    ids = list(ids) if ids else sorted(EXPERIMENTS)
+    sections = []
+    for experiment_id in ids:
+        description, _ = EXPERIMENTS[experiment_id.lower()]
+        banner = "=" * 72
+        sections.append(f"{banner}\n{experiment_id.upper()}: {description}"
+                        f"\n{banner}\n{run_experiment(experiment_id)}")
+    return "\n\n".join(sections)
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    print(run_all(argv or None))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+"""E8 — Table 2 and Figure 13: the quadrant census of all 50 workloads.
+
+Every workload in the registry (ODB-C, SjAS, 22 ODB-H queries, 26 SPEC
+CPU2K benchmarks) is simulated, sampled, analyzed with the regression-tree
+cross-validation and placed into the (CPI variance, RE) plane with the
+paper's thresholds (0.01, 0.15).  The paper's counts, from its text:
+13 SPEC in Q-I (plus ODB-C); 5 workloads in Q-II; gcc, gap, SjAS and 7
+ODB-H queries among Q-III; 12 workloads (9 ODB-H + 3 SPEC) in Q-IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.core.predictability import PredictabilityResult, analyze_predictability
+from repro.core.quadrant import Quadrant
+from repro.experiments.common import RunConfig, collect_cached, default_intervals
+from repro.workloads.registry import get_workload, workload_names
+from repro.workloads.scale import DEFAULT
+
+
+@dataclass(frozen=True)
+class CensusEntry:
+    workload: str
+    result: PredictabilityResult
+    paper_quadrant: str
+
+    @property
+    def matches(self) -> bool:
+        return self.result.quadrant.value == self.paper_quadrant
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    entries: tuple
+    match_count: int
+    counts: dict
+
+    @property
+    def total(self) -> int:
+        return len(self.entries)
+
+
+def run(workloads=None, seed: int = 11, k_max: int = 50,
+        n_intervals: int | None = None) -> Table2Result:
+    """Run the census.  ``workloads`` defaults to the full 50."""
+    names = list(workloads) if workloads is not None else workload_names()
+    entries = []
+    for name in names:
+        intervals = n_intervals or default_intervals(name)
+        _, dataset = collect_cached(RunConfig(name, n_intervals=intervals,
+                                              seed=seed))
+        result = analyze_predictability(dataset, k_max=k_max, seed=seed)
+        paper = get_workload(name, DEFAULT).metadata["paper_quadrant"]
+        entries.append(CensusEntry(workload=name, result=result,
+                                   paper_quadrant=paper))
+    counts = {q.value: 0 for q in Quadrant}
+    for entry in entries:
+        counts[entry.result.quadrant.value] += 1
+    return Table2Result(
+        entries=tuple(entries),
+        match_count=sum(entry.matches for entry in entries),
+        counts=counts,
+    )
+
+
+def render(result: Table2Result | None = None, **kwargs) -> str:
+    result = result or run(**kwargs)
+    rows = [
+        [entry.workload,
+         round(entry.result.cpi_variance, 4),
+         round(entry.result.re_kopt, 3),
+         entry.result.k_opt,
+         entry.result.quadrant.value,
+         entry.paper_quadrant,
+         "ok" if entry.matches else "MISMATCH"]
+        for entry in result.entries
+    ]
+    table = format_table(
+        ["workload", "CPI var", "RE_kopt", "k_opt", "measured", "paper",
+         ""], rows, title="Table 2: quadrant classification")
+    count_rows = [[q, n] for q, n in sorted(result.counts.items())]
+    counts = format_table(["quadrant", "count"], count_rows,
+                          title="Figure 13 census")
+    verdict = (f"{result.match_count}/{result.total} workloads match the "
+               f"paper's (reconstructed) placement")
+    return "\n\n".join([table, counts, verdict])

@@ -1,0 +1,40 @@
+"""Simulation-sampling techniques and the quadrant-based selector."""
+
+from repro.sampling.evaluation import (
+    TECHNIQUES,
+    TechniqueError,
+    best_technique,
+    compare_techniques,
+    evaluate_technique,
+    true_cpi,
+)
+from repro.sampling.phase_based import phase_based_plan
+from repro.sampling.plan import SamplingPlan, equal_weights
+from repro.sampling.random_sampling import random_plan
+from repro.sampling.selector import (
+    RATIONALE,
+    SamplingRecommendation,
+    recommend_for,
+    select_technique,
+)
+from repro.sampling.stratified import stratified_plan
+from repro.sampling.uniform import uniform_plan
+
+__all__ = [
+    "RATIONALE",
+    "SamplingPlan",
+    "SamplingRecommendation",
+    "TECHNIQUES",
+    "TechniqueError",
+    "best_technique",
+    "compare_techniques",
+    "equal_weights",
+    "evaluate_technique",
+    "phase_based_plan",
+    "random_plan",
+    "recommend_for",
+    "select_technique",
+    "stratified_plan",
+    "true_cpi",
+    "uniform_plan",
+]

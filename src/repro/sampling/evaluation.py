@@ -1,0 +1,89 @@
+"""Evaluating sampling techniques against ground truth.
+
+A technique is judged by how closely its weighted CPI estimate matches the
+full-run CPI, over repeated draws.  :func:`evaluate_technique` returns the
+error distribution; :func:`compare_techniques` sweeps all four techniques
+on one dataset — the machinery behind the paper's Section 7 claims about
+which technique suits which quadrant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sampling.phase_based import phase_based_plan
+from repro.sampling.random_sampling import random_plan
+from repro.sampling.stratified import stratified_plan
+from repro.sampling.uniform import uniform_plan
+from repro.trace.eipv import EIPVDataset
+
+#: Technique name -> plan builder (dataset, budget, rng) -> SamplingPlan.
+TECHNIQUES = {
+    "uniform": uniform_plan,
+    "random": random_plan,
+    "phase_based": phase_based_plan,
+    "stratified": stratified_plan,
+}
+
+
+@dataclass(frozen=True)
+class TechniqueError:
+    """Error distribution of one technique on one dataset."""
+
+    technique: str
+    budget: int
+    true_cpi: float
+    mean_abs_error: float
+    max_abs_error: float
+    mean_rel_error: float
+    trials: int
+
+    def summary_row(self) -> list:
+        return [self.technique, self.budget,
+                round(self.mean_rel_error * 100, 3),
+                round(self.max_abs_error, 4)]
+
+
+def true_cpi(dataset: EIPVDataset) -> float:
+    """The full-run average CPI (every interval equally weighted)."""
+    return float(np.mean(dataset.cpis))
+
+
+def evaluate_technique(dataset: EIPVDataset, technique: str, budget: int,
+                       trials: int = 20, seed: int = 0) -> TechniqueError:
+    """Repeatedly draw plans and measure CPI-estimate error."""
+    if technique not in TECHNIQUES:
+        known = ", ".join(sorted(TECHNIQUES))
+        raise KeyError(f"unknown technique {technique!r}; known: {known}")
+    builder = TECHNIQUES[technique]
+    rng = np.random.default_rng(seed)
+    target = true_cpi(dataset)
+    errors = []
+    for _ in range(trials):
+        plan = builder(dataset, budget, rng)
+        errors.append(plan.estimate_cpi(dataset) - target)
+    errors = np.abs(np.asarray(errors))
+    return TechniqueError(
+        technique=technique,
+        budget=budget,
+        true_cpi=target,
+        mean_abs_error=float(errors.mean()),
+        max_abs_error=float(errors.max()),
+        mean_rel_error=float(errors.mean() / max(target, 1e-12)),
+        trials=trials,
+    )
+
+
+def compare_techniques(dataset: EIPVDataset, budget: int,
+                       trials: int = 20, seed: int = 0) -> list:
+    """Evaluate every technique at the same budget."""
+    return [evaluate_technique(dataset, name, budget, trials=trials,
+                               seed=seed)
+            for name in ("uniform", "random", "phase_based", "stratified")]
+
+
+def best_technique(results) -> TechniqueError:
+    """The technique with the lowest mean absolute error."""
+    return min(results, key=lambda r: r.mean_abs_error)

@@ -1,0 +1,44 @@
+"""Phase-based sampling — Sherwood et al.'s SimPoint strategy.
+
+Cluster the run's EIPVs (control-flow signatures only — CPI is never
+consulted), then simulate *one representative per cluster*: the interval
+closest to each centroid, weighted by cluster population.  When phases are
+real and CPI-coherent (quadrant Q-IV) a handful of representatives nails
+the CPI; when they are not (Q-III), the estimate inherits the full
+within-cluster CPI spread — the failure mode the paper warns about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kmeans import kmeans, prepare_eipvs
+from repro.sampling.plan import SamplingPlan
+from repro.trace.eipv import EIPVDataset
+
+
+def phase_based_plan(dataset: EIPVDataset, budget: int,
+                     rng: np.random.Generator,
+                     projection_dim: int | None = 15) -> SamplingPlan:
+    """One representative interval per EIPV cluster, cluster-weighted."""
+    if budget < 1:
+        raise ValueError("budget must be at least 1")
+    n = dataset.n_intervals
+    k = min(budget, n)
+    points = prepare_eipvs(dataset.matrix, rng, projection_dim)
+    model = kmeans(points, k, rng)
+
+    representatives = []
+    weights = []
+    for j in range(model.k):
+        members = np.nonzero(model.labels == j)[0]
+        if len(members) == 0:
+            continue
+        distances = ((points[members] - model.centroids[j]) ** 2).sum(axis=1)
+        representatives.append(int(members[int(np.argmin(distances))]))
+        weights.append(len(members))
+    order = np.argsort(representatives)
+    intervals = np.asarray(representatives)[order]
+    weights = np.asarray(weights, dtype=np.float64)[order]
+    return SamplingPlan(technique="phase_based", intervals=intervals,
+                        weights=weights / weights.sum())

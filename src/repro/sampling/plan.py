@@ -1,0 +1,51 @@
+"""Sampling plans: which intervals a simulation would actually run.
+
+The point of phase analysis is to replace a full run with a few simulated
+windows.  A :class:`SamplingPlan` names the intervals (by index into an
+EIPV dataset) a technique chose and the weight each carries in the final
+CPI estimate.  Weights sum to 1; plain techniques use equal weights,
+phase-based techniques weight representatives by their cluster sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.eipv import EIPVDataset
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """A technique's chosen intervals and their estimate weights."""
+
+    technique: str
+    intervals: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.intervals) == 0:
+            raise ValueError("a plan needs at least one interval")
+        if len(self.intervals) != len(self.weights):
+            raise ValueError("intervals and weights must align")
+        if (np.asarray(self.weights) <= 0).any():
+            raise ValueError("weights must be positive")
+        if not np.isclose(float(np.sum(self.weights)), 1.0, atol=1e-9):
+            raise ValueError("weights must sum to 1")
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.intervals)
+
+    def estimate_cpi(self, dataset: EIPVDataset) -> float:
+        """Weighted CPI estimate from the chosen intervals."""
+        cpis = dataset.cpis[self.intervals]
+        return float(np.dot(cpis, self.weights))
+
+
+def equal_weights(n: int) -> np.ndarray:
+    """Uniform weight vector of length ``n``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return np.full(n, 1.0 / n)

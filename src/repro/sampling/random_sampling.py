@@ -1,0 +1,25 @@
+"""Simple random sampling of intervals.
+
+The baseline the paper repeatedly invokes: "even a few random samples can
+adequately capture CPI behavior" for the (many) benchmarks whose CPI
+variance is tiny.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.plan import SamplingPlan, equal_weights
+from repro.trace.eipv import EIPVDataset
+
+
+def random_plan(dataset: EIPVDataset, budget: int,
+                rng: np.random.Generator) -> SamplingPlan:
+    """``budget`` intervals drawn uniformly without replacement."""
+    n = dataset.n_intervals
+    if budget < 1:
+        raise ValueError("budget must be at least 1")
+    budget = min(budget, n)
+    picks = np.sort(rng.choice(n, size=budget, replace=False))
+    return SamplingPlan(technique="random", intervals=picks,
+                        weights=equal_weights(budget))

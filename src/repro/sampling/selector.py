@@ -1,0 +1,74 @@
+"""Quadrant-based sampling-technique selection — the paper's proposal.
+
+"We propose using quadrant based classification to better understand the
+wide range of workload behaviors and select the best-suited sampling
+technique to accurately capture the program behavior for each workload."
+
+:func:`select_technique` implements that methodology end to end: run the
+regression-tree analysis, place the workload in a quadrant, and return the
+recommended technique with the rationale the paper gives for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.predictability import (
+    PredictabilityResult,
+    analyze_predictability,
+)
+from repro.core.quadrant import RECOMMENDED_SAMPLING, Quadrant
+from repro.sampling.evaluation import TECHNIQUES
+from repro.trace.eipv import EIPVDataset
+
+#: Why each quadrant gets its technique (paper Section 7).
+RATIONALE = {
+    Quadrant.Q1: ("CPI variance is negligible and EIPVs cannot explain it; "
+                  "a few uniform/random samples capture CPI within a small "
+                  "error margin."),
+    Quadrant.Q2: ("EIPVs track even the subtle CPI changes, but the "
+                  "variance is so small that phase-based sampling has no "
+                  "clear advantage over uniform sampling."),
+    Quadrant.Q3: ("CPI varies but control flow cannot predict it; phase "
+                  "representatives would miss the variance, so use "
+                  "statistical (stratified) sampling with many samples."),
+    Quadrant.Q4: ("Strong, CPI-coherent phases: a few phase-based "
+                  "representatives capture CPI without the large sample "
+                  "counts uniform sampling would need."),
+}
+
+
+@dataclass(frozen=True)
+class SamplingRecommendation:
+    """The methodology's output for one workload."""
+
+    workload: str
+    quadrant: Quadrant
+    technique: str
+    rationale: str
+    analysis: PredictabilityResult
+
+    @property
+    def plan_builder(self):
+        """The plan-building callable for the recommended technique."""
+        return TECHNIQUES[self.technique]
+
+
+def recommend_for(result: PredictabilityResult) -> SamplingRecommendation:
+    """Recommendation from an already-computed predictability analysis."""
+    quadrant = result.quadrant
+    return SamplingRecommendation(
+        workload=result.workload,
+        quadrant=quadrant,
+        technique=RECOMMENDED_SAMPLING[quadrant],
+        rationale=RATIONALE[quadrant],
+        analysis=result,
+    )
+
+
+def select_technique(dataset: EIPVDataset, k_max: int = 50,
+                     folds: int = 10, seed: int = 0) -> SamplingRecommendation:
+    """The full methodology: analyze, classify, recommend."""
+    result = analyze_predictability(dataset, k_max=k_max, folds=folds,
+                                    seed=seed)
+    return recommend_for(result)

@@ -1,0 +1,91 @@
+"""Stratified phase sampling — Perelman et al.'s refinement.
+
+Like phase-based sampling, but clusters whose CPI varies internally get
+*more than one* sample.  A small pilot measurement (per-cluster CPI spread
+from a few probed intervals — in practice early-execution hardware counts)
+drives a Neyman allocation: samples per cluster proportional to
+``cluster size x cluster CPI std``.  Estimates combine per-cluster sample
+means weighted by cluster population.
+
+This is the technique the paper recommends for Q-III workloads, where CPI
+varies but control flow cannot fully predict it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kmeans import kmeans, prepare_eipvs
+from repro.sampling.plan import SamplingPlan
+from repro.trace.eipv import EIPVDataset
+
+#: Pilot probes per cluster used to estimate within-cluster CPI spread.
+PILOT_PER_CLUSTER = 3
+
+
+def stratified_plan(dataset: EIPVDataset, budget: int,
+                    rng: np.random.Generator,
+                    clusters: int | None = None,
+                    projection_dim: int | None = 15) -> SamplingPlan:
+    """Neyman-allocated multi-sample-per-cluster plan.
+
+    ``clusters`` defaults to ``max(2, budget // 3)`` so the budget can
+    afford extra samples in high-variance strata.
+    """
+    if budget < 1:
+        raise ValueError("budget must be at least 1")
+    n = dataset.n_intervals
+    budget = min(budget, n)
+    if clusters is None:
+        clusters = max(2, budget // 3)
+    clusters = min(clusters, budget, n)
+
+    points = prepare_eipvs(dataset.matrix, rng, projection_dim)
+    model = kmeans(points, clusters, rng)
+
+    member_lists = [np.nonzero(model.labels == j)[0]
+                    for j in range(model.k)]
+    member_lists = [m for m in member_lists if len(m)]
+
+    # Pilot: probe a few intervals per cluster to estimate CPI spread.
+    spreads = []
+    for members in member_lists:
+        probe_count = min(PILOT_PER_CLUSTER, len(members))
+        probes = rng.choice(members, size=probe_count, replace=False)
+        spread = float(np.std(dataset.cpis[probes])) if probe_count > 1 else 0.0
+        spreads.append(max(spread, 1e-6))
+
+    sizes = np.array([len(m) for m in member_lists], dtype=np.float64)
+    allocation_weights = sizes * np.asarray(spreads)
+    allocation_weights /= allocation_weights.sum()
+    allocations = np.maximum(1, np.round(allocation_weights * budget)
+                             .astype(int))
+    # Trim overshoot from the largest allocations.
+    while allocations.sum() > budget:
+        allocations[int(np.argmax(allocations))] -= 1
+    allocations = np.maximum(allocations, 1)
+
+    intervals = []
+    weights = []
+    total = sizes.sum()
+    for members, take in zip(member_lists, allocations):
+        take = min(int(take), len(members))
+        # Systematic selection within the stratum (members kept in time
+        # order): CPI drifts are autocorrelated, so spreading the picks
+        # across the run beats drawing them at random.
+        members = np.sort(members)
+        stride = len(members) / take
+        offset = float(rng.uniform(0, stride))
+        picks = members[np.minimum(
+            (offset + stride * np.arange(take)).astype(int),
+            len(members) - 1)]
+        picks = np.unique(picks)
+        share = len(members) / total
+        for pick in picks:
+            intervals.append(int(pick))
+            weights.append(share / len(picks))
+    order = np.argsort(intervals)
+    intervals = np.asarray(intervals)[order]
+    weights = np.asarray(weights, dtype=np.float64)[order]
+    return SamplingPlan(technique="stratified", intervals=intervals,
+                        weights=weights / weights.sum())

@@ -1,0 +1,34 @@
+"""Systematic (uniform) sampling — Wunderlich et al.'s SMARTS strategy.
+
+Take ``budget`` windows at a regular stride through the run.  The paper's
+point (Section 7): for Q-I workloads this trivially matches CPI, because
+CPI barely varies; for Q-III it is the *right* tool, because no phase
+structure exists to exploit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.plan import SamplingPlan, equal_weights
+from repro.trace.eipv import EIPVDataset
+
+
+def uniform_plan(dataset: EIPVDataset, budget: int,
+                 rng: np.random.Generator | None = None) -> SamplingPlan:
+    """Evenly spaced intervals with a random phase offset.
+
+    ``rng`` randomizes the stride offset (pass None for offset 0), which is
+    how systematic samplers avoid aliasing with periodic workloads.
+    """
+    n = dataset.n_intervals
+    if budget < 1:
+        raise ValueError("budget must be at least 1")
+    budget = min(budget, n)
+    stride = n / budget
+    offset = float(rng.uniform(0, stride)) if rng is not None else 0.0
+    picks = np.minimum((offset + stride * np.arange(budget)).astype(int),
+                       n - 1)
+    picks = np.unique(picks)
+    return SamplingPlan(technique="uniform", intervals=picks,
+                        weights=equal_weights(len(picks)))

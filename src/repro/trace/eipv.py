@@ -1,0 +1,188 @@
+"""EIP vector (EIPV) construction.
+
+Section 3.2: the execution is divided into equal intervals of 100M
+instructions; each interval j is represented by the histogram vector
+``x_j`` of per-unique-EIP sample counts, plus the interval's instantaneous
+CPI (cycle delta / instructions retired).  With the default 1M-instruction
+sampling period an EIPV aggregates 100 consecutive samples.
+
+:class:`EIPVDataset` is the (EIPV matrix, CPI vector) pair every analysis
+in the paper consumes — the regression tree, k-means, and the quadrant
+classifier all start here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.events import SampleTrace
+
+#: The paper's interval size in retired instructions.
+DEFAULT_INTERVAL = 100_000_000
+
+
+@dataclass
+class EIPVDataset:
+    """EIPVs plus per-interval CPI for one run.
+
+    ``matrix[j, i]`` is how many times unique EIP ``eip_index[i]`` was
+    sampled during interval ``j``; ``cpis[j]`` is that interval's
+    instantaneous CPI.  ``thread_ids[j]`` is the owning thread for
+    per-thread datasets (-1 when intervals mix threads).
+    """
+
+    matrix: np.ndarray
+    cpis: np.ndarray
+    eip_index: np.ndarray
+    interval_instructions: int
+    workload_name: str = ""
+    thread_ids: np.ndarray = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.matrix.ndim != 2:
+            raise ValueError("EIPV matrix must be 2-D")
+        m, n = self.matrix.shape
+        if len(self.cpis) != m:
+            raise ValueError("cpis length must match interval count")
+        if len(self.eip_index) != n:
+            raise ValueError("eip_index length must match EIP count")
+        if self.interval_instructions <= 0:
+            raise ValueError("interval_instructions must be positive")
+        if self.thread_ids is None:
+            self.thread_ids = np.full(m, -1, dtype=np.int32)
+        elif len(self.thread_ids) != m:
+            raise ValueError("thread_ids length must match interval count")
+
+    @property
+    def n_intervals(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_eips(self) -> int:
+        return self.matrix.shape[1]
+
+    @property
+    def cpi_variance(self) -> float:
+        """Population variance of interval CPI — the paper's key statistic."""
+        return float(np.var(self.cpis))
+
+    @property
+    def cpi_mean(self) -> float:
+        return float(np.mean(self.cpis))
+
+    def subset(self, rows: np.ndarray) -> "EIPVDataset":
+        """Dataset restricted to the given interval rows."""
+        return EIPVDataset(
+            matrix=self.matrix[rows],
+            cpis=self.cpis[rows],
+            eip_index=self.eip_index,
+            interval_instructions=self.interval_instructions,
+            workload_name=self.workload_name,
+            thread_ids=self.thread_ids[rows],
+        )
+
+    def prune_features(self, max_features: int) -> "EIPVDataset":
+        """Keep only the ``max_features`` most-sampled EIP columns.
+
+        Useful to bound tree-build cost for huge-footprint workloads; the
+        paper keeps all EIPs, so analyses default to no pruning.
+        """
+        if max_features >= self.n_eips:
+            return self
+        totals = self.matrix.sum(axis=0)
+        keep = np.sort(np.argsort(totals)[::-1][:max_features])
+        return EIPVDataset(
+            matrix=self.matrix[:, keep],
+            cpis=self.cpis,
+            eip_index=self.eip_index[keep],
+            interval_instructions=self.interval_instructions,
+            workload_name=self.workload_name,
+            thread_ids=self.thread_ids,
+        )
+
+
+def _aggregate(trace: SampleTrace, interval_rows: np.ndarray,
+               n_intervals: int, eip_codes: np.ndarray,
+               n_eips: int) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram matrix and CPI per interval from coded samples."""
+    matrix = np.zeros((n_intervals, n_eips), dtype=np.int32)
+    np.add.at(matrix, (interval_rows, eip_codes), 1)
+    cycles = np.zeros(n_intervals)
+    instructions = np.zeros(n_intervals)
+    np.add.at(cycles, interval_rows, trace.cycles)
+    np.add.at(instructions, interval_rows, trace.instructions)
+    cpis = cycles / np.maximum(instructions, 1)
+    return matrix, cpis
+
+
+def build_eipvs(trace: SampleTrace,
+                interval_instructions: int = DEFAULT_INTERVAL) -> EIPVDataset:
+    """Build merged (all-thread) EIPVs, the paper's default pipeline."""
+    if len(trace) == 0:
+        raise ValueError("empty trace")
+    samples_per_interval = interval_instructions // trace.sample_period
+    if samples_per_interval < 1:
+        raise ValueError("interval shorter than the sampling period")
+    n_intervals = len(trace) // samples_per_interval
+    if n_intervals < 1:
+        raise ValueError("trace too short for even one interval")
+    used = n_intervals * samples_per_interval
+
+    unique_eips, codes = np.unique(trace.eips[:used], return_inverse=True)
+    rows = np.repeat(np.arange(n_intervals), samples_per_interval)
+    sub = trace.select(np.arange(used))
+    matrix, cpis = _aggregate(sub, rows, n_intervals, codes,
+                              len(unique_eips))
+    return EIPVDataset(
+        matrix=matrix,
+        cpis=cpis,
+        eip_index=unique_eips,
+        interval_instructions=interval_instructions,
+        workload_name=trace.workload_name,
+    )
+
+
+def build_per_thread_eipvs(
+        trace: SampleTrace,
+        interval_instructions: int = DEFAULT_INTERVAL) -> EIPVDataset:
+    """Per-thread EIPVs (Section 5.2's thread-separated analysis).
+
+    Samples are first split by thread tag; each thread's sample stream is
+    cut into its own intervals.  The returned dataset stacks all threads'
+    intervals as data points over the union EIP space, with
+    ``thread_ids`` recording ownership.  Threads too short for one full
+    interval are dropped.
+    """
+    samples_per_interval = interval_instructions // trace.sample_period
+    if samples_per_interval < 1:
+        raise ValueError("interval shorter than the sampling period")
+
+    union_eips = np.unique(trace.eips)
+    matrices = []
+    cpi_parts = []
+    owners = []
+    for thread_id, sub in sorted(trace.by_thread().items()):
+        n_intervals = len(sub) // samples_per_interval
+        if n_intervals < 1:
+            continue
+        used = n_intervals * samples_per_interval
+        codes = np.searchsorted(union_eips, sub.eips[:used])
+        rows = np.repeat(np.arange(n_intervals), samples_per_interval)
+        clipped = sub.select(np.arange(used))
+        matrix, cpis = _aggregate(clipped, rows, n_intervals, codes,
+                                  len(union_eips))
+        matrices.append(matrix)
+        cpi_parts.append(cpis)
+        owners.append(np.full(n_intervals, thread_id, dtype=np.int32))
+    if not matrices:
+        raise ValueError("no thread has enough samples for one interval")
+    return EIPVDataset(
+        matrix=np.vstack(matrices),
+        cpis=np.concatenate(cpi_parts),
+        eip_index=union_eips,
+        interval_instructions=interval_instructions,
+        workload_name=trace.workload_name,
+        thread_ids=np.concatenate(owners),
+    )

@@ -1,0 +1,136 @@
+"""The VTune-analogue sampling driver.
+
+VTune "interrupts execution at regular intervals (as measured by the number
+of retired instructions) and records the EIP at the point of interruption
+and event counter totals" (Section 3.1).  :class:`SamplingDriver` does the
+same against a :class:`~repro.workloads.system.SimulatedSystem`: it walks
+the system's execution-slice stream, fires at every ``period`` retired
+instructions, draws the EIP the interrupted code would show, and snapshots
+counter deltas.
+
+The paper samples every 1M instructions (100K for SjAS, to catch JIT code
+churn) with a measured overhead of ~2% (5% worst case for SjAS); overhead
+does not change the analysis, so it is recorded as metadata only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.events import SampleTrace
+from repro.workloads.system import SimulatedSystem
+
+
+class SamplingDriver:
+    """Samples a simulated system every ``period`` retired instructions."""
+
+    def __init__(self, system: SimulatedSystem,
+                 period: int | None = None) -> None:
+        self.system = system
+        self.period = (system.workload.sample_period if period is None
+                       else period)
+        if self.period <= 0:
+            raise ValueError("sampling period must be positive")
+        # The driver observes without perturbing: its EIP draws come from a
+        # spawned child stream, so a sampled run executes identically to an
+        # unsampled one (spawning does not consume parent draws).
+        self.rng = system.rng.spawn(1)[0]
+
+    def _draw_eip(self, plan, rng: np.random.Generator) -> int:
+        """The EIP an interrupt would observe for a slice's plan."""
+        parts = plan.parts
+        if len(parts) == 1:
+            region = parts[0][0]
+        else:
+            weights = np.fromiter((weight for _, weight in parts),
+                                  dtype=np.float64, count=len(parts))
+            index = int(rng.choice(len(parts), p=weights / weights.sum()))
+            region = parts[index][0]
+        return int(region.sample_eips(rng, 1)[0])
+
+    def collect(self, total_instructions: int) -> SampleTrace:
+        """Run the system and collect the sampled trace.
+
+        ``total_instructions`` is the length of the run; the trace holds
+        ``total_instructions // period`` samples.
+        """
+        if total_instructions < self.period:
+            raise ValueError(
+                "run too short: need at least one sampling period")
+        period = self.period
+        rng = self.rng
+
+        eips: list[int] = []
+        thread_ids: list[int] = []
+        process_codes: list[int] = []
+        instructions: list[int] = []
+        cycles: list[float] = []
+        work: list[float] = []
+        fe: list[float] = []
+        exe: list[float] = []
+        other: list[float] = []
+
+        process_index: dict[str, int] = {}
+
+        # Accumulators since the last sample boundary.
+        acc = {"cycles": 0.0, "work": 0.0, "fe": 0.0, "exe": 0.0,
+               "other": 0.0}
+        instructions_into_period = 0
+
+        for piece in self.system.slices(total_instructions):
+            remaining = piece.instructions
+            breakdown = piece.breakdown
+            per_instr = {
+                "cycles": breakdown.cycles / piece.instructions,
+                "work": breakdown.work / piece.instructions,
+                "fe": breakdown.fe / piece.instructions,
+                "exe": breakdown.exe / piece.instructions,
+                "other": breakdown.other / piece.instructions,
+            }
+            while remaining > 0:
+                step = min(remaining, period - instructions_into_period)
+                for key, value in per_instr.items():
+                    acc[key] += value * step
+                instructions_into_period += step
+                remaining -= step
+                if instructions_into_period == period:
+                    # Fire: the interrupt lands in this slice.
+                    eips.append(self._draw_eip(piece.plan, rng))
+                    thread_ids.append(piece.thread_id)
+                    code = process_index.setdefault(piece.process,
+                                                    len(process_index))
+                    process_codes.append(code)
+                    instructions.append(period)
+                    cycles.append(acc["cycles"])
+                    work.append(acc["work"])
+                    fe.append(acc["fe"])
+                    exe.append(acc["exe"])
+                    other.append(acc["other"])
+                    acc = dict.fromkeys(acc, 0.0)
+                    instructions_into_period = 0
+
+        processes = tuple(sorted(process_index, key=process_index.get))
+        metadata = dict(self.system.workload.metadata)
+        metadata["nominal_overhead"] = 0.05 if period < 1_000_000 else 0.02
+        return SampleTrace(
+            eips=np.asarray(eips, dtype=np.int64),
+            thread_ids=np.asarray(thread_ids, dtype=np.int32),
+            process_ids=np.asarray(process_codes, dtype=np.int16),
+            instructions=np.asarray(instructions, dtype=np.int64),
+            cycles=np.asarray(cycles, dtype=np.float64),
+            work_cycles=np.asarray(work, dtype=np.float64),
+            fe_cycles=np.asarray(fe, dtype=np.float64),
+            exe_cycles=np.asarray(exe, dtype=np.float64),
+            other_cycles=np.asarray(other, dtype=np.float64),
+            processes=processes,
+            sample_period=period,
+            frequency_mhz=self.system.machine.frequency_mhz,
+            workload_name=self.system.workload.name,
+            metadata=metadata,
+        )
+
+
+def collect_trace(system: SimulatedSystem, total_instructions: int,
+                  period: int | None = None) -> SampleTrace:
+    """Convenience wrapper: sample ``system`` for ``total_instructions``."""
+    return SamplingDriver(system, period=period).collect(total_instructions)

@@ -1,0 +1,85 @@
+"""Trace and dataset persistence.
+
+Collected traces are expensive relative to the analyses run on them, so
+both :class:`~repro.trace.events.SampleTrace` and
+:class:`~repro.trace.eipv.EIPVDataset` round-trip to ``.npz`` files (numpy
+archive + a JSON sidecar string for metadata).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.trace.events import SampleTrace
+from repro.trace.eipv import EIPVDataset
+
+_TRACE_COLUMNS = ("eips", "thread_ids", "process_ids", "instructions",
+                  "cycles", "work_cycles", "fe_cycles", "exe_cycles",
+                  "other_cycles")
+
+
+def save_trace(trace: SampleTrace, path) -> Path:
+    """Write ``trace`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    header = {
+        "processes": list(trace.processes),
+        "sample_period": trace.sample_period,
+        "frequency_mhz": trace.frequency_mhz,
+        "workload_name": trace.workload_name,
+        "metadata": trace.metadata,
+    }
+    arrays = {name: getattr(trace, name) for name in _TRACE_COLUMNS}
+    np.savez_compressed(path, header=np.bytes_(json.dumps(header)), **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz")
+
+
+def load_trace(path) -> SampleTrace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(path) as archive:
+        header = json.loads(bytes(archive["header"]).decode())
+        columns = {name: archive[name] for name in _TRACE_COLUMNS}
+    return SampleTrace(
+        processes=tuple(header["processes"]),
+        sample_period=header["sample_period"],
+        frequency_mhz=header["frequency_mhz"],
+        workload_name=header["workload_name"],
+        metadata=header["metadata"],
+        **columns,
+    )
+
+
+def save_eipvs(dataset: EIPVDataset, path) -> Path:
+    """Write an EIPV dataset to ``path``."""
+    path = Path(path)
+    header = {
+        "interval_instructions": dataset.interval_instructions,
+        "workload_name": dataset.workload_name,
+    }
+    np.savez_compressed(
+        path,
+        header=np.bytes_(json.dumps(header)),
+        matrix=dataset.matrix,
+        cpis=dataset.cpis,
+        eip_index=dataset.eip_index,
+        thread_ids=dataset.thread_ids,
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz")
+
+
+def load_eipvs(path) -> EIPVDataset:
+    """Read an EIPV dataset written by :func:`save_eipvs`."""
+    with np.load(path) as archive:
+        header = json.loads(bytes(archive["header"]).decode())
+        return EIPVDataset(
+            matrix=archive["matrix"],
+            cpis=archive["cpis"],
+            eip_index=archive["eip_index"],
+            thread_ids=archive["thread_ids"],
+            interval_instructions=header["interval_instructions"],
+            workload_name=header["workload_name"],
+        )

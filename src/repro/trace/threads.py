@@ -1,0 +1,92 @@
+"""Thread-level trace statistics (Section 5.2).
+
+The paper characterizes server workloads' threading behaviour with three
+numbers: context switches per second, fraction of execution time in the
+OS, and per-thread sample shares.  These helpers compute them from a
+:class:`~repro.trace.events.SampleTrace` (sample-granularity) or directly
+from an execution-slice stream (exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.events import SampleTrace
+
+
+@dataclass(frozen=True)
+class ThreadingStats:
+    """Thread-behaviour summary of one run."""
+
+    context_switches: int
+    context_switches_per_second: float
+    os_time_share: float
+    n_threads: int
+    thread_sample_share: dict
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.context_switches_per_second:.0f} ctx-switches/s, "
+                f"{self.os_time_share:.1%} OS time, "
+                f"{self.n_threads} threads")
+
+
+def sample_level_stats(trace: SampleTrace) -> ThreadingStats:
+    """Threading stats from the sampled trace.
+
+    Context switches are estimated as thread-tag changes between
+    consecutive samples — a lower bound, like any sampled estimate (real
+    switches between two samples of the same thread are invisible).
+    OS share is the fraction of cycles attributed to kernel-tagged samples.
+    """
+    if len(trace) < 2:
+        raise ValueError("need at least two samples")
+    switches = int(np.count_nonzero(np.diff(trace.thread_ids)))
+    seconds = trace.duration_seconds
+    kernel_codes = [i for i, name in enumerate(trace.processes)
+                    if name == "kernel"]
+    if kernel_codes:
+        kernel_mask = np.isin(trace.process_ids, kernel_codes)
+        os_share = float(trace.cycles[kernel_mask].sum()
+                         / trace.total_cycles)
+    else:
+        os_share = 0.0
+    threads, counts = np.unique(trace.thread_ids, return_counts=True)
+    share = {int(t): float(c) / len(trace)
+             for t, c in zip(threads, counts)}
+    return ThreadingStats(
+        context_switches=switches,
+        context_switches_per_second=switches / seconds,
+        os_time_share=os_share,
+        n_threads=len(threads),
+        thread_sample_share=share,
+    )
+
+
+def slice_level_stats(slices, frequency_mhz: int) -> ThreadingStats:
+    """Exact threading stats from an execution-slice list."""
+    if len(slices) < 2:
+        raise ValueError("need at least two slices")
+    switches = 0
+    os_cycles = 0.0
+    total_cycles = 0.0
+    counts: dict[int, int] = {}
+    previous = None
+    for piece in slices:
+        if previous is not None and piece.thread_id != previous:
+            switches += 1
+        previous = piece.thread_id
+        total_cycles += piece.breakdown.cycles
+        if piece.process == "kernel":
+            os_cycles += piece.breakdown.cycles
+        counts[piece.thread_id] = counts.get(piece.thread_id, 0) + 1
+    seconds = total_cycles / (frequency_mhz * 1e6)
+    total = sum(counts.values())
+    return ThreadingStats(
+        context_switches=switches,
+        context_switches_per_second=switches / seconds,
+        os_time_share=os_cycles / total_cycles,
+        n_threads=len(counts),
+        thread_sample_share={t: c / total for t, c in counts.items()},
+    )

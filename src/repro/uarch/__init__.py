@@ -1,0 +1,44 @@
+"""Microarchitecture substrate: caches, branch predictors, CPI model.
+
+This package stands in for the Itanium 2 / Pentium 4 / Xeon machines and
+their embedded event counters used by the paper.  See DESIGN.md section 2
+for the substitution rationale.
+"""
+
+from repro.uarch.branch import GSharePredictor, PredictorStats, TwoBitPredictor
+from repro.uarch.cache import AccessType, Cache, CacheStats
+from repro.uarch.cpu import AnalyticalCPU, ExecutionProfile, estimate_miss_rate
+from repro.uarch.hierarchy import AccessResult, CacheHierarchy
+from repro.uarch.machine import (
+    MACHINES,
+    CacheConfig,
+    MachineConfig,
+    get_machine,
+    itanium2,
+    pentium4,
+    xeon,
+)
+from repro.uarch.stalls import COMPONENTS, CPIBreakdown
+
+__all__ = [
+    "AccessResult",
+    "AccessType",
+    "AnalyticalCPU",
+    "COMPONENTS",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheStats",
+    "CPIBreakdown",
+    "ExecutionProfile",
+    "GSharePredictor",
+    "MACHINES",
+    "MachineConfig",
+    "PredictorStats",
+    "TwoBitPredictor",
+    "estimate_miss_rate",
+    "get_machine",
+    "itanium2",
+    "pentium4",
+    "xeon",
+]

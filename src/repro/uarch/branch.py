@@ -1,0 +1,127 @@
+"""Branch predictor models.
+
+Two trace-driven predictors are provided:
+
+* :class:`TwoBitPredictor` — a classic table of two-bit saturating counters
+  indexed by branch PC.
+* :class:`GSharePredictor` — global-history XOR PC indexing.
+
+These feed the front-end stall component (FE) of the CPI breakdown.  The
+analytical CPU model uses per-region misprediction *rates*; these simulators
+exist so that those rates can be derived from, and validated against, real
+prediction behaviour on synthetic branch traces (see the unit tests and the
+gcc-like SPEC model, whose irregular branches are the paper's explanation
+for its Q-III placement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PredictorStats:
+    """Aggregate predictor accuracy counters."""
+
+    correct: int = 0
+    incorrect: int = 0
+
+    @property
+    def predictions(self) -> int:
+        return self.correct + self.incorrect
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.incorrect / self.predictions
+
+
+class TwoBitPredictor:
+    """Bimodal predictor: one 2-bit saturating counter per table entry.
+
+    Counter states 0/1 predict not-taken, 2/3 predict taken; counters start
+    weakly not-taken (1).
+    """
+
+    def __init__(self, table_size: int = 4096) -> None:
+        if table_size <= 0 or table_size & (table_size - 1):
+            raise ValueError("table_size must be a positive power of two")
+        self.table_size = table_size
+        self._counters = [1] * table_size
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return pc % self.table_size
+
+    def predict(self, pc: int) -> bool:
+        """Return the predicted direction for the branch at ``pc``."""
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Predict, then train on the actual outcome.
+
+        Returns True when the prediction was correct.
+        """
+        index = self._index(pc)
+        predicted = self._counters[index] >= 2
+        correct = predicted == taken
+        if taken:
+            self._counters[index] = min(3, self._counters[index] + 1)
+        else:
+            self._counters[index] = max(0, self._counters[index] - 1)
+        if correct:
+            self.stats.correct += 1
+        else:
+            self.stats.incorrect += 1
+        return correct
+
+
+class GSharePredictor:
+    """Gshare predictor: global history register XORed into the PC index."""
+
+    def __init__(self, table_size: int = 4096, history_bits: int = 12) -> None:
+        if table_size <= 0 or table_size & (table_size - 1):
+            raise ValueError("table_size must be a positive power of two")
+        if history_bits <= 0:
+            raise ValueError("history_bits must be positive")
+        self.table_size = table_size
+        self.history_bits = history_bits
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+        self._counters = [1] * table_size
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) % self.table_size
+
+    def predict(self, pc: int) -> bool:
+        """Return the predicted direction for the branch at ``pc``."""
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Predict, train the counter, and shift the global history."""
+        index = self._index(pc)
+        predicted = self._counters[index] >= 2
+        correct = predicted == taken
+        if taken:
+            self._counters[index] = min(3, self._counters[index] + 1)
+        else:
+            self._counters[index] = max(0, self._counters[index] - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        if correct:
+            self.stats.correct += 1
+        else:
+            self.stats.incorrect += 1
+        return correct
+
+
+def measure_misprediction_rate(predictor, trace) -> float:
+    """Run ``trace`` of (pc, taken) pairs through ``predictor``.
+
+    Returns the observed misprediction rate.  ``predictor`` may be any object
+    with an ``update(pc, taken)`` method and a ``stats`` attribute.
+    """
+    for pc, taken in trace:
+        predictor.update(pc, taken)
+    return predictor.stats.misprediction_rate

@@ -1,0 +1,142 @@
+"""Set-associative cache simulator.
+
+The paper's machines expose their memory hierarchy only through event
+counters (miss counts, stall cycles).  This module provides the substrate
+those counters abstract over: a faithful set-associative cache with LRU
+replacement that can be driven by an address trace.  It is used directly by
+the small-scale experiments (e.g. the B-tree index-scan study behind ODB-H
+Q18) and by the unit/property test suite; the large workload runs use the
+analytical miss-rate model in :mod:`repro.uarch.cpu`, which is calibrated
+against this simulator.
+
+Addresses are plain integers (byte addresses).  The cache tracks hit/miss
+statistics per access type so the CPI breakdown of Section 5.1 can separate
+instruction-fetch misses (front-end stalls) from data misses (execution
+stalls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class AccessType(Enum):
+    """Kind of memory access presented to a cache."""
+
+    INSTRUCTION = "instruction"
+    LOAD = "load"
+    STORE = "store"
+
+
+@dataclass
+class CacheStats:
+    """Aggregate hit/miss counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    by_type: dict = field(default_factory=dict)
+
+    @property
+    def accesses(self) -> int:
+        """Total number of accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed; 0.0 when no accesses occurred."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def record(self, access_type: AccessType, hit: bool) -> None:
+        """Record one access of ``access_type`` with outcome ``hit``."""
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        per_type = self.by_type.setdefault(access_type.value, [0, 0])
+        per_type[0 if hit else 1] += 1
+
+
+class Cache:
+    """A single set-associative cache level with true-LRU replacement.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity of the cache.
+    line_bytes:
+        Cache line size; must be a power of two.
+    associativity:
+        Number of ways per set.  ``size_bytes`` must be divisible by
+        ``line_bytes * associativity``.
+    name:
+        Label used in reports (e.g. ``"L3"``).
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int, associativity: int,
+                 name: str = "cache") -> None:
+        if size_bytes <= 0 or line_bytes <= 0 or associativity <= 0:
+            raise ValueError("cache geometry parameters must be positive")
+        if line_bytes & (line_bytes - 1):
+            raise ValueError(f"line_bytes must be a power of two, got {line_bytes}")
+        if size_bytes % (line_bytes * associativity):
+            raise ValueError(
+                "size_bytes must be a multiple of line_bytes * associativity"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_sets = size_bytes // (line_bytes * associativity)
+        self.stats = CacheStats()
+        # Each set is an ordered list of tags; index 0 is most recently used.
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        """Return (set index, tag) for a byte address."""
+        line = address // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, address: int,
+               access_type: AccessType = AccessType.LOAD) -> bool:
+        """Access ``address``; return True on hit.
+
+        On a miss the line is installed, evicting the LRU way if the set is
+        full.  Stores are modelled write-allocate (same path as loads).
+        """
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        hit = tag in ways
+        if hit:
+            ways.remove(tag)
+        elif len(ways) >= self.associativity:
+            ways.pop()
+            self.stats.evictions += 1
+        ways.insert(0, tag)
+        self.stats.record(access_type, hit)
+        return hit
+
+    def probe(self, address: int) -> bool:
+        """Return whether ``address`` is resident, without touching state."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def resident_lines(self) -> int:
+        """Number of lines currently installed."""
+        return sum(len(ways) for ways in self._sets)
+
+    def flush(self) -> None:
+        """Invalidate every line (statistics are preserved)."""
+        for ways in self._sets:
+            ways.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters without touching cache contents."""
+        self.stats = CacheStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Cache({self.name}: {self.size_bytes // 1024}KB, "
+                f"{self.associativity}-way, {self.line_bytes}B lines)")

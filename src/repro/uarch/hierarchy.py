@@ -1,0 +1,98 @@
+"""Multi-level cache hierarchy composition.
+
+Combines the single-level :class:`repro.uarch.cache.Cache` into the
+three-level hierarchy of the paper's Itanium 2 machine (split L1 I/D,
+unified L2, unified L3) and accounts where each access was finally served.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.uarch.cache import AccessType, Cache
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one hierarchy access.
+
+    ``level`` is the name of the level that served the access ("L1", "L2",
+    "L3" or "memory"); ``latency`` is the load-to-use latency in cycles.
+    """
+
+    level: str
+    latency: int
+
+
+@dataclass
+class HierarchyStats:
+    """Counts of accesses served per level."""
+
+    served: dict = field(default_factory=dict)
+
+    def record(self, level: str) -> None:
+        self.served[level] = self.served.get(level, 0) + 1
+
+    def total(self) -> int:
+        return sum(self.served.values())
+
+    def fraction(self, level: str) -> float:
+        total = self.total()
+        if total == 0:
+            return 0.0
+        return self.served.get(level, 0) / total
+
+
+class CacheHierarchy:
+    """A split-L1, unified-L2/L3 cache hierarchy.
+
+    Parameters mirror the machine configuration; latencies are load-to-use
+    cycles for a hit in each level, and ``memory_latency`` is the full miss
+    penalty to DRAM.
+    """
+
+    def __init__(self, l1i: Cache, l1d: Cache, l2: Cache, l3: Cache | None,
+                 latencies: dict[str, int]) -> None:
+        self.l1i = l1i
+        self.l1d = l1d
+        self.l2 = l2
+        self.l3 = l3
+        self.latencies = dict(latencies)
+        for level in ("L1", "L2", "memory"):
+            if level not in self.latencies:
+                raise ValueError(f"latencies must include {level!r}")
+        if l3 is not None and "L3" not in self.latencies:
+            raise ValueError("latencies must include 'L3' when an L3 exists")
+        self.stats = HierarchyStats()
+
+    def access(self, address: int, access_type: AccessType) -> AccessResult:
+        """Propagate one access down the hierarchy, returning where it hit."""
+        first = (self.l1i if access_type is AccessType.INSTRUCTION
+                 else self.l1d)
+        if first.access(address, access_type):
+            result = AccessResult("L1", self.latencies["L1"])
+        elif self.l2.access(address, access_type):
+            result = AccessResult("L2", self.latencies["L2"])
+        elif self.l3 is not None and self.l3.access(address, access_type):
+            result = AccessResult("L3", self.latencies["L3"])
+        else:
+            result = AccessResult("memory", self.latencies["memory"])
+        self.stats.record(result.level)
+        return result
+
+    def flush(self) -> None:
+        """Invalidate all levels (e.g. at a heavyweight context switch)."""
+        for cache in (self.l1i, self.l1d, self.l2, self.l3):
+            if cache is not None:
+                cache.flush()
+
+    def miss_rates(self) -> dict[str, float]:
+        """Per-level local miss rates."""
+        rates = {
+            "L1I": self.l1i.stats.miss_rate,
+            "L1D": self.l1d.stats.miss_rate,
+            "L2": self.l2.stats.miss_rate,
+        }
+        if self.l3 is not None:
+            rates["L3"] = self.l3.stats.miss_rate
+        return rates

@@ -1,0 +1,90 @@
+"""CPI component accounting.
+
+Section 5.1 of the paper decomposes instantaneous CPI into four parts,
+measured by Itanium 2's embedded stall counters:
+
+* ``WORK``  — cycles spent actually executing instructions,
+* ``FE``    — front-end stalls: I-cache misses and branch mispredictions,
+* ``EXE``   — D-cache miss stalls, dominated by L3 misses,
+* ``OTHER`` — all remaining back-end stalls (dependencies, TLB, ...).
+
+:class:`CPIBreakdown` carries the four components for some number of
+instructions; breakdowns compose additively, and ``cpi`` views the same
+quantities per instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Canonical component order used in reports and figures.
+COMPONENTS = ("work", "fe", "exe", "other")
+
+
+@dataclass(frozen=True)
+class CPIBreakdown:
+    """Cycle totals by component over ``instructions`` retired instructions."""
+
+    instructions: int
+    work: float
+    fe: float
+    exe: float
+    other: float
+
+    def __post_init__(self) -> None:
+        if self.instructions < 0:
+            raise ValueError("instructions must be non-negative")
+        for name in COMPONENTS:
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cycles must be non-negative")
+
+    @property
+    def cycles(self) -> float:
+        """Total cycles across all components."""
+        return self.work + self.fe + self.exe + self.other
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction; 0.0 for an empty breakdown."""
+        if self.instructions == 0:
+            return 0.0
+        return self.cycles / self.instructions
+
+    def component_cpi(self, name: str) -> float:
+        """Per-instruction cycles attributed to one component."""
+        if name not in COMPONENTS:
+            raise KeyError(f"unknown CPI component {name!r}")
+        if self.instructions == 0:
+            return 0.0
+        return getattr(self, name) / self.instructions
+
+    def fractions(self) -> dict[str, float]:
+        """Each component's share of total cycles (sums to 1 when non-empty)."""
+        total = self.cycles
+        if total == 0:
+            return {name: 0.0 for name in COMPONENTS}
+        return {name: getattr(self, name) / total for name in COMPONENTS}
+
+    def __add__(self, other: "CPIBreakdown") -> "CPIBreakdown":
+        if not isinstance(other, CPIBreakdown):
+            return NotImplemented
+        return CPIBreakdown(
+            instructions=self.instructions + other.instructions,
+            work=self.work + other.work,
+            fe=self.fe + other.fe,
+            exe=self.exe + other.exe,
+            other=self.other + other.other,
+        )
+
+    @staticmethod
+    def zero() -> "CPIBreakdown":
+        """The additive identity."""
+        return CPIBreakdown(0, 0.0, 0.0, 0.0, 0.0)
+
+    @staticmethod
+    def accumulate(parts) -> "CPIBreakdown":
+        """Sum an iterable of breakdowns."""
+        total = CPIBreakdown.zero()
+        for part in parts:
+            total = total + part
+        return total

@@ -1,0 +1,31 @@
+"""Workload substrate: programs, threads, OS model, and every benchmark.
+
+Provides the simulated equivalents of the paper's workloads (ODB-C, ODB-H
+Q1-Q22, SPECjAppServer, 26 SPEC CPU2K benchmarks) plus the substrates they
+run on (B-tree index, database schema/buffer pool, scheduler).
+"""
+
+from repro.workloads.registry import get_workload, paper_quadrant, workload_names
+from repro.workloads.scale import DEFAULT, PAPER, SCALES, TINY, WorkloadScale, get_scale
+from repro.workloads.system import (
+    ContentionModel,
+    ExecutionSlice,
+    SimulatedSystem,
+    Workload,
+)
+
+__all__ = [
+    "ContentionModel",
+    "DEFAULT",
+    "ExecutionSlice",
+    "PAPER",
+    "SCALES",
+    "SimulatedSystem",
+    "TINY",
+    "Workload",
+    "WorkloadScale",
+    "get_scale",
+    "get_workload",
+    "paper_quadrant",
+    "workload_names",
+]

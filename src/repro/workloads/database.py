@@ -1,0 +1,152 @@
+"""Relational table and buffer-pool models.
+
+The paper's server workloads run on Oracle with a large System Global Area
+(SGA): 14 GB for ODB-C, 2 GB for ODB-H.  Whether a table access hits memory
+or storms the cache hierarchy depends on how much of the working set the
+buffer pool and CPU caches can hold.  :class:`Table` and :class:`BufferPool`
+capture the sizes; :class:`Database` composes a schema and answers footprint
+questions for the query-operator models in :mod:`repro.workloads.query_ops`.
+
+(Disk I/O latency itself is invisible to the CPI analysis — a blocked thread
+is simply off the CPU — so the pool models *footprints*, not I/O waits; I/O
+frequency shows up through the scheduler's context-switch rate instead.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Database page size (Oracle default block size is 8 KB).
+PAGE_BYTES = 8 * KB
+
+
+@dataclass(frozen=True)
+class Table:
+    """One relational table."""
+
+    name: str
+    rows: int
+    row_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.row_bytes <= 0:
+            raise ValueError(f"table {self.name!r} must have positive size")
+
+    @property
+    def bytes(self) -> int:
+        return self.rows * self.row_bytes
+
+    @property
+    def pages(self) -> int:
+        return max(1, self.bytes // PAGE_BYTES)
+
+
+class BufferPool:
+    """A database buffer cache of fixed capacity.
+
+    ``resident_fraction(table)`` answers how much of a table the pool can
+    keep in memory, given everything else pinned so far.  Tables are pinned
+    in registration order (hot tables first), mirroring how a tuned database
+    keeps its working set resident.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._pinned: dict[str, int] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._pinned.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return max(0, self.capacity_bytes - self.used_bytes)
+
+    def pin(self, table: Table) -> float:
+        """Reserve space for ``table``; return the resident fraction."""
+        if table.name in self._pinned:
+            return self._pinned[table.name] / table.bytes
+        granted = min(table.bytes, self.free_bytes)
+        self._pinned[table.name] = granted
+        return granted / table.bytes
+
+    def resident_fraction(self, table: Table) -> float:
+        """Fraction of ``table`` held in memory (0 if never pinned)."""
+        return self._pinned.get(table.name, 0) / table.bytes
+
+
+@dataclass
+class Database:
+    """A schema plus its buffer pool."""
+
+    name: str
+    pool: BufferPool
+
+    def __post_init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def add_table(self, table: Table) -> Table:
+        """Register ``table`` and pin as much of it as the pool allows."""
+        if table.name in self._tables:
+            raise ValueError(f"duplicate table {table.name!r}")
+        self._tables[table.name] = table
+        self.pool.pin(table)
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            known = ", ".join(sorted(self._tables))
+            raise KeyError(f"no table {name!r}; known: {known}")
+
+    @property
+    def tables(self) -> list[Table]:
+        return list(self._tables.values())
+
+    def total_bytes(self) -> int:
+        return sum(t.bytes for t in self._tables.values())
+
+
+def odbh_database(scale_gb: float = 30.0) -> Database:
+    """The ODB-H (TPC-H-like) schema at roughly ``scale_gb`` gigabytes.
+
+    Row counts follow TPC-H proportions: lineitem dominates, then orders,
+    partsupp, part, customer, supplier, nation, region.  The paper's setup
+    uses a 30 GB database with a 2 GB SGA, so scans are memory-starved.
+    """
+    scale = scale_gb / 30.0
+    database = Database("odbh", BufferPool(int(2 * GB * scale) or PAGE_BYTES))
+    database.add_table(Table("lineitem", int(180_000_000 * scale) or 1, 120))
+    database.add_table(Table("orders", int(45_000_000 * scale) or 1, 140))
+    database.add_table(Table("partsupp", int(24_000_000 * scale) or 1, 150))
+    database.add_table(Table("part", int(6_000_000 * scale) or 1, 160))
+    database.add_table(Table("customer", int(4_500_000 * scale) or 1, 180))
+    database.add_table(Table("supplier", int(300_000 * scale) or 1, 180))
+    database.add_table(Table("nation", 25, 120))
+    database.add_table(Table("region", 5, 120))
+    return database
+
+
+def odbc_database(warehouses: int = 800) -> Database:
+    """The ODB-C (TPC-C-like) schema for ``warehouses`` warehouses.
+
+    Sized so the working set comfortably exceeds CPU caches but mostly fits
+    the paper's 14 GB SGA: stock and customer dominate, order-line grows
+    with history.
+    """
+    database = Database("odbc", BufferPool(14 * GB))
+    database.add_table(Table("stock", warehouses * 100_000, 310))
+    database.add_table(Table("customer", warehouses * 30_000, 660))
+    database.add_table(Table("order_line", warehouses * 300_000, 55))
+    database.add_table(Table("orders", warehouses * 30_000, 25))
+    database.add_table(Table("item", 100_000, 85))
+    database.add_table(Table("warehouse", warehouses, 90))
+    database.add_table(Table("district", warehouses * 10, 95))
+    return database

@@ -1,0 +1,189 @@
+"""Database query-operator models.
+
+ODB-H queries decompose into a handful of basic operators — Section 6 of
+the paper: "queries are broken into basic database operations, such as
+scan, sort, and join".  Each operator here is a factory that produces a
+:class:`~repro.workloads.regions.CodeRegion`: a small code segment whose
+microarchitectural behaviour reflects the operator's access pattern against
+a concrete :class:`~repro.workloads.database.Table`.
+
+Operators have distinct CPI levels (streaming scans are cheap per
+instruction but miss on every line; hash joins probe randomly; sorts are
+cache-friendly), which is what makes a query plan's phases visible in the
+CPI curve — or not, in the case of the B-tree index scan, whose cost is
+data-dependent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.uarch.cpu import ExecutionProfile
+from repro.workloads.btree import BTree, BTreeDescentModulator
+from repro.workloads.database import Table
+from repro.workloads.regions import CodeRegion
+
+#: Cap model footprints: beyond ~64x the largest cache, extra bytes change
+#: nothing, and smaller numbers keep the arithmetic well-conditioned.
+MAX_FOOTPRINT = 2 * 1024 ** 3
+
+
+def _footprint(table: Table, resident_fraction: float = 1.0) -> int:
+    """Bytes of ``table`` the operator actually streams through memory."""
+    touched = int(table.bytes * resident_fraction)
+    return max(4096, min(MAX_FOOTPRINT, touched))
+
+
+def sequential_scan(table: Table, name: str | None = None,
+                    n_eips: int = 90, selectivity: float = 1.0):
+    """Full-table scan: tiny loop, streaming misses, high MLP.
+
+    Returns a factory ``f(eip_base) -> CodeRegion`` for
+    :func:`~repro.workloads.regions.layout_regions`.
+    """
+    label = name or f"scan.{table.name}"
+    profile = ExecutionProfile(
+        base_cpi=0.6,
+        code_footprint=8 * 1024,
+        data_footprint=_footprint(table, selectivity),
+        code_locality=1.0,
+        data_locality=0.94,
+        memory_fraction=0.35,
+        branch_fraction=0.08,
+        mispredict_rate=0.01,
+        dependency_stall_cpi=0.05,
+        memory_level_parallelism=4.0,
+    )
+    return lambda base: CodeRegion(
+        name=label, eip_base=base, n_eips=n_eips, profile=profile,
+        jitter=0.02, eip_concentration=0.8)
+
+
+def index_scan(table: Table, tree: BTree, name: str | None = None,
+               n_eips: int = 110, min_locality: float = 0.93,
+               probes_per_chunk: int = 12):
+    """B-tree index scan: same small code, data-dependent latency.
+
+    The region's memory locality is driven chunk by chunk by real descent
+    overlap in ``tree`` (see :class:`BTreeDescentModulator`) — the paper's
+    explanation for Q18's large, EIP-uncorrelated CPI variance.
+    """
+    label = name or f"iscan.{table.name}"
+    profile = ExecutionProfile(
+        base_cpi=0.75,
+        code_footprint=12 * 1024,
+        data_footprint=_footprint(table),
+        code_locality=1.0,
+        data_locality=0.96,
+        memory_fraction=0.4,
+        branch_fraction=0.15,
+        mispredict_rate=0.05,
+        dependency_stall_cpi=0.1,
+        memory_level_parallelism=1.2,  # pointer-chasing: no overlap
+    )
+    modulator = BTreeDescentModulator(
+        tree, probes_per_chunk=probes_per_chunk, min_locality=min_locality)
+    return lambda base: CodeRegion(
+        name=label, eip_base=base, n_eips=n_eips, profile=profile,
+        jitter=0.05, eip_concentration=0.6, modulator=modulator)
+
+
+def hash_join(build: Table, probe: Table, name: str | None = None,
+              n_eips: int = 130):
+    """Hash join: random probes into a build-side table."""
+    label = name or f"hjoin.{build.name}-{probe.name}"
+    profile = ExecutionProfile(
+        base_cpi=0.8,
+        code_footprint=16 * 1024,
+        data_footprint=_footprint(build),
+        code_locality=0.998,
+        data_locality=0.965,
+        memory_fraction=0.42,
+        branch_fraction=0.12,
+        mispredict_rate=0.03,
+        dependency_stall_cpi=0.12,
+        memory_level_parallelism=2.0,
+    )
+    return lambda base: CodeRegion(
+        name=label, eip_base=base, n_eips=n_eips, profile=profile,
+        jitter=0.03, eip_concentration=0.5)
+
+
+def sort_op(table: Table, name: str | None = None, n_eips: int = 70,
+            run_bytes: int = 8 * 1024 * 1024):
+    """External merge sort: cache-friendly runs, light on memory."""
+    label = name or f"sort.{table.name}"
+    profile = ExecutionProfile(
+        base_cpi=0.7,
+        code_footprint=6 * 1024,
+        data_footprint=max(4096, min(MAX_FOOTPRINT, run_bytes)),
+        code_locality=1.0,
+        data_locality=0.992,
+        memory_fraction=0.3,
+        branch_fraction=0.18,
+        mispredict_rate=0.04,
+        dependency_stall_cpi=0.08,
+        memory_level_parallelism=2.5,
+    )
+    return lambda base: CodeRegion(
+        name=label, eip_base=base, n_eips=n_eips, profile=profile,
+        jitter=0.02, eip_concentration=0.9)
+
+
+def aggregate(name: str = "agg", n_eips: int = 50,
+              base_cpi: float = 0.65):
+    """Aggregation/group-by over an already-resident stream: compute bound.
+
+    ``base_cpi`` distinguishes variants: a plain running aggregate is
+    cheaper per instruction than a grouped (hash-table) aggregate.
+    """
+    profile = ExecutionProfile(
+        base_cpi=base_cpi,
+        code_footprint=4 * 1024,
+        data_footprint=256 * 1024,
+        code_locality=1.0,
+        data_locality=0.998,
+        memory_fraction=0.25,
+        branch_fraction=0.1,
+        mispredict_rate=0.015,
+        dependency_stall_cpi=0.06,
+        memory_level_parallelism=2.0,
+    )
+    return lambda base: CodeRegion(
+        name=name, eip_base=base, n_eips=n_eips, profile=profile,
+        jitter=0.015, eip_concentration=1.0)
+
+
+def nested_loop_join(outer: Table, inner: Table, name: str | None = None,
+                     n_eips: int = 100):
+    """Nested-loop join with an index on the inner side."""
+    label = name or f"nljoin.{outer.name}-{inner.name}"
+    profile = ExecutionProfile(
+        base_cpi=0.85,
+        code_footprint=14 * 1024,
+        data_footprint=_footprint(inner),
+        code_locality=0.999,
+        data_locality=0.975,
+        memory_fraction=0.38,
+        branch_fraction=0.14,
+        mispredict_rate=0.035,
+        dependency_stall_cpi=0.1,
+        memory_level_parallelism=1.6,
+    )
+    return lambda base: CodeRegion(
+        name=label, eip_base=base, n_eips=n_eips, profile=profile,
+        jitter=0.03, eip_concentration=0.5)
+
+
+def build_index(table: Table, fanout: int = 32,
+                max_keys: int = 50_000) -> BTree:
+    """Build a B-tree index over ``table``'s key column.
+
+    ``max_keys`` bounds the in-memory tree (index *shape*, and hence
+    descent-overlap statistics, saturate quickly with size).
+    """
+    n = min(table.rows, max_keys)
+    # Spread keys over the full row-id space so range widths map onto
+    # real key distances.
+    keys = np.linspace(0, table.rows - 1, num=n, dtype=np.int64)
+    return BTree(keys, fanout=fanout)

@@ -1,0 +1,57 @@
+"""Workload scale presets.
+
+The paper's runs involve minutes of 4-way execution and tens of thousands
+of unique EIPs; our simulated runs keep every paper *ratio* (samples per
+EIPV, code-footprint proportions, thread structure) but scale the absolute
+counts so experiments finish in seconds.  Every workload factory takes a
+:class:`WorkloadScale`; three presets are provided:
+
+* ``TINY``    — unit tests (seconds).
+* ``DEFAULT`` — examples and benchmarks (tens of seconds for a full census).
+* ``PAPER``   — full-size EIP counts for spot checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadScale:
+    """Scaling knobs applied by workload factories.
+
+    ``eip_scale`` multiplies unique-EIP footprints (ODB-C's 23,891 sampled
+    EIPs become ``int(23_891 * eip_scale)``); ``server_threads`` is the
+    number of user threads for the multithreaded server workloads.
+    """
+
+    name: str
+    eip_scale: float
+    server_threads: int
+
+    def __post_init__(self) -> None:
+        if self.eip_scale <= 0:
+            raise ValueError("eip_scale must be positive")
+        if self.server_threads < 1:
+            raise ValueError("server_threads must be at least 1")
+
+    def eips(self, paper_count: int, minimum: int = 8) -> int:
+        """Scale a paper EIP count, keeping at least ``minimum``."""
+        return max(minimum, int(paper_count * self.eip_scale))
+
+
+TINY = WorkloadScale(name="tiny", eip_scale=0.02, server_threads=3)
+DEFAULT = WorkloadScale(name="default", eip_scale=0.12, server_threads=6)
+PAPER = WorkloadScale(name="paper", eip_scale=1.0, server_threads=16)
+
+#: Name -> preset, for CLI/bench parameterization.
+SCALES = {scale.name: scale for scale in (TINY, DEFAULT, PAPER)}
+
+
+def get_scale(name: str) -> WorkloadScale:
+    """Look up a scale preset by name."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        known = ", ".join(sorted(SCALES))
+        raise KeyError(f"unknown scale {name!r}; known scales: {known}")

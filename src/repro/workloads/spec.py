@@ -1,0 +1,315 @@
+"""SPEC CPU2K: 26 synthetic single-threaded benchmark models.
+
+The paper contrasts server workloads against all 26 SPEC CPU2K benchmarks
+(Table 2): SPEC programs are single threaded, loopy, have small code
+footprints (mcf: 646 unique sampled EIPs over 200 s vs. ODB-C's 23,891 in
+60 s), spend <1% of time in the OS, and context switch ~25 times/s.
+
+Each model encodes the benchmark's published phase character:
+
+* **Q-I** (low CPI variance, weak phase): steady codes whose small CPI
+  wiggle is microarchitectural noise — nothing for EIPVs to explain.
+* **Q-II** (low variance, strong phase): gentle phase alternation with
+  small CPI deltas that EIPVs track almost perfectly.
+* **Q-III** (high variance, weak phase): CPI driven by data-dependent
+  bottlenecks — gcc's branch mispredictions, mcf's pointer chasing —
+  that do not correlate with control flow.
+* **Q-IV** (high variance, strong phase): big loop-phase CPI swings
+  (art, galgel) — the SimPoint sweet spot.
+
+The per-benchmark quadrant targets reconstruct Table 2 from the paper's
+text: 13 SPEC benchmarks in Q-I, 3 in Q-II, 7 in Q-III (including gcc and
+gap, called out by name), 3 in Q-IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.uarch.cpu import ExecutionProfile
+from repro.workloads.os_model import SchedulerConfig, make_kernel_thread
+from repro.workloads.program import (
+    CyclicMixSchedule,
+    CyclicSchedule,
+    FlatMixSchedule,
+    MarkovSchedule,
+    Program,
+)
+from repro.workloads.regions import (
+    CodeRegion,
+    OUModulator,
+    RandomLatencyModulator,
+    layout_regions,
+)
+from repro.workloads.scale import DEFAULT, WorkloadScale
+from repro.workloads.system import ContentionModel, Workload
+from repro.workloads.thread_model import WorkloadThread
+
+#: Paper-reported unique EIP samples for mcf over a 200 s window.
+PAPER_MCF_UNIQUE_EIPS = 646
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class SpecSpec:
+    """Declarative description of one SPEC CPU2K benchmark model.
+
+    ``shape`` selects the phase structure:
+
+    - ``"steady"``   — one flat region (Q-I);
+    - ``"gentle"``   — cyclic phases with small CPI deltas (Q-II);
+    - ``"noisy"``    — flat code with a data-dependent modulator (Q-III);
+    - ``"irregular"``— Markov-hopping regions plus a modulator (Q-III);
+    - ``"phased"``   — cyclic weight tilts over *shared* regions with
+      large CPI swings (Q-IV): real loop nests share most of their code
+      across phases and differ in how much time each kernel gets.
+
+    ``intensity`` scales how memory-bound the benchmark is; ``n_eips`` is
+    the full-size unique-EIP footprint.  For ``"phased"``, ``phase_delta``
+    is the span of the memory-kernel's time share across phases; for
+    ``"gentle"``, the locality offset between phases.
+    """
+
+    name: str
+    suite: str  # "int" or "fp"
+    shape: str
+    quadrant: str
+    n_eips: int
+    base_cpi: float
+    intensity: float
+    phase_delta: float = 0.0  # locality swing between phases
+    noise_sigma: float = 0.01
+
+
+#: 12 SPECint + 14 SPECfp = 26 benchmarks.
+SPEC_SPECS = (
+    # --- Q-I: low variance, weak phase (13 benchmarks) ---
+    SpecSpec("gzip", "int", "steady", "Q-I", 900, 0.75, 0.25),
+    SpecSpec("vpr", "int", "steady", "Q-I", 1400, 0.95, 0.4),
+    SpecSpec("crafty", "int", "steady", "Q-I", 2600, 0.85, 0.15),
+    SpecSpec("parser", "int", "steady", "Q-I", 1800, 0.95, 0.35),
+    SpecSpec("eon", "int", "steady", "Q-I", 2200, 0.8, 0.1),
+    SpecSpec("perlbmk", "int", "steady", "Q-I", 3000, 0.85, 0.2),
+    SpecSpec("vortex", "int", "steady", "Q-I", 2800, 0.9, 0.3),
+    SpecSpec("twolf", "int", "steady", "Q-I", 1200, 1.0, 0.45),
+    SpecSpec("mesa", "fp", "steady", "Q-I", 1600, 0.7, 0.15),
+    SpecSpec("mgrid", "fp", "steady", "Q-I", 500, 0.8, 0.5),
+    SpecSpec("wupwise", "fp", "steady", "Q-I", 600, 0.75, 0.35),
+    SpecSpec("sixtrack", "fp", "steady", "Q-I", 1100, 0.7, 0.2),
+    SpecSpec("fma3d", "fp", "steady", "Q-I", 2000, 0.85, 0.3),
+    # --- Q-II: low variance, strong phase (3 benchmarks) ---
+    SpecSpec("equake", "fp", "gentle", "Q-II", 700, 0.9, 0.45,
+             phase_delta=0.0028, noise_sigma=0.003),
+    SpecSpec("facerec", "fp", "gentle", "Q-II", 800, 0.8, 0.4,
+             phase_delta=0.0024, noise_sigma=0.003),
+    SpecSpec("apsi", "fp", "gentle", "Q-II", 900, 0.85, 0.4,
+             phase_delta=0.0026, noise_sigma=0.003),
+    # --- Q-III: high variance, weak phase (7 benchmarks) ---
+    SpecSpec("gcc", "int", "irregular", "Q-III", 4200, 0.95, 0.35,
+             noise_sigma=0.22),
+    SpecSpec("gap", "int", "irregular", "Q-III", 2400, 0.9, 0.4,
+             noise_sigma=0.22),
+    SpecSpec("bzip2", "int", "noisy", "Q-III", 800, 0.85, 0.45,
+             noise_sigma=0.02),
+    SpecSpec("mcf", "int", "noisy", "Q-III", 646, 1.1, 0.9,
+             noise_sigma=0.02),
+    SpecSpec("swim", "fp", "noisy", "Q-III", 450, 0.9, 0.8,
+             noise_sigma=0.02),
+    SpecSpec("lucas", "fp", "noisy", "Q-III", 500, 0.85, 0.6,
+             noise_sigma=0.02),
+    SpecSpec("ammp", "fp", "noisy", "Q-III", 1000, 0.95, 0.55,
+             noise_sigma=0.02),
+    # --- Q-IV: high variance, strong phase (3 benchmarks) ---
+    SpecSpec("art", "fp", "phased", "Q-IV", 350, 0.8, 0.85,
+             phase_delta=0.80, noise_sigma=0.006),
+    SpecSpec("galgel", "fp", "phased", "Q-IV", 650, 0.85, 0.7,
+             phase_delta=0.70, noise_sigma=0.006),
+    SpecSpec("applu", "fp", "phased", "Q-IV", 550, 0.8, 0.65,
+             phase_delta=0.60, noise_sigma=0.006),
+)
+
+SPEC_NAMES = tuple(spec.name for spec in SPEC_SPECS)
+
+
+def spec_spec(name: str) -> SpecSpec:
+    """Look up a benchmark spec by name."""
+    for spec in SPEC_SPECS:
+        if spec.name == name:
+            return spec
+    known = ", ".join(SPEC_NAMES)
+    raise KeyError(f"unknown SPEC benchmark {name!r}; known: {known}")
+
+
+def _base_profile(spec: SpecSpec) -> ExecutionProfile:
+    """Steady-state profile shared by a benchmark's regions."""
+    footprint = int(4 * MB + spec.intensity * 180 * MB)
+    locality = 1.0 - 0.05 * spec.intensity
+    return ExecutionProfile(
+        base_cpi=spec.base_cpi,
+        code_footprint=min(2 * MB, 4 * KB * max(1, spec.n_eips // 40)),
+        data_footprint=footprint,
+        code_locality=0.9995,
+        data_locality=locality,
+        memory_fraction=0.32,
+        branch_fraction=0.14,
+        mispredict_rate=0.03,
+        dependency_stall_cpi=0.12,
+        memory_level_parallelism=2.0,
+    )
+
+
+def _regions_for(spec: SpecSpec, scale: WorkloadScale) -> list[CodeRegion]:
+    """Build the benchmark's regions according to its shape."""
+    n_eips = scale.eips(spec.n_eips, minimum=20)
+    profile = _base_profile(spec)
+    jitter = 0.04
+
+    if spec.shape == "steady":
+        # A few hot loops; all the same behaviour.
+        n_regions = 3
+        per = max(4, n_eips // n_regions)
+        specs = [
+            (lambda base, i=i: CodeRegion(
+                name=f"{spec.name}.loop{i}", eip_base=base, n_eips=per,
+                profile=profile, jitter=jitter, eip_concentration=1.2))
+            for i in range(n_regions)
+        ]
+        return layout_regions(specs)
+
+    if spec.shape == "gentle":
+        # Phases differ slightly in data locality -> small CPI deltas.
+        n_phases = 3
+        per = max(4, n_eips // n_phases)
+        specs = []
+        for i in range(n_phases):
+            # Symmetric offsets around the base locality.
+            offset = spec.phase_delta * (i - (n_phases - 1) / 2.0)
+            locality = min(1.0, max(0.0, profile.data_locality + offset))
+            phase_profile = profile.scaled(data_locality=locality)
+            specs.append(lambda base, i=i, p=phase_profile: CodeRegion(
+                name=f"{spec.name}.phase{i}", eip_base=base, n_eips=per,
+                profile=p, jitter=jitter, eip_concentration=1.2))
+        return layout_regions(specs)
+
+    if spec.shape == "phased":
+        # Shared compute/memory/aux kernels; phases tilt their weights.
+        light = profile.scaled(
+            data_locality=min(1.0, profile.data_locality + 0.04),
+            base_cpi=max(0.4, spec.base_cpi - 0.2))
+        heavy = profile.scaled(
+            data_locality=max(0.0, profile.data_locality - 0.045),
+            memory_level_parallelism=1.4)
+        aux = profile.scaled(data_locality=1.0)
+        thirds = max(4, n_eips // 3)
+        specs = [
+            (lambda base, p=light: CodeRegion(
+                name=f"{spec.name}.compute", eip_base=base, n_eips=thirds,
+                profile=p, jitter=jitter, eip_concentration=1.2)),
+            (lambda base, p=heavy: CodeRegion(
+                name=f"{spec.name}.memory", eip_base=base, n_eips=thirds,
+                profile=p, jitter=jitter, eip_concentration=1.2)),
+            (lambda base, p=aux: CodeRegion(
+                name=f"{spec.name}.aux", eip_base=base, n_eips=thirds,
+                profile=p, jitter=jitter, eip_concentration=1.2)),
+        ]
+        return layout_regions(specs)
+
+    if spec.shape == "noisy":
+        # One code body whose memory behaviour drifts with the data
+        # (pointer chasing over changing graphs: mcf, ammp...).  An OU
+        # process keeps the drift stationary run to run.
+        modulator = OUModulator(sigma=0.012, rho=0.97)
+        specs = [lambda base: CodeRegion(
+            name=f"{spec.name}.main", eip_base=base, n_eips=n_eips,
+            profile=profile, jitter=jitter, eip_concentration=1.0,
+            modulator=modulator)]
+        return layout_regions(specs)
+
+    if spec.shape == "irregular":
+        # Markov-hopping regions with per-chunk mispredict noise (gcc's
+        # pass structure: many units, no long-term pattern, CPI driven by
+        # branchy data-dependent behaviour).
+        n_regions = 5
+        per = max(4, n_eips // n_regions)
+        specs = []
+        for i in range(n_regions):
+            modulator = RandomLatencyModulator(
+                locality_sigma=0.012, mispredict_sigma=0.02)
+            region_profile = profile.scaled(
+                mispredict_rate=0.07, branch_fraction=0.2)
+            specs.append(lambda base, i=i, p=region_profile, m=modulator:
+                         CodeRegion(
+                             name=f"{spec.name}.unit{i}", eip_base=base,
+                             n_eips=per, profile=p, jitter=0.08,
+                             eip_concentration=0.6, modulator=m))
+        return layout_regions(specs)
+
+    raise ValueError(f"unknown shape {spec.shape!r}")
+
+
+#: Instructions per phase for cyclic SPEC schedules (model units): long
+#: enough that 100M-instruction EIPVs see nearly-pure phases.
+SPEC_PHASE_INSTRUCTIONS = 250_000_000
+
+
+def spec_workload(name: str, scale: WorkloadScale = DEFAULT,
+                  sample_period: int = 1_000_000) -> Workload:
+    """Build the workload for one SPEC CPU2K benchmark."""
+    spec = spec_spec(name)
+    regions = _regions_for(spec, scale)
+
+    if spec.shape == "gentle":
+        schedule = CyclicSchedule(
+            [(region, SPEC_PHASE_INSTRUCTIONS) for region in regions])
+    elif spec.shape == "phased":
+        # Four phases tilting the memory kernel's share across the span.
+        low = 0.10
+        steps = [low + spec.phase_delta * f for f in (0.0, 1 / 3, 2 / 3,
+                                                      1.0)]
+        phases = []
+        for w_heavy in steps:
+            w_rest = 1.0 - w_heavy
+            phases.append(([0.7 * w_rest, w_heavy, 0.3 * w_rest],
+                           2 * SPEC_PHASE_INSTRUCTIONS))
+        schedule = CyclicMixSchedule(regions, phases,
+                                     dirichlet_concentration=800.0)
+    elif spec.shape == "steady":
+        schedule = FlatMixSchedule(regions, dirichlet_concentration=400.0)
+    elif spec.shape == "noisy":
+        schedule = CyclicSchedule([(regions[0], SPEC_PHASE_INSTRUCTIONS)])
+    else:  # irregular
+        n = len(regions)
+        transition = np.full((n, n), 1.0 / n)
+        schedule = MarkovSchedule(regions, transition,
+                                  mean_durations=[12.0] * n)
+
+    thread = WorkloadThread(thread_id=0, process=spec.name,
+                            program=Program(spec.name, schedule))
+    kernel = make_kernel_thread(thread_id=1, n_eips=scale.eips(400,
+                                                               minimum=9))
+    return Workload(
+        name=f"spec.{spec.name}",
+        threads=[thread],
+        scheduler=SchedulerConfig(mean_quantum=1_000_000, os_share=0.01),
+        kernel=kernel,
+        sample_period=sample_period,
+        contention=ContentionModel(sigma=spec.noise_sigma, rho=0.98),
+        metadata={
+            "class": "spec",
+            "suite": spec.suite,
+            "shape": spec.shape,
+            "paper_quadrant": spec.quadrant,
+            "paper_context_switches_per_s": 25,
+            "paper_os_share": 0.01,
+        },
+    )
+
+
+def all_spec_workloads(scale: WorkloadScale = DEFAULT):
+    """Yield (name, workload) for all 26 SPEC benchmarks."""
+    for spec in SPEC_SPECS:
+        yield spec.name, spec_workload(spec.name, scale)

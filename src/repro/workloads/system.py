@@ -1,0 +1,241 @@
+"""The simulated system: machine + workload -> execution stream.
+
+:class:`SimulatedSystem` plays the role of the physical server in the
+paper's methodology: it runs a multithreaded workload on a machine model
+and produces a stream of :class:`ExecutionSlice` records — contiguous
+single-thread stretches of execution with exact cycle accounting.  The
+VTune-analogue sampler (:mod:`repro.trace.sampler`) consumes this stream
+exactly the way VTune's driver consumes the real machine's execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.uarch.cpu import AnalyticalCPU
+from repro.uarch.machine import MachineConfig
+from repro.uarch.stalls import CPIBreakdown
+from repro.workloads.os_model import Scheduler, SchedulerConfig
+from repro.workloads.program import ChunkPlan
+from repro.workloads.regions import CodeRegion
+from repro.workloads.thread_model import WorkloadThread
+
+#: Cache-warmth values are quantized to this grid when memoizing
+#: steady-state component CPIs.
+WARMTH_BUCKETS = 20
+
+
+class ContentionModel:
+    """Shared memory-subsystem contention, drifting over time.
+
+    On the paper's 4-way SMP, a thread's memory stalls depend on what the
+    *other* processors are doing to the shared L3/bus/DRAM — load that
+    drifts on a timescale of many sample periods and is invisible to the
+    sampled EIPs.  We model it as a stationary AR(1) process in log space:
+    each slice's EXE (and, attenuated, FE) stall cycles are multiplied by
+    ``exp(x)`` where ``x`` mean-reverts with autocorrelation ``rho`` and
+    stationary standard deviation ``sigma``.
+
+    This is the mechanism that gives ODB-C its small-but-real CPI variance
+    that EIPVs cannot explain (quadrant Q-I).
+    """
+
+    def __init__(self, sigma: float, rho: float = 0.98,
+                 fe_coupling: float = 0.5) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if not 0 <= rho < 1:
+            raise ValueError("rho must be in [0, 1)")
+        if not 0 <= fe_coupling <= 1:
+            raise ValueError("fe_coupling must be in [0, 1]")
+        self.sigma = sigma
+        self.rho = rho
+        self.fe_coupling = fe_coupling
+        self._innovation = sigma * np.sqrt(1.0 - rho * rho)
+        self._x = 0.0
+
+    def next_factors(self, rng: np.random.Generator) -> tuple[float, float]:
+        """Advance one slice; return (exe factor, fe factor)."""
+        if self.sigma == 0:
+            return 1.0, 1.0
+        self._x = self.rho * self._x + float(
+            rng.normal(0.0, self._innovation))
+        exe_factor = float(np.exp(self._x))
+        fe_factor = float(np.exp(self.fe_coupling * self._x))
+        return exe_factor, fe_factor
+
+    def reset(self) -> None:
+        self._x = 0.0
+
+
+@dataclass
+class Workload:
+    """A complete, runnable workload description.
+
+    ``metadata`` carries descriptive facts used by reports (e.g. the paper's
+    measured context-switch rate for the workload it models).
+    """
+
+    name: str
+    threads: list
+    scheduler: SchedulerConfig
+    kernel: WorkloadThread | None = None
+    sample_period: int = 1_000_000
+    contention: ContentionModel | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.threads:
+            raise ValueError(f"workload {self.name!r} has no threads")
+        if self.sample_period <= 0:
+            raise ValueError("sample_period must be positive")
+        ids = [t.thread_id for t in self.threads]
+        if self.kernel is not None:
+            ids.append(self.kernel.thread_id)
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"workload {self.name!r} has duplicate thread ids")
+
+    @property
+    def all_regions(self) -> list[CodeRegion]:
+        """Every region any thread can execute (deduplicated)."""
+        seen: dict[int, CodeRegion] = {}
+        threads = list(self.threads)
+        if self.kernel is not None:
+            threads.append(self.kernel)
+        for thread in threads:
+            for region in thread.program.regions:
+                seen.setdefault(id(region), region)
+        return list(seen.values())
+
+
+@dataclass(frozen=True)
+class ExecutionSlice:
+    """One contiguous stretch of single-thread execution."""
+
+    thread_id: int
+    process: str
+    start_instruction: int
+    start_cycle: float
+    instructions: int
+    breakdown: CPIBreakdown
+    plan: ChunkPlan
+
+    @property
+    def end_instruction(self) -> int:
+        return self.start_instruction + self.instructions
+
+    @property
+    def end_cycle(self) -> float:
+        return self.start_cycle + self.breakdown.cycles
+
+    @property
+    def cpi(self) -> float:
+        return self.breakdown.cpi
+
+
+class SimulatedSystem:
+    """Runs a workload on a machine model, yielding execution slices."""
+
+    def __init__(self, machine: MachineConfig, workload: Workload,
+                 seed: int = 0) -> None:
+        self.machine = machine
+        self.workload = workload
+        self.cpu = AnalyticalCPU(machine)
+        # Contention noise gets its own stream so that enabling/disabling
+        # it never perturbs scheduling or workload randomness.
+        self.rng, self._contention_rng = np.random.default_rng(seed).spawn(2)
+        self.scheduler = Scheduler(workload.threads, workload.scheduler,
+                                   kernel_thread=workload.kernel)
+        self._cpi_cache: dict = {}
+
+    def _component_cpis(self, region: CodeRegion,
+                        warmth: float) -> tuple[float, float, float, float]:
+        """Steady-state component CPIs, memoized for static regions."""
+        bucket = round(warmth * WARMTH_BUCKETS)
+        warmth_q = max(1, bucket) / WARMTH_BUCKETS
+        if region.modulator is None:
+            key = (id(region), bucket)
+            cached = self._cpi_cache.get(key)
+            if cached is None:
+                cached = self.cpu.component_cpis(region.profile,
+                                                 warmth=warmth_q)
+                self._cpi_cache[key] = cached
+            return cached
+        profile = region.chunk_profile(self.rng)
+        return self.cpu.component_cpis(profile, warmth=warmth_q)
+
+    def _execute_plan(self, plan: ChunkPlan, instructions: int,
+                      warmth: float) -> CPIBreakdown:
+        """Execute a weighted-region plan for ``instructions``."""
+        rng = self.rng
+        work = fe = exe = other = 0.0
+        for region, weight in plan.parts:
+            region_instr = instructions * weight
+            w_cpi, fe_cpi, exe_cpi, other_cpi = self._component_cpis(
+                region, warmth)
+            if region.jitter > 0:
+                noise = np.exp(rng.normal(0.0, region.jitter, size=3))
+                fe_cpi *= noise[0]
+                exe_cpi *= noise[1]
+                other_cpi *= noise[2]
+            work += w_cpi * region_instr
+            fe += fe_cpi * region_instr
+            exe += exe_cpi * region_instr
+            other += other_cpi * region_instr
+        return CPIBreakdown(instructions=instructions, work=work, fe=fe,
+                            exe=exe, other=other)
+
+    def slices(self, total_instructions: int) -> Iterator[ExecutionSlice]:
+        """Run the workload for ``total_instructions`` retired instructions.
+
+        Yields :class:`ExecutionSlice` records in execution order.  The
+        final slice is truncated so the total matches exactly.
+        """
+        if total_instructions <= 0:
+            raise ValueError("total_instructions must be positive")
+        retired = 0
+        cycle = 0.0
+        contention = self.workload.contention
+        while retired < total_instructions:
+            thread, length = self.scheduler.next_slice(self.rng)
+            length = min(length, total_instructions - retired)
+            plan = thread.program.advance(self.rng, length)
+            breakdown = self._execute_plan(plan, length, thread.warmth)
+            if contention is not None:
+                exe_factor, fe_factor = contention.next_factors(
+                    self._contention_rng)
+                breakdown = CPIBreakdown(
+                    instructions=breakdown.instructions,
+                    work=breakdown.work,
+                    fe=breakdown.fe * fe_factor,
+                    exe=breakdown.exe * exe_factor,
+                    other=breakdown.other,
+                )
+            yield ExecutionSlice(
+                thread_id=thread.thread_id,
+                process=thread.process,
+                start_instruction=retired,
+                start_cycle=cycle,
+                instructions=length,
+                breakdown=breakdown,
+                plan=plan,
+            )
+            retired += length
+            cycle += breakdown.cycles
+
+    def run(self, total_instructions: int) -> list:
+        """Eagerly collect all slices of a run."""
+        return list(self.slices(total_instructions))
+
+    def reset(self, seed: int | None = None) -> None:
+        """Rewind the system for a fresh run."""
+        if seed is not None:
+            self.rng, self._contention_rng = \
+                np.random.default_rng(seed).spawn(2)
+        self.scheduler.reset()
+        if self.workload.contention is not None:
+            self.workload.contention.reset()
+        self._cpi_cache.clear()

@@ -1,0 +1,56 @@
+"""Threads of execution.
+
+Server workloads are heavily multithreaded (ODB-C runs 56 clients; SjAS 18
+worker threads) and spend significant time in the OS.  A
+:class:`WorkloadThread` is one schedulable entity: a program instance plus
+scheduling metadata.  The OS kernel itself is represented as a thread whose
+``process`` is ``"kernel"`` (VTune tags every sample with the thread and
+process that produced it; Section 5.2 relies on those tags).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.program import Program
+
+
+@dataclass
+class WorkloadThread:
+    """One schedulable thread.
+
+    Parameters
+    ----------
+    thread_id:
+        Unique small integer, stable across a run.
+    process:
+        Owning process name (e.g. ``"oracle"``, ``"java"``, ``"kernel"``).
+    program:
+        The code the thread executes.
+    weight:
+        Relative share of CPU time the scheduler gives this thread.
+    """
+
+    thread_id: int
+    process: str
+    program: Program
+    weight: float = 1.0
+    #: cache warmth in (0, 1]; reduced on context switch, recovers while
+    #: the thread runs (managed by the scheduler/system).
+    warmth: float = field(default=1.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.thread_id < 0:
+            raise ValueError("thread_id must be non-negative")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+    @property
+    def is_kernel(self) -> bool:
+        """True for the OS pseudo-thread."""
+        return self.process == "kernel"
+
+    def reset(self) -> None:
+        """Rewind the thread's program and restore full warmth."""
+        self.program.reset()
+        self.warmth = 1.0

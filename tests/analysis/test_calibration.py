@@ -1,0 +1,61 @@
+"""Tests for the model-vs-paper calibration report."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    CalibrationRow,
+    calibrate_workload,
+    calibration_report,
+)
+from repro.workloads.scale import DEFAULT, TINY
+
+
+class TestCalibrationRow:
+    def row(self, **overrides):
+        defaults = dict(
+            workload="w", paper_unique_eips=1000,
+            measured_unique_eips=120, paper_switch_rate=2600,
+            measured_switch_rate=2300, paper_cpi_variance=0.01,
+            measured_cpi_variance=0.008)
+        defaults.update(overrides)
+        return CalibrationRow(**defaults)
+
+    def test_eip_ratio_within_tolerance(self):
+        # TINY scale: target = 1000 * 0.02 = 20; measured 120 is 6x off.
+        assert not self.row().eip_ratio_ok(TINY)
+        # DEFAULT scale: target = 120; measured 120 is exact.
+        assert self.row().eip_ratio_ok(DEFAULT)
+
+    def test_unknown_paper_values_pass(self):
+        row = self.row(paper_unique_eips=None, paper_switch_rate=None)
+        assert row.eip_ratio_ok(DEFAULT)
+        assert row.switch_rate_ok()
+
+    def test_switch_rate_tolerance(self):
+        assert self.row().switch_rate_ok()
+        assert not self.row(measured_switch_rate=100).switch_rate_ok()
+
+
+class TestReport:
+    def test_calibrate_one_workload(self):
+        row = calibrate_workload("spec.gzip", n_intervals=8, seed=3,
+                                 scale=TINY)
+        assert row.workload == "spec.gzip"
+        assert row.measured_unique_eips > 0
+        assert row.measured_switch_rate >= 0
+
+    def test_odbc_calibration_holds_at_default_scale(self):
+        # Unique-EIP coverage needs enough samples: 30 intervals = 3000
+        # samples against a ~2900-EIP scaled footprint.
+        row = calibrate_workload("odbc", n_intervals=30, seed=3,
+                                 scale=DEFAULT)
+        assert row.eip_ratio_ok(DEFAULT)
+        assert row.switch_rate_ok()
+        assert row.measured_cpi_variance == pytest.approx(
+            row.paper_cpi_variance, abs=0.01)
+
+    def test_report_renders(self):
+        text = calibration_report(workloads=("spec.gzip",), n_intervals=8,
+                                  seed=3, scale=TINY)
+        assert "calibration" in text
+        assert "spec.gzip" in text

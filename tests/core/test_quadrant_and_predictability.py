@@ -1,0 +1,111 @@
+"""Tests for quadrant classification and the predictability facade."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.predictability import analyze_predictability
+from repro.core.quadrant import (
+    RECOMMENDED_SAMPLING,
+    RE_THRESHOLD,
+    VARIANCE_THRESHOLD,
+    Quadrant,
+    classify,
+    classify_result,
+)
+from repro.trace.eipv import EIPVDataset
+
+
+class TestClassify:
+    @pytest.mark.parametrize("variance,re,expected", [
+        (0.001, 0.5, Quadrant.Q1),
+        (0.001, 0.05, Quadrant.Q2),
+        (0.5, 0.9, Quadrant.Q3),
+        (0.5, 0.05, Quadrant.Q4),
+    ])
+    def test_four_quadrants(self, variance, re, expected):
+        assert classify(variance, re) is expected
+
+    def test_thresholds_are_papers(self):
+        assert VARIANCE_THRESHOLD == 0.01
+        assert RE_THRESHOLD == 0.15
+
+    def test_boundary_semantics(self):
+        # Exactly at the variance threshold counts as low variance
+        # (ODB-C's var of 0.01 is Q-I in the paper).
+        assert classify(0.01, 0.5) is Quadrant.Q1
+        # Exactly at the RE threshold counts as strong phases
+        # (Q13's RE of 0.15 is predictable in the paper).
+        assert classify(0.5, 0.15) is Quadrant.Q4
+
+    def test_custom_thresholds(self):
+        assert classify(0.02, 0.5, variance_threshold=0.05) is Quadrant.Q1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            classify(-0.1, 0.5)
+        with pytest.raises(ValueError):
+            classify(0.1, -0.5)
+
+    def test_recommended_sampling_complete(self):
+        assert set(RECOMMENDED_SAMPLING) == set(Quadrant)
+        assert RECOMMENDED_SAMPLING[Quadrant.Q4] == "phase_based"
+        assert RECOMMENDED_SAMPLING[Quadrant.Q3] == "stratified"
+
+    def test_quadrant_properties(self):
+        assert Quadrant.Q4.high_variance and Quadrant.Q4.strong_phases
+        assert not Quadrant.Q1.high_variance
+        assert not Quadrant.Q1.strong_phases
+        assert Quadrant.Q2.strong_phases and not Quadrant.Q2.high_variance
+
+    def test_classify_result_carries_recommendation(self):
+        result = classify_result("w", 0.5, 0.05, k_opt=4)
+        assert result.quadrant is Quadrant.Q4
+        assert result.recommended_sampling == "phase_based"
+
+
+@given(variance=st.floats(0, 10), re=st.floats(0, 3))
+def test_classification_total_and_consistent(variance, re):
+    quadrant = classify(variance, re)
+    assert quadrant.high_variance == (variance > VARIANCE_THRESHOLD)
+    assert quadrant.strong_phases == (re <= RE_THRESHOLD)
+
+
+class TestAnalyzeFacade:
+    def synthetic_dataset(self, phased=True, m=60, seed=0):
+        rng = np.random.default_rng(seed)
+        matrix = np.zeros((m, 6), dtype=np.int32)
+        y = np.empty(m)
+        for i in range(m):
+            phase = i % 3
+            matrix[i, phase] = 10
+            matrix[i, 3 + rng.integers(0, 3)] = 2
+            if phased:
+                y[i] = 1.0 + phase + rng.normal(0, 0.02)
+            else:
+                y[i] = 2.0 + rng.normal(0, 0.6)
+        return EIPVDataset(matrix=matrix, cpis=y,
+                           eip_index=np.arange(6) * 16 + 0x1000,
+                           interval_instructions=1000,
+                           workload_name="synthetic")
+
+    def test_phased_dataset_lands_in_q4(self):
+        result = analyze_predictability(self.synthetic_dataset(True),
+                                        k_max=10)
+        assert result.quadrant is Quadrant.Q4
+        assert result.re_kopt < 0.1
+        assert result.explained_fraction > 0.8
+
+    def test_noise_dataset_lands_in_q3(self):
+        result = analyze_predictability(self.synthetic_dataset(False),
+                                        k_max=10)
+        assert result.quadrant is Quadrant.Q3
+        assert result.re_kopt > 0.5
+
+    def test_summary_format(self):
+        result = analyze_predictability(self.synthetic_dataset(True),
+                                        k_max=5)
+        line = result.summary()
+        assert "synthetic" in line
+        assert "Q-" in line

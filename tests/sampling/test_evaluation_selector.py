@@ -1,0 +1,97 @@
+"""Tests for technique evaluation and the quadrant-based selector."""
+
+import numpy as np
+import pytest
+
+from repro.core.quadrant import Quadrant
+from repro.sampling.evaluation import (
+    TECHNIQUES,
+    best_technique,
+    compare_techniques,
+    evaluate_technique,
+    true_cpi,
+)
+from repro.sampling.selector import RATIONALE, recommend_for, select_technique
+from repro.trace.eipv import EIPVDataset
+
+from tests.sampling.test_plans import phased_dataset
+
+
+def noise_dataset(m=60, seed=0):
+    rng = np.random.default_rng(seed)
+    matrix = ((rng.random((m, 8)) < 0.5)
+              * rng.integers(1, 10, (m, 8))).astype(np.int32)
+    y = rng.normal(2.0, 0.7, m)
+    return EIPVDataset(matrix=matrix, cpis=y,
+                       eip_index=np.arange(8) * 16,
+                       interval_instructions=1000, workload_name="noise")
+
+
+class TestEvaluation:
+    def test_true_cpi(self):
+        dataset = phased_dataset()
+        assert true_cpi(dataset) == pytest.approx(float(dataset.cpis.mean()))
+
+    def test_all_techniques_registered(self):
+        assert set(TECHNIQUES) == {"uniform", "random", "phase_based",
+                                   "stratified"}
+
+    def test_unknown_technique(self):
+        with pytest.raises(KeyError):
+            evaluate_technique(phased_dataset(), "magic", 5)
+
+    def test_error_fields_consistent(self):
+        result = evaluate_technique(phased_dataset(), "random", 5,
+                                    trials=10, seed=0)
+        assert result.mean_abs_error <= result.max_abs_error + 1e-12
+        assert result.mean_rel_error == pytest.approx(
+            result.mean_abs_error / result.true_cpi)
+        assert result.trials == 10
+
+    def test_phase_based_wins_on_phased_data(self):
+        dataset = phased_dataset(m=90, n_phases=3, spread=2.0)
+        results = compare_techniques(dataset, budget=3, trials=15, seed=1)
+        best = best_technique(results)
+        assert best.technique == "phase_based"
+
+    def test_bigger_budget_reduces_random_error(self):
+        dataset = phased_dataset(m=90, spread=2.0)
+        small = evaluate_technique(dataset, "random", 3, trials=40, seed=2)
+        large = evaluate_technique(dataset, "random", 30, trials=40, seed=2)
+        assert large.mean_abs_error < small.mean_abs_error
+
+    def test_summary_row(self):
+        result = evaluate_technique(phased_dataset(), "uniform", 5,
+                                    trials=5)
+        row = result.summary_row()
+        assert row[0] == "uniform"
+        assert row[1] == 5
+
+
+class TestSelector:
+    def test_phased_data_recommends_phase_based(self):
+        recommendation = select_technique(phased_dataset(m=80, spread=2.0),
+                                          k_max=10)
+        assert recommendation.quadrant is Quadrant.Q4
+        assert recommendation.technique == "phase_based"
+        assert "phase" in recommendation.rationale.lower()
+
+    def test_noise_data_recommends_stratified(self):
+        recommendation = select_technique(noise_dataset(), k_max=10)
+        assert recommendation.quadrant is Quadrant.Q3
+        assert recommendation.technique == "stratified"
+
+    def test_rationale_for_all_quadrants(self):
+        assert set(RATIONALE) == set(Quadrant)
+
+    def test_plan_builder_usable(self):
+        recommendation = select_technique(phased_dataset(m=80), k_max=8)
+        plan = recommendation.plan_builder(phased_dataset(m=80), 4,
+                                           np.random.default_rng(0))
+        assert plan.n_samples >= 1
+
+    def test_recommend_for_reuses_analysis(self):
+        from repro.core.predictability import analyze_predictability
+        analysis = analyze_predictability(phased_dataset(m=80), k_max=8)
+        recommendation = recommend_for(analysis)
+        assert recommendation.analysis is analysis

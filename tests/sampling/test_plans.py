@@ -1,0 +1,169 @@
+"""Tests for sampling plans and the four techniques."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.phase_based import phase_based_plan
+from repro.sampling.plan import SamplingPlan, equal_weights
+from repro.sampling.random_sampling import random_plan
+from repro.sampling.stratified import stratified_plan
+from repro.sampling.uniform import uniform_plan
+from repro.trace.eipv import EIPVDataset
+
+
+def phased_dataset(m=60, n_phases=3, seed=0, spread=1.0):
+    rng = np.random.default_rng(seed)
+    matrix = np.zeros((m, n_phases * 2), dtype=np.int32)
+    y = np.empty(m)
+    for i in range(m):
+        phase = i % n_phases
+        matrix[i, phase] = 10
+        matrix[i, n_phases + rng.integers(0, n_phases)] = 1
+        y[i] = 1.0 + spread * phase + rng.normal(0, 0.02)
+    return EIPVDataset(matrix=matrix, cpis=y,
+                       eip_index=np.arange(n_phases * 2) * 16,
+                       interval_instructions=1000, workload_name="p")
+
+
+class TestSamplingPlan:
+    def test_estimate_is_weighted_mean(self):
+        dataset = phased_dataset()
+        plan = SamplingPlan(technique="t",
+                            intervals=np.array([0, 1, 2]),
+                            weights=np.array([0.5, 0.25, 0.25]))
+        expected = (0.5 * dataset.cpis[0] + 0.25 * dataset.cpis[1]
+                    + 0.25 * dataset.cpis[2])
+        assert plan.estimate_cpi(dataset) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingPlan("t", np.array([], dtype=int), np.array([]))
+        with pytest.raises(ValueError):
+            SamplingPlan("t", np.array([0]), np.array([0.5]))
+        with pytest.raises(ValueError):
+            SamplingPlan("t", np.array([0, 1]), np.array([1.5, -0.5]))
+
+    def test_equal_weights(self):
+        weights = equal_weights(4)
+        assert weights == pytest.approx(np.full(4, 0.25))
+        with pytest.raises(ValueError):
+            equal_weights(0)
+
+
+class TestUniform:
+    def test_even_spacing(self):
+        dataset = phased_dataset(m=100)
+        plan = uniform_plan(dataset, 10)
+        gaps = np.diff(plan.intervals)
+        assert gaps.min() >= 9 and gaps.max() <= 11
+
+    def test_budget_capped_at_intervals(self):
+        dataset = phased_dataset(m=10)
+        plan = uniform_plan(dataset, 100)
+        assert plan.n_samples == 10
+
+    def test_random_offset(self):
+        dataset = phased_dataset(m=100)
+        rng = np.random.default_rng(0)
+        p1 = uniform_plan(dataset, 10, rng)
+        p2 = uniform_plan(dataset, 10, rng)
+        assert not np.array_equal(p1.intervals, p2.intervals)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_plan(phased_dataset(), 0)
+
+
+class TestRandom:
+    def test_no_replacement(self):
+        dataset = phased_dataset(m=30)
+        plan = random_plan(dataset, 20, np.random.default_rng(0))
+        assert len(set(plan.intervals.tolist())) == 20
+
+    def test_within_range(self):
+        dataset = phased_dataset(m=30)
+        plan = random_plan(dataset, 10, np.random.default_rng(1))
+        assert plan.intervals.min() >= 0
+        assert plan.intervals.max() < 30
+
+
+class TestPhaseBased:
+    def test_representatives_cover_phases(self):
+        dataset = phased_dataset(m=60, n_phases=3)
+        plan = phase_based_plan(dataset, 3, np.random.default_rng(0),
+                                projection_dim=None)
+        # One representative per phase: the plan's estimate should be
+        # very close to the true mean.
+        estimate = plan.estimate_cpi(dataset)
+        assert estimate == pytest.approx(float(dataset.cpis.mean()),
+                                         abs=0.1)
+
+    def test_weights_reflect_cluster_sizes(self):
+        # 3 phases with unequal populations 30/20/10.
+        rng = np.random.default_rng(0)
+        matrix = np.zeros((60, 3), dtype=np.int32)
+        y = np.empty(60)
+        sizes = [30, 20, 10]
+        row = 0
+        for phase, size in enumerate(sizes):
+            for _ in range(size):
+                matrix[row, phase] = 10
+                y[row] = phase * 1.0
+                row += 1
+        dataset = EIPVDataset(matrix=matrix, cpis=y,
+                              eip_index=np.arange(3) * 16,
+                              interval_instructions=1000)
+        plan = phase_based_plan(dataset, 3, rng, projection_dim=None)
+        assert sorted(np.round(plan.weights * 60).astype(int).tolist()) \
+            == [10, 20, 30]
+
+    def test_budget_one(self):
+        dataset = phased_dataset()
+        plan = phase_based_plan(dataset, 1, np.random.default_rng(0))
+        assert plan.n_samples == 1
+        assert plan.weights[0] == pytest.approx(1.0)
+
+
+class TestStratified:
+    def test_high_variance_clusters_get_more_samples(self):
+        # Phase 0: constant CPI. Phase 1: highly variable CPI.
+        rng = np.random.default_rng(0)
+        matrix = np.zeros((80, 2), dtype=np.int32)
+        y = np.empty(80)
+        for i in range(80):
+            phase = i % 2
+            matrix[i, phase] = 10
+            y[i] = 1.0 if phase == 0 else float(rng.uniform(1, 5))
+        dataset = EIPVDataset(matrix=matrix, cpis=y,
+                              eip_index=np.arange(2) * 16,
+                              interval_instructions=1000)
+        plan = stratified_plan(dataset, budget=12, rng=rng, clusters=2,
+                               projection_dim=None)
+        variable_rows = set(np.nonzero(matrix[:, 1] > 0)[0].tolist())
+        in_variable = sum(1 for i in plan.intervals
+                          if int(i) in variable_rows)
+        assert in_variable > plan.n_samples / 2
+
+    def test_budget_respected(self):
+        dataset = phased_dataset(m=50)
+        plan = stratified_plan(dataset, budget=9,
+                               rng=np.random.default_rng(1))
+        assert plan.n_samples <= 9
+
+
+@settings(max_examples=15, deadline=None)
+@given(budget=st.integers(1, 20), seed=st.integers(0, 100))
+def test_all_plans_are_valid(budget, seed):
+    dataset = phased_dataset(m=40, seed=seed)
+    rng = np.random.default_rng(seed)
+    for builder in (uniform_plan, random_plan, phase_based_plan,
+                    stratified_plan):
+        plan = builder(dataset, budget, rng)
+        assert plan.weights.sum() == pytest.approx(1.0)
+        assert plan.intervals.min() >= 0
+        assert plan.intervals.max() < dataset.n_intervals
+        estimate = plan.estimate_cpi(dataset)
+        assert dataset.cpis.min() - 1e-9 <= estimate \
+            <= dataset.cpis.max() + 1e-9

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze", "odbc"])
+        assert args.workload == "odbc"
+        assert args.seed == 11
+        assert args.scale == "default"
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "odbc", "--scale",
+                                       "huge"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "odbc" in out
+        assert "spec.mcf" in out
+
+    def test_analyze_runs_tiny(self, capsys):
+        code = main(["analyze", "spec.gzip", "--intervals", "12",
+                     "--k-max", "5", "--scale", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommended sampling" in out
+        assert "Q-" in out
+
+    def test_census_subset(self, capsys):
+        code = main(["census", "spec.gzip", "--k-max", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quadrant" in out
+
+    def test_experiment_e1(self, capsys):
+        assert main(["experiment", "e1"]) == 0
+        out = capsys.readouterr().out
+        assert "MATCHES Figure 1" in out

@@ -1,0 +1,93 @@
+"""Tests for sample records and columnar traces."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import Sample, SampleTrace
+
+
+def make_trace(n=10, period=1000, frequency=900):
+    rng = np.random.default_rng(0)
+    cycles = rng.uniform(800, 4000, n)
+    return SampleTrace(
+        eips=rng.integers(0x1000, 0x2000, n),
+        thread_ids=np.array([i % 3 for i in range(n)], dtype=np.int32),
+        process_ids=np.array([i % 2 for i in range(n)], dtype=np.int16),
+        instructions=np.full(n, period, dtype=np.int64),
+        cycles=cycles,
+        work_cycles=cycles * 0.4,
+        fe_cycles=cycles * 0.2,
+        exe_cycles=cycles * 0.3,
+        other_cycles=cycles * 0.1,
+        processes=("app", "kernel"),
+        sample_period=period,
+        frequency_mhz=frequency,
+        workload_name="synthetic",
+    )
+
+
+class TestSampleTrace:
+    def test_length_and_totals(self):
+        trace = make_trace(10)
+        assert len(trace) == 10
+        assert trace.total_instructions == 10_000
+        assert trace.total_cycles == pytest.approx(trace.cycles.sum())
+
+    def test_cpis(self):
+        trace = make_trace(5)
+        assert trace.cpis == pytest.approx(trace.cycles / 1000)
+
+    def test_duration_seconds(self):
+        trace = make_trace(10, frequency=900)
+        expected = trace.cycles.sum() / 900e6
+        assert trace.duration_seconds == pytest.approx(expected)
+
+    def test_sample_materialization(self):
+        trace = make_trace(5)
+        sample = trace.sample(2)
+        assert isinstance(sample, Sample)
+        assert sample.eip == int(trace.eips[2])
+        assert sample.process == trace.processes[int(trace.process_ids[2])]
+        assert sample.cpi == pytest.approx(float(trace.cycles[2]) / 1000)
+
+    def test_select_mask(self):
+        trace = make_trace(10)
+        sub = trace.select(trace.thread_ids == 0)
+        assert len(sub) == 4
+        assert (sub.thread_ids == 0).all()
+        assert sub.workload_name == "synthetic"
+
+    def test_by_thread_partition(self):
+        trace = make_trace(10)
+        parts = trace.by_thread()
+        assert set(parts) == {0, 1, 2}
+        assert sum(len(p) for p in parts.values()) == len(trace)
+
+    def test_unique_eips_sorted(self):
+        trace = make_trace(50)
+        unique = trace.unique_eips()
+        assert (np.diff(unique) > 0).all()
+
+    def test_column_length_mismatch_rejected(self):
+        trace = make_trace(5)
+        with pytest.raises(ValueError):
+            SampleTrace(
+                eips=trace.eips,
+                thread_ids=trace.thread_ids[:3],
+                process_ids=trace.process_ids,
+                instructions=trace.instructions,
+                cycles=trace.cycles,
+                work_cycles=trace.work_cycles,
+                fe_cycles=trace.fe_cycles,
+                exe_cycles=trace.exe_cycles,
+                other_cycles=trace.other_cycles,
+                processes=trace.processes,
+                sample_period=1000,
+                frequency_mhz=900,
+            )
+
+    def test_invalid_period_rejected(self):
+        trace = make_trace(5)
+        with pytest.raises(ValueError):
+            trace.select(np.arange(5)).__class__(
+                **{**trace.__dict__, "sample_period": 0})

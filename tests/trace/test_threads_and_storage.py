@@ -1,0 +1,84 @@
+"""Tests for thread statistics and trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.trace.eipv import build_eipvs
+from repro.trace.sampler import collect_trace
+from repro.trace.storage import load_eipvs, load_trace, save_eipvs, save_trace
+from repro.trace.threads import sample_level_stats, slice_level_stats
+from repro.uarch.machine import itanium2
+from repro.workloads.registry import get_workload
+from repro.workloads.scale import TINY
+from repro.workloads.system import SimulatedSystem
+
+from tests.trace.test_events import make_trace
+
+
+class TestSampleLevelStats:
+    def test_context_switch_count(self):
+        trace = make_trace(10)  # thread ids cycle 0,1,2,0,1,2,...
+        stats = sample_level_stats(trace)
+        assert stats.context_switches == 9
+        assert stats.n_threads == 3
+
+    def test_os_share_from_kernel_process(self):
+        trace = make_trace(10)  # process ids alternate app/kernel
+        stats = sample_level_stats(trace)
+        kernel_cycles = trace.cycles[trace.process_ids == 1].sum()
+        assert stats.os_time_share == pytest.approx(
+            kernel_cycles / trace.total_cycles)
+
+    def test_thread_shares_sum_to_one(self):
+        trace = make_trace(30)
+        stats = sample_level_stats(trace)
+        assert sum(stats.thread_sample_share.values()) == pytest.approx(1.0)
+
+    def test_requires_two_samples(self):
+        trace = make_trace(5).select(np.array([0]))
+        with pytest.raises(ValueError):
+            sample_level_stats(trace)
+
+
+class TestSliceLevelStats:
+    def test_matches_scheduler_accounting(self):
+        workload = get_workload("odbc", TINY)
+        system = SimulatedSystem(itanium2(), workload, seed=0)
+        slices = system.run(20_000_000)
+        stats = slice_level_stats(slices, 900)
+        assert stats.context_switches == system.scheduler.context_switches
+        assert 0 < stats.os_time_share < 0.5
+        assert stats.n_threads >= 2
+
+
+class TestStorage:
+    def test_trace_roundtrip(self, tmp_path):
+        trace = make_trace(25)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert (loaded.eips == trace.eips).all()
+        assert loaded.cycles == pytest.approx(trace.cycles)
+        assert loaded.processes == trace.processes
+        assert loaded.sample_period == trace.sample_period
+        assert loaded.workload_name == trace.workload_name
+
+    def test_eipv_roundtrip(self, tmp_path):
+        workload = get_workload("spec.art", TINY)
+        system = SimulatedSystem(itanium2(), workload, seed=0)
+        trace = collect_trace(system, 20_000_000)
+        dataset = build_eipvs(trace, 2_000_000)
+        path = tmp_path / "eipvs.npz"
+        save_eipvs(dataset, path)
+        loaded = load_eipvs(path)
+        assert (loaded.matrix == dataset.matrix).all()
+        assert loaded.cpis == pytest.approx(dataset.cpis)
+        assert (loaded.eip_index == dataset.eip_index).all()
+        assert loaded.interval_instructions == dataset.interval_instructions
+
+    def test_metadata_roundtrip(self, tmp_path):
+        trace = make_trace(5)
+        trace.metadata["paper_quadrant"] = "Q-I"
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        assert load_trace(path).metadata["paper_quadrant"] == "Q-I"

@@ -1,0 +1,90 @@
+"""Tests for the branch predictor models."""
+
+import pytest
+
+from repro.uarch.branch import (
+    GSharePredictor,
+    TwoBitPredictor,
+    measure_misprediction_rate,
+)
+
+
+class TestTwoBit:
+    def test_initial_prediction_not_taken(self):
+        assert TwoBitPredictor().predict(0x400) is False
+
+    def test_learns_always_taken(self):
+        predictor = TwoBitPredictor()
+        for _ in range(4):
+            predictor.update(0x400, True)
+        assert predictor.predict(0x400) is True
+
+    def test_two_mistakes_needed_to_flip(self):
+        predictor = TwoBitPredictor()
+        for _ in range(8):
+            predictor.update(0x400, True)   # saturate taken
+        predictor.update(0x400, False)
+        assert predictor.predict(0x400) is True   # hysteresis
+        predictor.update(0x400, False)
+        assert predictor.predict(0x400) is False
+
+    def test_loop_branch_high_accuracy(self):
+        predictor = TwoBitPredictor()
+        # 100 iterations of a 10-iteration loop: taken 9x, not-taken 1x.
+        for _ in range(100):
+            for i in range(10):
+                predictor.update(0x400, i != 9)
+        assert predictor.stats.misprediction_rate < 0.15
+
+    def test_counters_saturate(self):
+        predictor = TwoBitPredictor(table_size=2)
+        for _ in range(100):
+            predictor.update(0, True)
+        for _ in range(100):
+            predictor.update(0, False)
+        # No over/underflow: predictions remain sane.
+        assert predictor.predict(0) is False
+
+    def test_aliasing_shares_entries(self):
+        predictor = TwoBitPredictor(table_size=4)
+        for _ in range(4):
+            predictor.update(0, True)
+        # pc 4 aliases to the same entry (4 % 4 == 0).
+        assert predictor.predict(4) is True
+
+    @pytest.mark.parametrize("size", [0, 3, 100])
+    def test_invalid_table_size(self, size):
+        with pytest.raises(ValueError):
+            TwoBitPredictor(table_size=size)
+
+
+class TestGShare:
+    def test_learns_alternating_pattern(self):
+        """Gshare captures history-correlated branches a bimodal cannot."""
+        gshare = GSharePredictor(table_size=1024, history_bits=4)
+        bimodal = TwoBitPredictor(table_size=1024)
+        pattern = [True, False]
+        for _ in range(400):
+            for taken in pattern:
+                gshare.update(0x400, taken)
+                bimodal.update(0x400, taken)
+        assert (gshare.stats.misprediction_rate
+                < bimodal.stats.misprediction_rate)
+        assert gshare.stats.misprediction_rate < 0.1
+
+    def test_history_changes_index(self):
+        predictor = GSharePredictor(table_size=16, history_bits=4)
+        predictor.update(0, True)
+        # After one taken branch the history is 1; same pc maps elsewhere.
+        assert predictor._index(0) != 0
+
+    @pytest.mark.parametrize("size,history", [(0, 4), (6, 4), (16, 0)])
+    def test_invalid_parameters(self, size, history):
+        with pytest.raises(ValueError):
+            GSharePredictor(table_size=size, history_bits=history)
+
+
+def test_measure_misprediction_rate():
+    trace = [(0x400, True)] * 50 + [(0x404, False)] * 50
+    rate = measure_misprediction_rate(TwoBitPredictor(), trace)
+    assert 0.0 <= rate < 0.2

@@ -1,0 +1,165 @@
+"""Unit and property tests for the set-associative cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch.cache import AccessType, Cache
+
+
+class TestGeometry:
+    def test_sets_computed_from_geometry(self):
+        cache = Cache(size_bytes=1024, line_bytes=64, associativity=4)
+        assert cache.num_sets == 4
+
+    def test_direct_mapped(self):
+        cache = Cache(size_bytes=512, line_bytes=64, associativity=1)
+        assert cache.num_sets == 8
+
+    def test_fully_associative(self):
+        cache = Cache(size_bytes=512, line_bytes=64, associativity=8)
+        assert cache.num_sets == 1
+
+    @pytest.mark.parametrize("size,line,ways", [
+        (0, 64, 4), (1024, 0, 4), (1024, 64, 0),
+        (1024, 48, 4),      # line not power of two
+        (1000, 64, 4),      # size not divisible
+    ])
+    def test_invalid_geometry_rejected(self, size, line, ways):
+        with pytest.raises(ValueError):
+            Cache(size_bytes=size, line_bytes=line, associativity=ways)
+
+
+class TestAccessBehaviour:
+    def test_first_access_misses_second_hits(self):
+        cache = Cache(1024, 64, 4)
+        assert cache.access(0x100) is False
+        assert cache.access(0x100) is True
+
+    def test_same_line_different_bytes_hit(self):
+        cache = Cache(1024, 64, 4)
+        cache.access(0x100)
+        assert cache.access(0x13F) is True   # same 64B line
+        assert cache.access(0x140) is False  # next line
+
+    def test_lru_eviction_order(self):
+        # 2-way, single set: third distinct line evicts the least recent.
+        cache = Cache(128, 64, 2)
+        assert cache.num_sets == 1
+        cache.access(0 * 64)
+        cache.access(1 * 64)
+        cache.access(0 * 64)          # 0 becomes MRU
+        cache.access(2 * 64)          # evicts 1
+        assert cache.probe(0 * 64) is True
+        assert cache.probe(1 * 64) is False
+        assert cache.probe(2 * 64) is True
+
+    def test_probe_does_not_mutate(self):
+        cache = Cache(128, 64, 2)
+        cache.access(0)
+        hits_before = cache.stats.hits
+        cache.probe(0)
+        cache.probe(4096)
+        assert cache.stats.hits == hits_before
+        assert cache.resident_lines() == 1
+
+    def test_flush_invalidates_but_keeps_stats(self):
+        cache = Cache(1024, 64, 4)
+        cache.access(0)
+        cache.access(0)
+        cache.flush()
+        assert cache.resident_lines() == 0
+        assert cache.stats.hits == 1
+        assert cache.access(0) is False
+
+    def test_reset_stats(self):
+        cache = Cache(1024, 64, 4)
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+        assert cache.probe(0) is True  # contents preserved
+
+    def test_per_type_stats(self):
+        cache = Cache(1024, 64, 4)
+        cache.access(0, AccessType.INSTRUCTION)
+        cache.access(0, AccessType.INSTRUCTION)
+        cache.access(4096, AccessType.LOAD)
+        by_type = cache.stats.by_type
+        assert by_type["instruction"] == [1, 1]   # [hits, misses]
+        assert by_type["load"] == [0, 1]
+
+    def test_miss_rate_zero_when_untouched(self):
+        assert Cache(1024, 64, 4).stats.miss_rate == 0.0
+
+    def test_working_set_within_capacity_all_hits_after_warmup(self):
+        cache = Cache(4096, 64, 4)
+        lines = [i * 64 for i in range(4096 // 64)]
+        for address in lines:
+            cache.access(address)
+        cache.reset_stats()
+        for address in lines:
+            assert cache.access(address) is True
+        assert cache.stats.miss_rate == 0.0
+
+    def test_streaming_beyond_capacity_always_misses(self):
+        cache = Cache(1024, 64, 2)
+        for address in range(0, 1 << 20, 64):
+            assert cache.access(address) is False
+
+
+class _ReferenceLRU:
+    """Brute-force LRU model used as the hypothesis oracle."""
+
+    def __init__(self, num_sets, ways, line):
+        self.num_sets = num_sets
+        self.ways = ways
+        self.line = line
+        self.sets = [[] for _ in range(num_sets)]
+
+    def access(self, address):
+        line = address // self.line
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        entry = self.sets[index]
+        hit = tag in entry
+        if hit:
+            entry.remove(tag)
+        elif len(entry) == self.ways:
+            entry.pop(0)
+        if not hit:
+            pass
+        entry.append(tag)
+        return hit
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    addresses=st.lists(st.integers(min_value=0, max_value=8191),
+                       min_size=1, max_size=300),
+    ways=st.sampled_from([1, 2, 4]),
+    sets_log=st.integers(min_value=0, max_value=3),
+)
+def test_matches_reference_lru(addresses, ways, sets_log):
+    """Trace-for-trace equivalence with an independent LRU model."""
+    line = 64
+    num_sets = 1 << sets_log
+    cache = Cache(line * ways * num_sets, line, ways)
+    reference = _ReferenceLRU(num_sets, ways, line)
+    for address in addresses:
+        assert cache.access(address) == reference.access(address)
+
+
+@settings(max_examples=40, deadline=None)
+@given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                          min_size=1, max_size=200))
+def test_stats_invariants(addresses):
+    cache = Cache(2048, 64, 4)
+    for address in addresses:
+        cache.access(address)
+    stats = cache.stats
+    assert stats.hits + stats.misses == len(addresses)
+    assert 0.0 <= stats.miss_rate <= 1.0
+    assert cache.resident_lines() <= cache.num_sets * cache.associativity
+    # Every resident line was installed by a miss.
+    assert cache.resident_lines() <= stats.misses

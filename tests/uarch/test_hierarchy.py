@@ -1,0 +1,105 @@
+"""Tests for the multi-level cache hierarchy."""
+
+import pytest
+
+from repro.uarch.cache import AccessType, Cache
+from repro.uarch.hierarchy import CacheHierarchy
+from repro.uarch.machine import itanium2
+
+
+def small_hierarchy(with_l3=True):
+    l3 = Cache(4096, 64, 4, "L3") if with_l3 else None
+    latencies = {"L1": 1, "L2": 6, "memory": 200}
+    if with_l3:
+        latencies["L3"] = 14
+    return CacheHierarchy(
+        l1i=Cache(256, 64, 2, "L1I"),
+        l1d=Cache(256, 64, 2, "L1D"),
+        l2=Cache(1024, 64, 4, "L2"),
+        l3=l3,
+        latencies=latencies,
+    )
+
+
+class TestPropagation:
+    def test_cold_access_served_by_memory(self):
+        hierarchy = small_hierarchy()
+        result = hierarchy.access(0x1000, AccessType.LOAD)
+        assert result.level == "memory"
+        assert result.latency == 200
+
+    def test_second_access_served_by_l1(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access(0x1000, AccessType.LOAD)
+        result = hierarchy.access(0x1000, AccessType.LOAD)
+        assert result.level == "L1"
+        assert result.latency == 1
+
+    def test_l1_eviction_falls_back_to_l2(self):
+        hierarchy = small_hierarchy()
+        # L1D holds 4 lines (256B/64B); stream 8 lines then revisit line 0:
+        # evicted from L1 but still in the larger L2.
+        for i in range(8):
+            hierarchy.access(i * 64, AccessType.LOAD)
+        result = hierarchy.access(0, AccessType.LOAD)
+        assert result.level == "L2"
+
+    def test_instruction_accesses_use_l1i(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access(0x2000, AccessType.INSTRUCTION)
+        assert hierarchy.l1i.stats.accesses == 1
+        assert hierarchy.l1d.stats.accesses == 0
+
+    def test_l1_hit_does_not_touch_l2(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access(0, AccessType.LOAD)
+        l2_accesses = hierarchy.l2.stats.accesses
+        hierarchy.access(0, AccessType.LOAD)
+        assert hierarchy.l2.stats.accesses == l2_accesses
+
+    def test_no_l3_hierarchy(self):
+        hierarchy = small_hierarchy(with_l3=False)
+        result = hierarchy.access(0x1000, AccessType.LOAD)
+        assert result.level == "memory"
+        assert "L3" not in hierarchy.miss_rates()
+
+    def test_flush_clears_all_levels(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access(0, AccessType.LOAD)
+        hierarchy.flush()
+        assert hierarchy.l1d.resident_lines() == 0
+        assert hierarchy.l2.resident_lines() == 0
+        assert hierarchy.l3.resident_lines() == 0
+
+    def test_stats_fractions_sum_to_one(self):
+        hierarchy = small_hierarchy()
+        for i in range(50):
+            hierarchy.access(i * 64, AccessType.LOAD)
+        for i in range(25):
+            hierarchy.access(i * 64, AccessType.LOAD)
+        total = sum(hierarchy.stats.fraction(level)
+                    for level in ("L1", "L2", "L3", "memory"))
+        assert total == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_missing_latency_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(
+                l1i=Cache(256, 64, 2), l1d=Cache(256, 64, 2),
+                l2=Cache(1024, 64, 4), l3=None,
+                latencies={"L1": 1})
+
+    def test_l3_latency_required_when_l3_present(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(
+                l1i=Cache(256, 64, 2), l1d=Cache(256, 64, 2),
+                l2=Cache(1024, 64, 4), l3=Cache(4096, 64, 4),
+                latencies={"L1": 1, "L2": 6, "memory": 200})
+
+
+def test_machine_builds_working_hierarchy():
+    hierarchy = itanium2().build_hierarchy()
+    result = hierarchy.access(0x40000000, AccessType.LOAD)
+    assert result.level == "memory"
+    assert hierarchy.access(0x40000000, AccessType.LOAD).level == "L1"

@@ -1,0 +1,78 @@
+"""Tests for machine configurations."""
+
+import pytest
+
+from repro.uarch.machine import (
+    MACHINES,
+    CacheConfig,
+    MachineConfig,
+    get_machine,
+    itanium2,
+    pentium4,
+    xeon,
+)
+
+
+class TestPresets:
+    def test_all_presets_construct(self):
+        for name in MACHINES:
+            machine = get_machine(name)
+            assert machine.name == name
+
+    def test_itanium2_matches_paper_setup(self):
+        machine = itanium2()
+        assert machine.frequency_mhz == 900
+        assert machine.processors == 4
+        assert machine.cache_size("L3") == 3 * 1024 * 1024
+        assert machine.cache_size("L2") == 256 * 1024
+        # Paper: 64 KB split L1 (32 KB I + 32 KB D).
+        assert machine.cache_size("L1I") + machine.cache_size("L1D") \
+            == 64 * 1024
+
+    def test_pentium4_has_no_l3(self):
+        machine = pentium4()
+        assert machine.l3 is None
+        assert machine.cache_size("L3") == 0
+
+    def test_xeon_l3_smaller_than_itanium(self):
+        assert xeon().cache_size("L3") < itanium2().cache_size("L3")
+
+    def test_unknown_machine_raises(self):
+        with pytest.raises(KeyError, match="itanium2"):
+            get_machine("cray")
+
+    def test_unknown_cache_level_raises(self):
+        with pytest.raises(KeyError):
+            itanium2().cache_size("L4")
+
+    def test_base_cpi_floor(self):
+        assert itanium2().base_cpi_floor == pytest.approx(1 / 6)
+
+
+class TestValidation:
+    def test_missing_latency_rejected(self):
+        with pytest.raises(ValueError, match="missing latencies"):
+            MachineConfig(
+                name="broken", frequency_mhz=1000, processors=1,
+                issue_width=2, mispredict_penalty=10,
+                l1i=CacheConfig(1024, 64, 2),
+                l1d=CacheConfig(1024, 64, 2),
+                l2=CacheConfig(4096, 64, 4),
+                l3=None,
+                latencies={"L1": 1, "L2": 5})
+
+    def test_l3_latency_required_with_l3(self):
+        with pytest.raises(ValueError):
+            MachineConfig(
+                name="broken", frequency_mhz=1000, processors=1,
+                issue_width=2, mispredict_penalty=10,
+                l1i=CacheConfig(1024, 64, 2),
+                l1d=CacheConfig(1024, 64, 2),
+                l2=CacheConfig(4096, 64, 4),
+                l3=CacheConfig(65536, 64, 8),
+                latencies={"L1": 1, "L2": 5, "memory": 100})
+
+    def test_cache_config_builds_cache(self):
+        cache = CacheConfig(1024, 64, 4).build("L1")
+        assert cache.name == "L1"
+        assert cache.size_bytes == 1024

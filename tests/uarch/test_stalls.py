@@ -1,0 +1,82 @@
+"""Tests for CPI-breakdown accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.uarch.stalls import COMPONENTS, CPIBreakdown
+
+
+def breakdown(instructions=100, work=50.0, fe=10.0, exe=30.0, other=10.0):
+    return CPIBreakdown(instructions=instructions, work=work, fe=fe,
+                        exe=exe, other=other)
+
+
+class TestBasics:
+    def test_cycles_and_cpi(self):
+        b = breakdown()
+        assert b.cycles == 100.0
+        assert b.cpi == pytest.approx(1.0)
+
+    def test_component_cpi(self):
+        b = breakdown()
+        assert b.component_cpi("exe") == pytest.approx(0.3)
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(KeyError):
+            breakdown().component_cpi("l3")
+
+    def test_fractions_sum_to_one(self):
+        fractions = breakdown().fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert set(fractions) == set(COMPONENTS)
+
+    def test_empty_breakdown(self):
+        zero = CPIBreakdown.zero()
+        assert zero.cpi == 0.0
+        assert all(v == 0.0 for v in zero.fractions().values())
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            CPIBreakdown(10, -1.0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            CPIBreakdown(-1, 1.0, 0, 0, 0)
+
+    def test_addition(self):
+        total = breakdown() + breakdown(instructions=200, work=100.0)
+        assert total.instructions == 300
+        assert total.work == 150.0
+        assert total.fe == 20.0
+
+    def test_accumulate(self):
+        parts = [breakdown() for _ in range(5)]
+        total = CPIBreakdown.accumulate(parts)
+        assert total.instructions == 500
+        assert total.cycles == pytest.approx(500.0)
+
+
+component_values = st.floats(min_value=0.0, max_value=1e6,
+                             allow_nan=False)
+
+
+@given(
+    a=st.tuples(st.integers(0, 10**7), component_values, component_values,
+                component_values, component_values),
+    b=st.tuples(st.integers(0, 10**7), component_values, component_values,
+                component_values, component_values),
+)
+def test_addition_properties(a, b):
+    """Addition is commutative, preserves totals, and keeps CPI bounded."""
+    x = CPIBreakdown(*a)
+    y = CPIBreakdown(*b)
+    s1 = x + y
+    s2 = y + x
+    assert s1.instructions == s2.instructions
+    assert s1.cycles == pytest.approx(s2.cycles)
+    assert s1.cycles == pytest.approx(x.cycles + y.cycles)
+    if s1.instructions > 0:
+        low = min(x.cpi if x.instructions else s1.cpi,
+                  y.cpi if y.instructions else s1.cpi)
+        high = max(x.cpi if x.instructions else s1.cpi,
+                   y.cpi if y.instructions else s1.cpi)
+        assert low - 1e-6 <= s1.cpi <= high + 1e-6

@@ -1,0 +1,104 @@
+"""Tests for the table / buffer-pool / schema models."""
+
+import pytest
+
+from repro.workloads.database import (
+    GB,
+    PAGE_BYTES,
+    BufferPool,
+    Database,
+    Table,
+    odbc_database,
+    odbh_database,
+)
+
+
+class TestTable:
+    def test_sizes(self):
+        table = Table("t", rows=1000, row_bytes=100)
+        assert table.bytes == 100_000
+        assert table.pages == 100_000 // PAGE_BYTES
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Table("t", rows=0, row_bytes=10)
+        with pytest.raises(ValueError):
+            Table("t", rows=10, row_bytes=0)
+
+
+class TestBufferPool:
+    def test_pin_within_capacity(self):
+        pool = BufferPool(1_000_000)
+        table = Table("t", rows=100, row_bytes=100)
+        assert pool.pin(table) == 1.0
+        assert pool.resident_fraction(table) == 1.0
+
+    def test_pin_beyond_capacity_partial(self):
+        pool = BufferPool(5_000)
+        table = Table("t", rows=100, row_bytes=100)
+        assert pool.pin(table) == 0.5
+
+    def test_pinning_order_matters(self):
+        pool = BufferPool(10_000)
+        hot = Table("hot", rows=80, row_bytes=100)
+        cold = Table("cold", rows=100, row_bytes=100)
+        pool.pin(hot)
+        fraction = pool.pin(cold)
+        assert fraction == pytest.approx(0.2)
+        assert pool.free_bytes == 0
+
+    def test_repin_is_idempotent(self):
+        pool = BufferPool(10_000)
+        table = Table("t", rows=50, row_bytes=100)
+        pool.pin(table)
+        assert pool.pin(table) == 1.0
+        assert pool.used_bytes == 5_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+
+class TestDatabase:
+    def test_add_and_lookup(self):
+        database = Database("d", BufferPool(1_000_000))
+        table = database.add_table(Table("t", rows=10, row_bytes=10))
+        assert database.table("t") is table
+
+    def test_duplicate_table_rejected(self):
+        database = Database("d", BufferPool(1_000_000))
+        database.add_table(Table("t", rows=10, row_bytes=10))
+        with pytest.raises(ValueError):
+            database.add_table(Table("t", rows=10, row_bytes=10))
+
+    def test_unknown_table_raises_with_known_names(self):
+        database = Database("d", BufferPool(1_000_000))
+        database.add_table(Table("orders", rows=10, row_bytes=10))
+        with pytest.raises(KeyError, match="orders"):
+            database.table("nope")
+
+
+class TestSchemas:
+    def test_odbh_schema_shape(self):
+        database = odbh_database()
+        # Lineitem dominates, as in TPC-H.
+        lineitem = database.table("lineitem")
+        assert lineitem.bytes == max(t.bytes for t in database.tables)
+        # 30 GB scale: total data is tens of GB, far beyond the 2 GB SGA.
+        assert database.total_bytes() > 5 * database.pool.capacity_bytes
+
+    def test_odbh_scaling(self):
+        small = odbh_database(scale_gb=3)
+        big = odbh_database(scale_gb=30)
+        assert big.table("lineitem").rows \
+            == pytest.approx(10 * small.table("lineitem").rows, rel=0.01)
+
+    def test_odbc_schema_shape(self):
+        database = odbc_database(warehouses=800)
+        # Paper setup: 14 GB SGA holds most of the working set.
+        assert database.pool.capacity_bytes == 14 * GB
+        assert database.table("stock").rows == 800 * 100_000
+
+    def test_odbc_warehouse_scaling(self):
+        assert odbc_database(warehouses=10).table("customer").rows \
+            == 300_000

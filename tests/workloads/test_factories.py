@@ -1,0 +1,143 @@
+"""Tests for the workload registry and every benchmark factory."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.machine import itanium2
+from repro.workloads.dss import QUERY_NAMES, QUERY_SPECS, odbh_query_workload
+from repro.workloads.query_ops import build_index
+from repro.workloads.registry import get_workload, workload_names
+from repro.workloads.scale import PAPER, SCALES, TINY, get_scale
+from repro.workloads.spec import SPEC_NAMES, SPEC_SPECS, spec_workload
+from repro.workloads.system import SimulatedSystem
+
+
+class TestRegistry:
+    def test_census_has_fifty_workloads(self):
+        names = workload_names()
+        assert len(names) == 50
+        assert names[0] == "odbc"
+        assert "odbh.q13" in names
+        assert "spec.mcf" in names
+
+    def test_every_workload_builds(self):
+        for name in workload_names():
+            workload = get_workload(name, TINY)
+            assert workload.threads
+            assert "paper_quadrant" in workload.metadata
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError, match="odbc"):
+            get_workload("doom")
+
+    def test_filters(self):
+        assert len(workload_names(include_spec=False)) == 24
+        assert len(workload_names(include_dss=False)) == 28
+        assert len(workload_names(include_server=False)) == 48
+
+
+class TestScales:
+    def test_presets(self):
+        assert set(SCALES) == {"tiny", "default", "paper"}
+        assert get_scale("tiny") is TINY
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_eips_scaling(self):
+        assert PAPER.eips(1000) == 1000
+        assert TINY.eips(1000) == 20
+        assert TINY.eips(10, minimum=8) == 8
+
+    def test_validation(self):
+        from repro.workloads.scale import WorkloadScale
+        with pytest.raises(ValueError):
+            WorkloadScale(name="x", eip_scale=0, server_threads=1)
+        with pytest.raises(ValueError):
+            WorkloadScale(name="x", eip_scale=1, server_threads=0)
+
+
+class TestDSS:
+    def test_twenty_two_queries(self):
+        assert len(QUERY_NAMES) == 22
+        assert QUERY_NAMES[0] == "Q1"
+
+    def test_quadrant_census_matches_paper_counts(self):
+        counts = {}
+        for spec in QUERY_SPECS:
+            counts[spec.quadrant] = counts.get(spec.quadrant, 0) + 1
+        assert counts == {"Q-I": 4, "Q-II": 2, "Q-III": 7, "Q-IV": 9}
+
+    def test_q13_and_q18_archetypes(self):
+        q13 = odbh_query_workload("Q13", TINY)
+        q18 = odbh_query_workload("Q18", TINY)
+        assert q13.metadata["paper_quadrant"] == "Q-IV"
+        assert q18.metadata["paper_quadrant"] == "Q-III"
+        # Q18's plan must include a modulated (index-scan) region.
+        assert any(r.modulator is not None for r in q18.all_regions)
+        assert all(r.modulator is None for r in q13.all_regions)
+
+    def test_unknown_query(self):
+        with pytest.raises(KeyError):
+            odbh_query_workload("Q23")
+
+    def test_slaves_share_schedule(self):
+        workload = odbh_query_workload("Q13", TINY)
+        programs = {id(t.program) for t in workload.threads}
+        assert len(programs) == 1
+
+    def test_index_uses_real_btree(self):
+        from repro.workloads.database import odbh_database
+        tree = build_index(odbh_database().table("orders"))
+        assert tree.height >= 3
+
+
+class TestSpec:
+    def test_twenty_six_benchmarks(self):
+        assert len(SPEC_NAMES) == 26
+
+    def test_quadrant_census_matches_paper_counts(self):
+        counts = {}
+        for spec in SPEC_SPECS:
+            counts[spec.quadrant] = counts.get(spec.quadrant, 0) + 1
+        assert counts == {"Q-I": 13, "Q-II": 3, "Q-III": 7, "Q-IV": 3}
+
+    def test_gcc_and_gap_in_q3(self):
+        for name in ("gcc", "gap"):
+            workload = spec_workload(name, TINY)
+            assert workload.metadata["paper_quadrant"] == "Q-III"
+
+    def test_single_user_thread(self):
+        workload = spec_workload("gzip", TINY)
+        assert len(workload.threads) == 1
+
+    def test_suites(self):
+        suites = {spec.suite for spec in SPEC_SPECS}
+        assert suites == {"int", "fp"}
+        assert sum(s.suite == "int" for s in SPEC_SPECS) == 12
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            spec_workload("doom")
+
+
+class TestEIPDisjointness:
+    @pytest.mark.parametrize("name", ["odbc", "sjas", "odbh.q18",
+                                      "spec.gcc"])
+    def test_region_eip_ranges_do_not_overlap(self, name):
+        workload = get_workload(name, TINY)
+        ranges = sorted((r.eip_base, r.eip_end)
+                        for r in workload.all_regions)
+        for (_, end_a), (start_b, _) in zip(ranges, ranges[1:]):
+            assert start_b >= end_a
+
+
+@pytest.mark.parametrize("name", ["odbc", "odbh.q13", "spec.art"])
+def test_workloads_run_end_to_end_at_tiny_scale(name):
+    workload = get_workload(name, TINY)
+    system = SimulatedSystem(itanium2(), workload, seed=0)
+    slices = system.run(2_000_000)
+    assert sum(s.instructions for s in slices) == 2_000_000
+    cpis = np.array([s.cpi for s in slices])
+    assert (cpis > 0.1).all() and (cpis < 60).all()

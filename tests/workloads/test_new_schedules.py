@@ -1,0 +1,178 @@
+"""Tests for CyclicMixSchedule, EpisodeState sharing, and OUModulator."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.cpu import ExecutionProfile
+from repro.workloads.program import (
+    CyclicMixSchedule,
+    EpisodeState,
+    EpisodicSchedule,
+    FlatMixSchedule,
+)
+from repro.workloads.regions import CodeRegion, OUModulator
+
+RNG = np.random.default_rng(0)
+
+
+def make_regions(n, prefix="r"):
+    return [CodeRegion(name=f"{prefix}{i}", eip_base=0x1000 * (i + 1),
+                       n_eips=4, profile=ExecutionProfile())
+            for i in range(n)]
+
+
+class TestCyclicMixSchedule:
+    def make(self, concentration=1e6):
+        regions = make_regions(2)
+        phases = [([0.9, 0.1], 100), ([0.1, 0.9], 100)]
+        return regions, CyclicMixSchedule(regions, phases,
+                                          dirichlet_concentration=concentration)
+
+    def test_pure_phase_weights(self):
+        regions, schedule = self.make()
+        plan = schedule.advance(RNG, 50)
+        weights = dict((r.name, w) for r, w in plan.parts)
+        assert weights["r0"] == pytest.approx(0.9, abs=0.01)
+
+    def test_boundary_chunk_blends_phases(self):
+        regions, schedule = self.make()
+        schedule.advance(RNG, 50)
+        plan = schedule.advance(RNG, 100)  # 50 in each phase
+        weights = dict((r.name, w) for r, w in plan.parts)
+        assert weights["r0"] == pytest.approx(0.5, abs=0.01)
+
+    def test_wraps_and_resets(self):
+        regions, schedule = self.make()
+        schedule.advance(RNG, 150)   # into phase 2
+        schedule.reset()
+        plan = schedule.advance(RNG, 10)
+        weights = dict((r.name, w) for r, w in plan.parts)
+        assert weights["r0"] == pytest.approx(0.9, abs=0.01)
+
+    def test_chunk_longer_than_cycle_averages(self):
+        regions, schedule = self.make()
+        plan = schedule.advance(RNG, 400)  # two full cycles
+        weights = dict((r.name, w) for r, w in plan.parts)
+        assert weights["r0"] == pytest.approx(0.5, abs=0.01)
+
+    def test_dirichlet_noise_scales_with_concentration(self):
+        regions_a, tight = self.make(concentration=1e5)
+        regions_b, loose = self.make(concentration=20)
+        tight_draws = [dict((r.name, w) for r, w in
+                            tight.advance(RNG, 10).parts)["r0"]
+                       for _ in range(50)]
+        loose.reset()
+        loose_draws = [dict((r.name, w) for r, w in
+                            loose.advance(RNG, 10).parts)["r0"]
+                       for _ in range(5)]
+        # reset both to phase 0 between draws is unnecessary for spread
+        assert np.std(tight_draws[:5]) < 0.05
+
+    def test_validation(self):
+        regions = make_regions(2)
+        with pytest.raises(ValueError):
+            CyclicMixSchedule([], [([1.0], 10)])
+        with pytest.raises(ValueError):
+            CyclicMixSchedule(regions, [])
+        with pytest.raises(ValueError):
+            CyclicMixSchedule(regions, [([0.5], 10)])   # wrong width
+        with pytest.raises(ValueError):
+            CyclicMixSchedule(regions, [([0.5, 0.5], 0)])
+        with pytest.raises(ValueError):
+            CyclicMixSchedule(regions, [([-1.0, 2.0], 10)])
+        schedule = CyclicMixSchedule(regions, [([0.5, 0.5], 10)])
+        with pytest.raises(ValueError):
+            schedule.advance(RNG, 0)
+
+
+class TestEpisodeState:
+    def test_rate_zero_never_fires(self):
+        state = EpisodeState(rate=0.0, mean_length=10)
+        assert not any(state.step(RNG) for _ in range(200))
+
+    def test_rate_one_always_active(self):
+        state = EpisodeState(rate=1.0, mean_length=5)
+        assert all(state.step(RNG) for _ in range(50))
+
+    def test_shared_state_synchronizes_schedules(self):
+        """Stop-the-world: two schedules sharing one state see episodes at
+        the same time steps."""
+        regions = make_regions(2)
+        episode = make_regions(1, prefix="gc")[0]
+        state = EpisodeState(rate=0.2, mean_length=3)
+        schedules = [
+            EpisodicSchedule(FlatMixSchedule([regions[i]]), episode,
+                             rate=0.0, mean_length=1, episode_weight=0.5,
+                             state=state)
+            for i in range(2)
+        ]
+        # Alternate advances: the state steps once per advance, so "active"
+        # stretches are interleaved but driven by one process.
+        active_counts = 0
+        for _ in range(200):
+            for schedule in schedules:
+                plan = schedule.advance(RNG, 10)
+                if episode in plan.regions:
+                    active_counts += 1
+        assert active_counts > 0
+
+    def test_mean_episode_fraction(self):
+        state = EpisodeState(rate=0.01, mean_length=50)
+        active = sum(state.step(RNG) for _ in range(20_000))
+        fraction = active / 20_000
+        # Expected ~ rate*mean/(1+rate*mean) = 1/3.
+        assert 0.2 < fraction < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EpisodeState(rate=1.5, mean_length=10)
+        with pytest.raises(ValueError):
+            EpisodeState(rate=0.5, mean_length=0)
+
+    def test_reset(self):
+        state = EpisodeState(rate=1.0, mean_length=1000)
+        state.step(RNG)
+        state.reset()
+        assert state._chunks_left == 0
+
+
+class TestOUModulator:
+    def test_stationary_spread(self):
+        modulator = OUModulator(sigma=0.02, rho=0.5)
+        profile = ExecutionProfile(data_locality=0.5)
+        rng = np.random.default_rng(1)
+        values = np.array([modulator.modulate(profile, rng).data_locality
+                           for _ in range(5000)])
+        assert np.std(values) == pytest.approx(0.02, abs=0.004)
+        assert np.mean(values) == pytest.approx(0.5, abs=0.01)
+
+    def test_autocorrelation(self):
+        modulator = OUModulator(sigma=0.02, rho=0.99)
+        profile = ExecutionProfile(data_locality=0.5)
+        rng = np.random.default_rng(2)
+        values = np.array([modulator.modulate(profile, rng).data_locality
+                           for _ in range(2000)])
+        lag1 = np.corrcoef(values[:-1], values[1:])[0, 1]
+        assert lag1 > 0.9
+
+    def test_clamped_to_unit_interval(self):
+        modulator = OUModulator(sigma=0.5, rho=0.0)
+        profile = ExecutionProfile(data_locality=0.95)
+        rng = np.random.default_rng(3)
+        for _ in range(500):
+            value = modulator.modulate(profile, rng).data_locality
+            assert 0.0 <= value <= 1.0
+
+    def test_reset(self):
+        modulator = OUModulator(sigma=0.1, rho=0.9)
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            modulator.modulate(ExecutionProfile(), rng)
+        modulator.reset()
+        assert modulator._x == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OUModulator(sigma=-0.1)
+        with pytest.raises(ValueError):
+            OUModulator(sigma=0.1, rho=1.0)

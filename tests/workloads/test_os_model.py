@@ -1,0 +1,148 @@
+"""Tests for the scheduler and OS model."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.cpu import ExecutionProfile
+from repro.workloads.os_model import (
+    Scheduler,
+    SchedulerConfig,
+    make_kernel_thread,
+)
+from repro.workloads.program import FlatMixSchedule, Program
+from repro.workloads.regions import CodeRegion
+from repro.workloads.thread_model import WorkloadThread
+
+
+def user_thread(thread_id, weight=1.0):
+    region = CodeRegion(name=f"u{thread_id}", eip_base=0x1000 * (thread_id + 1),
+                        n_eips=4, profile=ExecutionProfile())
+    return WorkloadThread(thread_id=thread_id, process="app",
+                          program=Program(f"p{thread_id}",
+                                          FlatMixSchedule([region])),
+                          weight=weight)
+
+
+class TestKernelThread:
+    def test_kernel_thread_properties(self):
+        kernel = make_kernel_thread(thread_id=9, n_eips=30)
+        assert kernel.is_kernel
+        assert kernel.process == "kernel"
+        total = sum(r.n_eips for r in kernel.program.regions)
+        assert total == 30
+
+    def test_minimum_eips(self):
+        with pytest.raises(ValueError):
+            make_kernel_thread(thread_id=0, n_eips=2)
+
+
+class TestSchedulerConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"mean_quantum": 0},
+        {"mean_quantum": 100, "os_share": 1.0},
+        {"mean_quantum": 100, "cold_warmth": 0.0},
+        {"mean_quantum": 100, "kernel_quantum_divisor": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SchedulerConfig(**kwargs)
+
+
+class TestScheduler:
+    def test_needs_user_threads(self):
+        with pytest.raises(ValueError):
+            Scheduler([], SchedulerConfig(mean_quantum=100))
+
+    def test_os_share_requires_kernel(self):
+        with pytest.raises(ValueError):
+            Scheduler([user_thread(0)],
+                      SchedulerConfig(mean_quantum=100, os_share=0.1))
+
+    def test_weighted_selection(self):
+        heavy = user_thread(0, weight=9.0)
+        light = user_thread(1, weight=1.0)
+        scheduler = Scheduler([heavy, light],
+                              SchedulerConfig(mean_quantum=100))
+        rng = np.random.default_rng(0)
+        picks = [scheduler.next_slice(rng)[0].thread_id
+                 for _ in range(2000)]
+        share = picks.count(0) / len(picks)
+        assert share == pytest.approx(0.9, abs=0.03)
+
+    def test_kernel_share(self):
+        kernel = make_kernel_thread(thread_id=5, n_eips=9)
+        scheduler = Scheduler([user_thread(0)],
+                              SchedulerConfig(mean_quantum=100,
+                                              os_share=0.3),
+                              kernel_thread=kernel)
+        rng = np.random.default_rng(1)
+        picks = [scheduler.next_slice(rng)[0].is_kernel
+                 for _ in range(2000)]
+        assert np.mean(picks) == pytest.approx(0.3, abs=0.03)
+
+    def test_kernel_slices_shorter(self):
+        kernel = make_kernel_thread(thread_id=5, n_eips=9)
+        scheduler = Scheduler(
+            [user_thread(0)],
+            SchedulerConfig(mean_quantum=8000, os_share=0.5,
+                            kernel_quantum_divisor=8),
+            kernel_thread=kernel)
+        rng = np.random.default_rng(2)
+        kernel_lengths = []
+        user_lengths = []
+        for _ in range(2000):
+            thread, length = scheduler.next_slice(rng)
+            (kernel_lengths if thread.is_kernel else
+             user_lengths).append(length)
+        assert np.mean(kernel_lengths) < np.mean(user_lengths) / 4
+
+    def test_context_switch_counting(self):
+        threads = [user_thread(0), user_thread(1)]
+        scheduler = Scheduler(threads, SchedulerConfig(mean_quantum=100))
+        rng = np.random.default_rng(3)
+        previous = None
+        expected = 0
+        for _ in range(500):
+            thread, _ = scheduler.next_slice(rng)
+            if previous is not None and thread is not previous:
+                expected += 1
+            previous = thread
+        assert scheduler.context_switches == expected
+        assert expected > 0
+
+    def test_warmth_cold_after_switch_recovers_when_running(self):
+        threads = [user_thread(0), user_thread(1)]
+        config = SchedulerConfig(mean_quantum=100, cold_warmth=0.5)
+        scheduler = Scheduler(threads, config)
+        rng = np.random.default_rng(4)
+        previous = None
+        for _ in range(500):
+            thread, _ = scheduler.next_slice(rng)
+            if thread is not previous:
+                assert thread.warmth == pytest.approx(0.5)
+            else:
+                assert thread.warmth > 0.5
+            previous = thread
+
+    def test_reset(self):
+        threads = [user_thread(0), user_thread(1)]
+        scheduler = Scheduler(threads, SchedulerConfig(mean_quantum=100))
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            scheduler.next_slice(rng)
+        scheduler.reset()
+        assert scheduler.context_switches == 0
+        assert scheduler.current is None
+        assert all(t.warmth == 1.0 for t in threads)
+
+
+class TestWorkloadThread:
+    def test_validation(self):
+        region = CodeRegion(name="r", eip_base=0, n_eips=2,
+                            profile=ExecutionProfile())
+        program = Program("p", FlatMixSchedule([region]))
+        with pytest.raises(ValueError):
+            WorkloadThread(thread_id=-1, process="x", program=program)
+        with pytest.raises(ValueError):
+            WorkloadThread(thread_id=0, process="x", program=program,
+                           weight=0)

@@ -1,0 +1,154 @@
+"""Tests for the simulated system (slice stream, contention, determinism)."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.cpu import ExecutionProfile
+from repro.uarch.machine import itanium2
+from repro.workloads.os_model import SchedulerConfig
+from repro.workloads.program import FlatMixSchedule, Program
+from repro.workloads.regions import CodeRegion
+from repro.workloads.system import (
+    ContentionModel,
+    SimulatedSystem,
+    Workload,
+)
+from repro.workloads.thread_model import WorkloadThread
+
+
+def tiny_workload(n_threads=2, contention=None, jitter=0.05):
+    threads = []
+    for i in range(n_threads):
+        region = CodeRegion(name=f"r{i}", eip_base=0x1000 * (i + 1),
+                            n_eips=8, profile=ExecutionProfile(),
+                            jitter=jitter)
+        threads.append(WorkloadThread(
+            thread_id=i, process="app",
+            program=Program(f"p{i}", FlatMixSchedule([region]))))
+    return Workload(
+        name="tiny",
+        threads=threads,
+        scheduler=SchedulerConfig(mean_quantum=5_000),
+        sample_period=10_000,
+        contention=contention,
+    )
+
+
+class TestSliceStream:
+    def test_slices_cover_exact_total(self):
+        system = SimulatedSystem(itanium2(), tiny_workload(), seed=0)
+        slices = system.run(100_000)
+        assert sum(s.instructions for s in slices) == 100_000
+        assert slices[0].start_instruction == 0
+        for a, b in zip(slices, slices[1:]):
+            assert b.start_instruction == a.end_instruction
+
+    def test_cycles_monotonic(self):
+        system = SimulatedSystem(itanium2(), tiny_workload(), seed=0)
+        slices = system.run(100_000)
+        for a, b in zip(slices, slices[1:]):
+            assert b.start_cycle == pytest.approx(a.end_cycle)
+            assert b.end_cycle > b.start_cycle
+
+    def test_deterministic_under_seed(self):
+        run1 = SimulatedSystem(itanium2(), tiny_workload(), seed=7) \
+            .run(50_000)
+        run2 = SimulatedSystem(itanium2(), tiny_workload(), seed=7) \
+            .run(50_000)
+        assert [s.thread_id for s in run1] == [s.thread_id for s in run2]
+        assert [s.breakdown.cycles for s in run1] \
+            == [s.breakdown.cycles for s in run2]
+
+    def test_different_seeds_differ(self):
+        run1 = SimulatedSystem(itanium2(), tiny_workload(), seed=1) \
+            .run(50_000)
+        run2 = SimulatedSystem(itanium2(), tiny_workload(), seed=2) \
+            .run(50_000)
+        assert [s.breakdown.cycles for s in run1] \
+            != [s.breakdown.cycles for s in run2]
+
+    def test_invalid_total_rejected(self):
+        system = SimulatedSystem(itanium2(), tiny_workload(), seed=0)
+        with pytest.raises(ValueError):
+            list(system.slices(0))
+
+    def test_reset_reproduces_run(self):
+        system = SimulatedSystem(itanium2(), tiny_workload(), seed=3)
+        first = [s.breakdown.cycles for s in system.run(30_000)]
+        system.reset(seed=3)
+        second = [s.breakdown.cycles for s in system.run(30_000)]
+        assert first == second
+
+    def test_cpi_in_sane_range(self):
+        system = SimulatedSystem(itanium2(), tiny_workload(), seed=0)
+        for piece in system.run(100_000):
+            assert 0.1 < piece.cpi < 50
+
+
+class TestContention:
+    def test_contention_changes_exe_only(self):
+        base = SimulatedSystem(itanium2(), tiny_workload(jitter=0.0),
+                               seed=5).run(50_000)
+        noisy = SimulatedSystem(
+            itanium2(),
+            tiny_workload(contention=ContentionModel(sigma=0.5, rho=0.5),
+                          jitter=0.0),
+            seed=5).run(50_000)
+        assert len(base) == len(noisy)
+        for a, b in zip(base, noisy):
+            assert a.breakdown.work == pytest.approx(b.breakdown.work)
+            assert a.breakdown.other == pytest.approx(b.breakdown.other)
+
+    def test_contention_factors_autocorrelated(self):
+        model = ContentionModel(sigma=0.3, rho=0.99)
+        rng = np.random.default_rng(0)
+        values = np.log([model.next_factors(rng)[0] for _ in range(500)])
+        lag1 = np.corrcoef(values[:-1], values[1:])[0, 1]
+        assert lag1 > 0.9
+
+    def test_contention_stationary_spread(self):
+        model = ContentionModel(sigma=0.2, rho=0.5)
+        rng = np.random.default_rng(1)
+        values = np.log([model.next_factors(rng)[0] for _ in range(4000)])
+        assert np.std(values) == pytest.approx(0.2, abs=0.03)
+
+    def test_zero_sigma_is_identity(self):
+        model = ContentionModel(sigma=0.0)
+        rng = np.random.default_rng(2)
+        assert model.next_factors(rng) == (1.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContentionModel(sigma=-0.1)
+        with pytest.raises(ValueError):
+            ContentionModel(sigma=0.1, rho=1.0)
+        with pytest.raises(ValueError):
+            ContentionModel(sigma=0.1, fe_coupling=2.0)
+
+    def test_reset(self):
+        model = ContentionModel(sigma=0.3, rho=0.99)
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            model.next_factors(rng)
+        model.reset()
+        assert model._x == 0.0
+
+
+class TestWorkloadValidation:
+    def test_duplicate_thread_ids_rejected(self):
+        workload = tiny_workload()
+        workload.threads[1].thread_id = 0
+        with pytest.raises(ValueError):
+            Workload(name="dup", threads=workload.threads,
+                     scheduler=workload.scheduler)
+
+    def test_no_threads_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(name="empty", threads=[],
+                     scheduler=SchedulerConfig(mean_quantum=100))
+
+    def test_all_regions_deduplicated(self):
+        workload = tiny_workload(n_threads=3)
+        regions = workload.all_regions
+        assert len(regions) == 3
+        assert len({id(r) for r in regions}) == 3
