@@ -11,20 +11,61 @@ Commands
 ``census``
     The Table 2 / Figure 13 quadrant census (optionally a subset).
 ``experiment ID [ID...]``
-    Regenerate one of the paper's tables/figures (e1..e14).
+    Regenerate one of the paper's tables/figures.
+``cache``
+    Inspect (``stats``) or empty (``clear``) the on-disk result cache.
+
+``analyze``, ``census`` and ``experiment`` all accept ``--jobs N`` to
+fan pipeline jobs out across worker processes, ``--cache-dir PATH`` to
+relocate the content-addressed result cache, and ``--no-cache`` to
+bypass it.  Results are deterministic: the same seed produces the same
+bytes on stdout whether computed serially, in parallel, or from a warm
+cache (scheduling details go to stderr and the run manifest instead).
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
 from repro.analysis.report import format_curve, format_table
-from repro.core.predictability import analyze_predictability
-from repro.experiments.common import RunConfig, collect, default_intervals
-from repro.experiments.runner import EXPERIMENTS, run_all
+from repro.experiments.common import default_intervals
+from repro.experiments.runner import experiment_ids, run_all
+from repro.runtime import options as runtime_options
+from repro.runtime.cache import ResultCache, default_cache_dir
+from repro.runtime.jobs import JobSpec
+from repro.runtime.manifest import RunManifest
+from repro.runtime.scheduler import run_jobs
 from repro.sampling.selector import recommend_for
 from repro.workloads.registry import get_workload, workload_names
-from repro.workloads.scale import DEFAULT, get_scale
+from repro.workloads.scale import DEFAULT
+
+
+def _configure_runtime(args) -> runtime_options.RuntimeOptions:
+    """Install the process-wide runtime defaults from parsed flags."""
+    return runtime_options.configure(
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache_dir", None),
+        no_cache=getattr(args, "no_cache", False),
+        timeout=getattr(args, "timeout", None),
+    )
+
+
+def _report_manifest(manifest: RunManifest | None, cache) -> None:
+    """Persist + summarize a run manifest on stderr (stdout stays pure)."""
+    if manifest is None:
+        return
+    if getattr(cache, "root", None) is not None:
+        try:
+            path = manifest.save(cache.manifest_dir)
+        except OSError as exc:
+            print(f"{manifest.summary()}\n  (manifest not saved: {exc})",
+                  file=sys.stderr)
+        else:
+            print(f"{manifest.summary()}\n  manifest: {path}",
+                  file=sys.stderr)
+    else:
+        print(manifest.summary(), file=sys.stderr)
 
 
 def _cmd_list(_args) -> int:
@@ -39,15 +80,19 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    scale = get_scale(args.scale)
+    opts = _configure_runtime(args)
     n_intervals = args.intervals or default_intervals(args.workload)
     print(f"analyzing {args.workload} ({n_intervals} intervals, "
-          f"scale={scale.name}, seed={args.seed})...")
-    _, dataset = collect(RunConfig(args.workload, n_intervals=n_intervals,
-                                   seed=args.seed, scale=scale,
-                                   machine=args.machine))
-    result = analyze_predictability(dataset, k_max=args.k_max,
-                                    seed=args.seed)
+          f"scale={args.scale}, seed={args.seed})...")
+    spec = JobSpec(workload=args.workload, n_intervals=n_intervals,
+                   seed=args.seed, machine=args.machine, scale=args.scale,
+                   k_max=args.k_max)
+    cache = opts.build_cache()
+    outcome, = run_jobs([spec], jobs=1, cache=cache, timeout=opts.timeout)
+    if not outcome.ok:
+        print(f"analysis failed:\n{outcome.error}", file=sys.stderr)
+        return 1
+    result = outcome.result.to_result()
     print(format_curve(result.curve.k_values, result.curve.re,
                        "relative error vs chambers", mark_k=result.k_opt))
     print()
@@ -55,21 +100,70 @@ def _cmd_analyze(args) -> int:
     recommendation = recommend_for(result)
     print(f"recommended sampling: {recommendation.technique}")
     print(f"  {recommendation.rationale}")
+    _report_manifest(
+        RunManifest.from_outcomes([outcome], command="analyze", jobs=1,
+                                  cache_root=getattr(cache, "root", None)),
+        cache)
     return 0
 
 
 def _cmd_census(args) -> int:
     from repro.experiments import table2_quadrants
-    workloads = args.workloads or None
-    result = table2_quadrants.run(workloads=workloads, seed=args.seed,
-                                  k_max=args.k_max)
+    known = set(workload_names())
+    unknown = [name for name in args.workloads if name not in known]
+    if unknown:
+        args.subparser.error(
+            f"unknown workload(s): {', '.join(unknown)} "
+            f"(see 'repro list')")
+    opts = _configure_runtime(args)
+    cache = opts.build_cache()
+    try:
+        result = table2_quadrants.run(workloads=args.workloads or None,
+                                      seed=args.seed, k_max=args.k_max,
+                                      jobs=opts.jobs, cache=cache,
+                                      timeout=opts.timeout)
+    except RuntimeError as exc:
+        print(f"census failed: {exc}", file=sys.stderr)
+        return 1
     print(table2_quadrants.render(result))
+    _report_manifest(result.manifest, cache)
     return 0
 
 
 def _cmd_experiment(args) -> int:
+    known = experiment_ids()
+    unknown = [exp_id for exp_id in args.ids if exp_id not in known]
+    if unknown:
+        args.subparser.error(
+            f"unknown experiment id(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(known)})")
+    _configure_runtime(args)
     print(run_all(args.ids))
     return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.action == "stats":
+        print(cache.stats().render())
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+    return 0
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("runtime")
+    group.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for pipeline jobs "
+                            "(default: 1, in-process)")
+    group.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="result cache directory "
+                            "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    group.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
+    group.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-job timeout in seconds (default: none)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -91,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["tiny", "default", "paper"])
     analyze.add_argument("--machine", default="itanium2",
                          choices=["itanium2", "pentium4", "xeon"])
+    _add_runtime_flags(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
     census = sub.add_parser("census", help="Table 2 quadrant census")
@@ -98,14 +193,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="subset of workloads (default: all 50)")
     census.add_argument("--seed", type=int, default=11)
     census.add_argument("--k-max", type=int, default=50)
-    census.set_defaults(func=_cmd_census)
+    _add_runtime_flags(census)
+    census.set_defaults(func=_cmd_census, subparser=census)
 
+    known_ids = experiment_ids()
     experiment = sub.add_parser("experiment",
                                 help="regenerate paper tables/figures")
-    experiment.add_argument("ids", nargs="*",
-                            help=f"ids: {', '.join(sorted(EXPERIMENTS))} "
+    experiment.add_argument("ids", nargs="*", metavar="ID",
+                            type=str.lower,
+                            help=f"ids: {', '.join(known_ids)} "
                                  f"(default: all)")
-    experiment.set_defaults(func=_cmd_experiment)
+    _add_runtime_flags(experiment)
+    experiment.set_defaults(func=_cmd_experiment, subparser=experiment)
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="cache directory (default: $REPRO_CACHE_DIR "
+                            "or ~/.cache/repro)")
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

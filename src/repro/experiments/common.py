@@ -4,10 +4,15 @@ Every experiment needs the same pipeline: build workload -> simulate ->
 sample -> EIPVs -> analysis.  :func:`collect` runs it once;
 :func:`collect_cached` memoizes per (workload, machine, intervals, seed,
 scale) within the process so benchmarks that share inputs don't re-simulate.
+
+Stage timings and memo hit/miss counts feed the :mod:`repro.runtime`
+metrics registry, and :meth:`RunConfig.fingerprint` is the canonical
+identity the runtime's content-addressed job cache hashes.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.trace.eipv import EIPVDataset, build_eipvs
@@ -36,15 +41,39 @@ class RunConfig:
     def total_instructions(self) -> int:
         return self.n_intervals * self.interval_instructions
 
+    def fingerprint(self) -> dict:
+        """JSON-safe identity dict (what the runtime job hash covers)."""
+        return {
+            "workload": self.workload,
+            "n_intervals": self.n_intervals,
+            "seed": self.seed,
+            "machine": self.machine,
+            "scale": self.scale.name,
+            "interval_instructions": self.interval_instructions,
+        }
+
+
+def _metrics():
+    # Imported lazily: repro.runtime.jobs imports this module at its top
+    # level, so a top-level import here would be circular.
+    from repro.runtime.metrics import METRICS
+    return METRICS
+
 
 def collect(config: RunConfig) -> tuple[SampleTrace, EIPVDataset]:
     """Simulate, sample, and build EIPVs for one run."""
+    metrics = _metrics()
     machine: MachineConfig = get_machine(config.machine)
     workload = get_workload(config.workload, config.scale)
     system = SimulatedSystem(machine, workload, seed=config.seed)
+    start = time.perf_counter()
     trace = collect_trace(system, config.total_instructions())
+    metrics.observe("pipeline.simulate_s", time.perf_counter() - start)
+    start = time.perf_counter()
     dataset = build_eipvs(trace, config.interval_instructions)
+    metrics.observe("pipeline.build_eipvs_s", time.perf_counter() - start)
     dataset.workload_name = config.workload
+    metrics.inc("pipeline.collect")
     return trace, dataset
 
 
@@ -54,7 +83,10 @@ _CACHE: dict[RunConfig, tuple[SampleTrace, EIPVDataset]] = {}
 def collect_cached(config: RunConfig) -> tuple[SampleTrace, EIPVDataset]:
     """Memoized :func:`collect` (per process)."""
     if config not in _CACHE:
+        _metrics().inc("pipeline.memo_miss")
         _CACHE[config] = collect(config)
+    else:
+        _metrics().inc("pipeline.memo_hit")
     return _CACHE[config]
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import sys
 
+from repro.runtime.metrics import METRICS
 from repro.experiments import (
     example_tree,
     future_work,
@@ -47,15 +48,21 @@ EXPERIMENTS = {
 }
 
 
+def experiment_ids() -> list[str]:
+    """All registered ids in natural (e1, e2, ..., e10) order."""
+    return sorted(EXPERIMENTS, key=lambda exp_id: int(exp_id[1:]))
+
+
 def run_experiment(experiment_id: str) -> str:
     """Render one experiment by id (e.g. ``"e2"``)."""
     key = experiment_id.lower()
     if key not in EXPERIMENTS:
-        known = ", ".join(sorted(EXPERIMENTS))
+        known = ", ".join(experiment_ids())
         raise KeyError(f"unknown experiment {experiment_id!r}; "
                        f"known: {known}")
     _, render = EXPERIMENTS[key]
-    return render()
+    with METRICS.time(f"experiment.{key}_s"):
+        return render()
 
 
 def run_all(ids=None) -> str:

@@ -6,6 +6,13 @@ cross-validation and placed into the (CPI variance, RE) plane with the
 paper's thresholds (0.01, 0.15).  The paper's counts, from its text:
 13 SPEC in Q-I (plus ODB-C); 5 workloads in Q-II; gcc, gap, SjAS and 7
 ODB-H queries among Q-III; 12 workloads (9 ODB-H + 3 SPEC) in Q-IV.
+
+The census is scheduled through :mod:`repro.runtime`: each workload is a
+content-hashed :class:`~repro.runtime.jobs.JobSpec` that can be fanned
+out across worker processes (``jobs``) and served from the disk cache
+(``cache``).  Rendered output is byte-identical whether jobs ran
+serially, in parallel, or entirely from a warm cache; only the attached
+manifest (wall times, hit counts, worker ids) differs.
 """
 
 from __future__ import annotations
@@ -13,9 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
-from repro.core.predictability import PredictabilityResult, analyze_predictability
+from repro.core.predictability import PredictabilityResult
 from repro.core.quadrant import Quadrant
-from repro.experiments.common import RunConfig, collect_cached, default_intervals
+from repro.experiments.common import default_intervals
+from repro.runtime import options as runtime_options
+from repro.runtime.jobs import JobSpec
+from repro.runtime.manifest import RunManifest
+from repro.runtime.scheduler import run_jobs
 from repro.workloads.registry import get_workload, workload_names
 from repro.workloads.scale import DEFAULT
 
@@ -36,24 +47,58 @@ class Table2Result:
     entries: tuple
     match_count: int
     counts: dict
+    manifest: RunManifest | None = None
 
     @property
     def total(self) -> int:
         return len(self.entries)
 
 
-def run(workloads=None, seed: int = 11, k_max: int = 50,
-        n_intervals: int | None = None) -> Table2Result:
-    """Run the census.  ``workloads`` defaults to the full 50."""
+def census_specs(workloads=None, seed: int = 11, k_max: int = 50,
+                 n_intervals: int | None = None) -> list[JobSpec]:
+    """The census as schedulable job specs, one per workload."""
     names = list(workloads) if workloads is not None else workload_names()
+    return [JobSpec(workload=name,
+                    n_intervals=n_intervals or default_intervals(name),
+                    seed=seed, k_max=k_max)
+            for name in names]
+
+
+def run(workloads=None, seed: int = 11, k_max: int = 50,
+        n_intervals: int | None = None, jobs: int | None = None,
+        cache=None, timeout: float | None = None) -> Table2Result:
+    """Run the census.  ``workloads`` defaults to the full 50.
+
+    ``jobs``/``cache``/``timeout`` default to the process-wide runtime
+    options (serial, uncached, unbounded unless the CLI configured
+    otherwise).  Pass a :class:`~repro.runtime.cache.ResultCache` to
+    reuse results across processes.
+    """
+    opts = runtime_options.current()
+    jobs = opts.jobs if jobs is None else jobs
+    cache = opts.build_cache() if cache is None else cache
+    timeout = opts.timeout if timeout is None else timeout
+
+    specs = census_specs(workloads, seed=seed, k_max=k_max,
+                         n_intervals=n_intervals)
+    outcomes = run_jobs(specs, jobs=jobs, cache=cache, timeout=timeout)
+    manifest = RunManifest.from_outcomes(
+        outcomes, command="census", jobs=jobs,
+        cache_root=getattr(cache, "root", None))
+
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+    if failed:
+        details = "\n\n".join(
+            f"{outcome.spec.workload}: {outcome.error}" for outcome in failed)
+        raise RuntimeError(
+            f"{len(failed)}/{len(outcomes)} census jobs failed:\n{details}")
+
     entries = []
-    for name in names:
-        intervals = n_intervals or default_intervals(name)
-        _, dataset = collect_cached(RunConfig(name, n_intervals=intervals,
-                                              seed=seed))
-        result = analyze_predictability(dataset, k_max=k_max, seed=seed)
-        paper = get_workload(name, DEFAULT).metadata["paper_quadrant"]
-        entries.append(CensusEntry(workload=name, result=result,
+    for outcome in outcomes:
+        paper = get_workload(outcome.spec.workload,
+                             DEFAULT).metadata["paper_quadrant"]
+        entries.append(CensusEntry(workload=outcome.spec.workload,
+                                   result=outcome.result.to_result(),
                                    paper_quadrant=paper))
     counts = {q.value: 0 for q in Quadrant}
     for entry in entries:
@@ -62,6 +107,7 @@ def run(workloads=None, seed: int = 11, k_max: int = 50,
         entries=tuple(entries),
         match_count=sum(entry.matches for entry in entries),
         counts=counts,
+        manifest=manifest,
     )
 
 

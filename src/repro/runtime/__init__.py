@@ -1,0 +1,50 @@
+"""``repro.runtime`` — schedulable, cacheable pipeline jobs.
+
+The analysis pipeline (simulate -> sample -> EIPVs -> cross-validated
+regression trees) is a pure function of a small set of knobs.  This
+package turns one such run into a first-class *job* that can be hashed,
+cached on disk, fanned out across worker processes, and accounted for in
+a run manifest:
+
+- :mod:`repro.runtime.jobs` — :class:`JobSpec` (frozen, content-hashed)
+  and :class:`JobResult` (JSON-serializable analysis output);
+- :mod:`repro.runtime.cache` — disk-backed content-addressed result
+  store with atomic writes and corrupted-entry quarantine;
+- :mod:`repro.runtime.scheduler` — process-pool fan-out with per-job
+  timeout and graceful in-process fallback;
+- :mod:`repro.runtime.manifest` — structured per-run observability
+  record (wall times, cache hits, worker ids, failure tracebacks);
+- :mod:`repro.runtime.metrics` — lightweight counters/timers aggregated
+  across workers;
+- :mod:`repro.runtime.options` — process-wide defaults the CLI
+  configures (``--jobs``, ``--cache-dir``, ``--no-cache``).
+
+Determinism is the core contract: a job's result is identical whether it
+was computed serially, in a worker process, or loaded from a warm cache.
+"""
+
+from repro.runtime.cache import CacheStats, NullCache, ResultCache
+from repro.runtime.jobs import CODE_VERSION, JobResult, JobSpec, execute_job
+from repro.runtime.manifest import JobRecord, RunManifest
+from repro.runtime.metrics import METRICS, MetricsRegistry
+from repro.runtime.options import RuntimeOptions, configure, current
+from repro.runtime.scheduler import JobOutcome, run_jobs
+
+__all__ = [
+    "CODE_VERSION",
+    "CacheStats",
+    "JobOutcome",
+    "JobRecord",
+    "JobResult",
+    "JobSpec",
+    "METRICS",
+    "MetricsRegistry",
+    "NullCache",
+    "ResultCache",
+    "RunManifest",
+    "RuntimeOptions",
+    "configure",
+    "current",
+    "execute_job",
+    "run_jobs",
+]

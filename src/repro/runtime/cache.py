@@ -1,0 +1,209 @@
+"""Disk-backed, content-addressed result store.
+
+Layout under the cache root (``--cache-dir``, ``$REPRO_CACHE_DIR``, or
+``~/.cache/repro``)::
+
+    <root>/objects/<key[:2]>/<key>.json   one envelope per job result
+    <root>/quarantine/                    corrupted entries, moved aside
+    <root>/manifests/                     run manifests (see manifest.py)
+
+Each envelope records a ``schema_version`` alongside the spec and the
+payload.  Reads are defensive by construction: a truncated file, garbage
+JSON, a wrong-shape envelope, or a stale schema version is *quarantined*
+(moved into ``quarantine/`` for post-mortems) and reported as a miss, so
+a damaged cache can never crash or corrupt a run — the job is simply
+recomputed and the entry rewritten.  Writes go through a temp file in
+the same directory plus :func:`os.replace`, so readers never observe a
+half-written entry even with concurrent runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.runtime.metrics import METRICS
+
+#: Envelope schema version; bump on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+#: Environment override for the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time summary of one cache directory."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    quarantined: int
+    manifests: int
+
+    def render(self) -> str:
+        from repro.analysis.report import format_table
+        rows = [["entries", self.entries],
+                ["total bytes", self.total_bytes],
+                ["quarantined", self.quarantined],
+                ["manifests", self.manifests]]
+        return format_table(["", ""], rows,
+                            title=f"result cache at {self.root}")
+
+
+class ResultCache:
+    """Content-addressed JSON store keyed by :meth:`JobSpec.key`."""
+
+    def __init__(self, root: Path | str | None = None,
+                 metrics=METRICS) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.metrics = metrics
+
+    # -- layout -----------------------------------------------------------
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    @property
+    def manifest_dir(self) -> Path:
+        return self.root / "manifests"
+
+    def entry_path(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    # -- read -------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """Payload for ``key``, or ``None`` on miss/quarantine."""
+        path = self.entry_path(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            self.metrics.inc("cache.miss")
+            return None
+        try:
+            envelope = json.loads(raw)
+            if not isinstance(envelope, dict):
+                raise ValueError("envelope is not an object")
+            if envelope.get("schema_version") != SCHEMA_VERSION:
+                raise ValueError(
+                    f"schema {envelope.get('schema_version')!r} != "
+                    f"{SCHEMA_VERSION}")
+            if envelope.get("key") != key:
+                raise ValueError("envelope key mismatch")
+            payload = envelope["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not an object")
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            self.metrics.inc("cache.miss")
+            self.metrics.inc("cache.quarantined")
+            return None
+        self.metrics.inc("cache.hit")
+        return payload
+
+    # -- write ------------------------------------------------------------
+    def put(self, key: str, payload: dict, spec: dict | None = None) -> Path:
+        """Atomically store ``payload`` under ``key``; returns the path."""
+        path = self.entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"schema_version": SCHEMA_VERSION, "key": key,
+                    "spec": spec, "payload": payload}
+        text = json.dumps(envelope, sort_keys=True, indent=1)
+        fd, tmp = tempfile.mkstemp(prefix=f".{key[:8]}-", suffix=".tmp",
+                                   dir=path.parent)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.metrics.inc("cache.store")
+        return path
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad entry aside; never raises."""
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            target = self.quarantine_dir / path.name
+            suffix = 0
+            while target.exists():
+                suffix += 1
+                target = self.quarantine_dir / f"{path.name}.{suffix}"
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # -- maintenance ------------------------------------------------------
+    def stats(self) -> CacheStats:
+        entries = list(self.objects_dir.glob("*/*.json")) \
+            if self.objects_dir.is_dir() else []
+        quarantined = list(self.quarantine_dir.iterdir()) \
+            if self.quarantine_dir.is_dir() else []
+        manifests = list(self.manifest_dir.glob("*.json")) \
+            if self.manifest_dir.is_dir() else []
+        return CacheStats(
+            root=str(self.root),
+            entries=len(entries),
+            total_bytes=sum(p.stat().st_size for p in entries),
+            quarantined=len(quarantined),
+            manifests=len(manifests),
+        )
+
+    def clear(self) -> int:
+        """Delete all cached objects (not manifests); returns the count."""
+        removed = 0
+        if self.objects_dir.is_dir():
+            for path in self.objects_dir.glob("*/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        if self.quarantine_dir.is_dir():
+            for path in self.quarantine_dir.iterdir():
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return removed
+
+
+class NullCache:
+    """Cache stand-in that never hits and never stores (``--no-cache``)."""
+
+    root = None
+
+    def get(self, key: str) -> None:
+        return None
+
+    def put(self, key: str, payload: dict, spec: dict | None = None) -> None:
+        return None
+
+    def stats(self) -> CacheStats:
+        return CacheStats(root="(disabled)", entries=0, total_bytes=0,
+                          quarantined=0, manifests=0)
+
+    def clear(self) -> int:
+        return 0

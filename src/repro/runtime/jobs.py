@@ -1,0 +1,168 @@
+"""Job specifications and their serializable results.
+
+A :class:`JobSpec` freezes every knob that can change the outcome of one
+predictability analysis — workload, run length, seed, machine, scale,
+tree parameters, and the pipeline code version.  Its :meth:`JobSpec.key`
+is a content hash over the canonical JSON form, so equal inputs always
+address the same cache entry and any change (including a pipeline code
+bump) addresses a fresh one.
+
+:func:`execute_job` is the pure worker function: spec in, JSON-ready
+:class:`JobResult` out.  A result round-trips through
+``to_dict``/``from_dict`` without loss (JSON preserves finite floats
+exactly), which is what makes warm-cache output byte-identical to a
+fresh computation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.core.cross_validation import RECurve
+from repro.core.predictability import (
+    PredictabilityResult,
+    analyze_predictability,
+)
+from repro.core.quadrant import classify_result
+from repro.experiments.common import INTERVAL, RunConfig, collect_cached
+from repro.workloads.scale import get_scale
+
+#: Bump when pipeline semantics change; part of every job's identity, so
+#: stale cache entries from older code can never be served.
+CODE_VERSION = "1.0.0"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Frozen, content-addressable description of one analysis run."""
+
+    workload: str
+    n_intervals: int = 60
+    seed: int = 11
+    machine: str = "itanium2"
+    scale: str = "default"
+    k_max: int = 50
+    folds: int = 10
+    min_leaf: int = 1
+    interval_instructions: int = INTERVAL
+    code_version: str = CODE_VERSION
+
+    @classmethod
+    def from_run_config(cls, config: RunConfig, k_max: int = 50,
+                        folds: int = 10, min_leaf: int = 1) -> "JobSpec":
+        return cls(workload=config.workload,
+                   n_intervals=config.n_intervals,
+                   seed=config.seed,
+                   machine=config.machine,
+                   scale=config.scale.name,
+                   k_max=k_max, folds=folds, min_leaf=min_leaf,
+                   interval_instructions=config.interval_instructions)
+
+    def to_run_config(self) -> RunConfig:
+        return RunConfig(workload=self.workload,
+                         n_intervals=self.n_intervals,
+                         seed=self.seed,
+                         machine=self.machine,
+                         scale=get_scale(self.scale),
+                         interval_instructions=self.interval_instructions)
+
+    def canonical(self) -> dict:
+        """JSON-safe dict with a stable field set — the hashed identity."""
+        return asdict(self)
+
+    def key(self) -> str:
+        """Deterministic content hash (sha256 hex) of the spec."""
+        payload = json.dumps(self.canonical(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """The JSON-serializable outcome of one executed :class:`JobSpec`."""
+
+    key: str
+    workload: str
+    re: tuple
+    k_opt: int
+    re_kopt: float
+    re_inf: float
+    total_variance: float
+    n_points: int
+    cpi_variance: float
+    cpi_mean: float
+    n_intervals: int
+    n_eips: int
+    timings: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["re"] = list(self.re)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobResult":
+        data = dict(data)
+        data["re"] = tuple(float(v) for v in data["re"])
+        return cls(**data)
+
+    def to_result(self) -> PredictabilityResult:
+        """Reconstruct the rich analysis object renderers consume."""
+        curve = RECurve(
+            re=np.asarray(self.re, dtype=np.float64),
+            k_opt=self.k_opt,
+            re_kopt=self.re_kopt,
+            re_inf=self.re_inf,
+            total_variance=self.total_variance,
+            n_points=self.n_points,
+        )
+        return PredictabilityResult(
+            workload=self.workload,
+            curve=curve,
+            cpi_variance=self.cpi_variance,
+            cpi_mean=self.cpi_mean,
+            n_intervals=self.n_intervals,
+            n_eips=self.n_eips,
+            quadrant_result=classify_result(
+                workload=self.workload,
+                cpi_variance=self.cpi_variance,
+                relative_error=self.re_kopt,
+                k_opt=self.k_opt,
+            ),
+        )
+
+
+def execute_job(spec: JobSpec) -> JobResult:
+    """Run the full pipeline for one spec (pure; safe in any worker)."""
+    start = time.perf_counter()
+    _, dataset = collect_cached(spec.to_run_config())
+    collected = time.perf_counter()
+    analysis = analyze_predictability(dataset, k_max=spec.k_max,
+                                      folds=spec.folds, seed=spec.seed,
+                                      min_leaf=spec.min_leaf)
+    done = time.perf_counter()
+    return JobResult(
+        key=spec.key(),
+        workload=analysis.workload,
+        re=tuple(float(v) for v in analysis.curve.re),
+        k_opt=int(analysis.curve.k_opt),
+        re_kopt=float(analysis.curve.re_kopt),
+        re_inf=float(analysis.curve.re_inf),
+        total_variance=float(analysis.curve.total_variance),
+        n_points=int(analysis.curve.n_points),
+        cpi_variance=float(analysis.cpi_variance),
+        cpi_mean=float(analysis.cpi_mean),
+        n_intervals=int(analysis.n_intervals),
+        n_eips=int(analysis.n_eips),
+        timings={"collect_s": collected - start,
+                 "analyze_s": done - collected},
+    )

@@ -1,0 +1,58 @@
+"""Process-wide runtime defaults (what the CLI flags configure).
+
+Library callers pass ``jobs``/``cache`` explicitly; the CLI instead
+calls :func:`configure` once per invocation and scheduler-aware
+consumers (the census, the experiment runner) pick the defaults up via
+:func:`current`.  Out of the box the options are conservative — serial
+execution, caching disabled — so importing the library never touches
+``~/.cache`` behind anyone's back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.runtime.cache import NullCache, ResultCache, default_cache_dir
+
+
+@dataclass(frozen=True)
+class RuntimeOptions:
+    """Resolved scheduling/caching defaults for this process."""
+
+    jobs: int = 1
+    cache_dir: Path | None = None
+    no_cache: bool = True
+    timeout: float | None = None
+
+    def build_cache(self):
+        """A :class:`ResultCache` per the options (or a null one)."""
+        if self.no_cache:
+            return NullCache()
+        return ResultCache(self.cache_dir or default_cache_dir())
+
+
+_current = RuntimeOptions()
+
+
+def configure(jobs: int = 1, cache_dir=None, no_cache: bool = True,
+              timeout: float | None = None) -> RuntimeOptions:
+    """Install new process-wide defaults; returns them."""
+    global _current
+    _current = RuntimeOptions(
+        jobs=max(1, int(jobs or 1)),
+        cache_dir=Path(cache_dir) if cache_dir else None,
+        no_cache=bool(no_cache),
+        timeout=timeout,
+    )
+    return _current
+
+
+def current() -> RuntimeOptions:
+    """The active process-wide defaults."""
+    return _current
+
+
+def reset() -> RuntimeOptions:
+    """Back to the conservative library defaults (mainly for tests)."""
+    return configure()

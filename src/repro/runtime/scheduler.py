@@ -1,0 +1,172 @@
+"""Job scheduling: cache lookup, process-pool fan-out, serial fallback.
+
+:func:`run_jobs` is the one entry point.  For every spec it first
+consults the result cache; only misses are executed — serially in this
+process when ``jobs <= 1``, otherwise on a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Pool construction or
+submission failing (restricted environments, missing semaphores, broken
+workers) degrades gracefully to the in-process path, so ``--jobs`` is a
+performance knob, never a correctness one.  Outcomes come back in
+submission order regardless of completion order, which keeps downstream
+rendering byte-identical across serial, parallel and warm-cache runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.runtime.cache import NullCache
+from repro.runtime.jobs import JobResult, JobSpec, execute_job
+from repro.runtime.metrics import METRICS
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One scheduled job's fate: a result, a cache hit, or a failure."""
+
+    spec: JobSpec
+    key: str
+    result: JobResult | None
+    cache_hit: bool
+    wall_time: float
+    worker: str
+    error: str | None = None
+    timed_out: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+def _worker_execute(spec_dict: dict) -> tuple[dict, int, float]:
+    """Module-level worker body (must be picklable by the pool)."""
+    spec = JobSpec.from_dict(spec_dict)
+    start = time.perf_counter()
+    result = execute_job(spec)
+    return result.to_dict(), os.getpid(), time.perf_counter() - start
+
+
+def _run_serial(spec: JobSpec, key: str) -> JobOutcome:
+    start = time.perf_counter()
+    try:
+        result = execute_job(spec)
+        error = None
+    except Exception:
+        result = None
+        error = traceback.format_exc()
+    return JobOutcome(spec=spec, key=key, result=result, cache_hit=False,
+                      wall_time=time.perf_counter() - start,
+                      worker=f"pid-{os.getpid()}", error=error)
+
+
+def _execute_parallel(specs: list[JobSpec], keys: list[str], jobs: int,
+                      timeout: float | None) -> list[JobOutcome] | None:
+    """Pool fan-out; returns ``None`` if the pool cannot be used at all."""
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(specs)))
+        futures = [pool.submit(_worker_execute, spec.canonical())
+                   for spec in specs]
+    except (OSError, PermissionError, ImportError, NotImplementedError,
+            ValueError, RuntimeError):
+        return None
+    outcomes: list[JobOutcome] = []
+    timed_out = False
+    for spec, key, future in zip(specs, keys, futures):
+        start = time.perf_counter()
+        try:
+            result_dict, pid, elapsed = future.result(timeout=timeout)
+            outcomes.append(JobOutcome(
+                spec=spec, key=key,
+                result=JobResult.from_dict(result_dict),
+                cache_hit=False, wall_time=elapsed,
+                worker=f"pid-{pid}"))
+        except FuturesTimeout:
+            future.cancel()
+            timed_out = True
+            outcomes.append(JobOutcome(
+                spec=spec, key=key, result=None, cache_hit=False,
+                wall_time=time.perf_counter() - start,
+                worker="pool", timed_out=True,
+                error=f"job exceeded the {timeout}s timeout"))
+        except BrokenProcessPool:
+            # The pool died under us; compute this job in-process instead.
+            outcomes.append(_run_serial(spec, key))
+        except Exception as exc:
+            outcomes.append(JobOutcome(
+                spec=spec, key=key, result=None, cache_hit=False,
+                wall_time=time.perf_counter() - start,
+                worker="pool",
+                error="".join(traceback.format_exception(exc))))
+    # A timed-out job may still occupy its worker; don't block on it.
+    pool.shutdown(wait=not timed_out, cancel_futures=True)
+    return outcomes
+
+
+def run_jobs(specs, jobs: int = 1, cache=None, timeout: float | None = None,
+             metrics=METRICS) -> list[JobOutcome]:
+    """Schedule every spec; return outcomes in submission order."""
+    specs = list(specs)
+    cache = cache if cache is not None else NullCache()
+    jobs = max(1, int(jobs or 1))
+    outcomes: list[JobOutcome | None] = [None] * len(specs)
+
+    pending: list[int] = []
+    keys = [spec.key() for spec in specs]
+    for i, (spec, key) in enumerate(zip(specs, keys)):
+        start = time.perf_counter()
+        payload = cache.get(key)
+        result = None
+        if payload is not None:
+            try:
+                candidate = JobResult.from_dict(payload)
+                if candidate.key == key:
+                    result = candidate
+            except (TypeError, ValueError, KeyError):
+                result = None
+            if result is None:
+                # Valid envelope but a payload this code can't use: treat
+                # as a miss and overwrite below.
+                metrics.inc("cache.payload_rejected")
+        if result is not None:
+            outcomes[i] = JobOutcome(
+                spec=spec, key=key, result=result, cache_hit=True,
+                wall_time=time.perf_counter() - start, worker="cache")
+        else:
+            pending.append(i)
+
+    if pending:
+        todo = [specs[i] for i in pending]
+        todo_keys = [keys[i] for i in pending]
+        executed = None
+        if jobs > 1 and len(todo) > 1:
+            executed = _execute_parallel(todo, todo_keys, jobs, timeout)
+        if executed is None:
+            executed = [_run_serial(spec, key)
+                        for spec, key in zip(todo, todo_keys)]
+        for i, outcome in zip(pending, executed):
+            outcomes[i] = outcome
+            if outcome.ok:
+                try:
+                    cache.put(outcome.key, outcome.result.to_dict(),
+                              spec=outcome.spec.canonical())
+                except OSError:
+                    # A cache that can't be written must never sink the
+                    # computation it was meant to save.
+                    metrics.inc("cache.store_failed")
+
+    for outcome in outcomes:
+        metrics.observe("job.wall_s", outcome.wall_time)
+        if outcome.timed_out:
+            metrics.inc("jobs.timeout")
+        elif outcome.error is not None:
+            metrics.inc("jobs.failed")
+        elif not outcome.cache_hit:
+            metrics.inc("jobs.executed")
+            for name, seconds in (outcome.result.timings or {}).items():
+                metrics.observe(f"job.{name}", seconds)
+    return outcomes

@@ -1,0 +1,189 @@
+"""Job hashing, result serialization, and cache robustness."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.predictability import analyze_predictability
+from repro.experiments.common import RunConfig, collect
+from repro.runtime.cache import (
+    SCHEMA_VERSION,
+    CacheStats,
+    NullCache,
+    ResultCache,
+    default_cache_dir,
+)
+from repro.runtime.jobs import JobResult, JobSpec, execute_job
+from repro.workloads.scale import TINY, get_scale
+
+TINY_SPEC = JobSpec(workload="spec.gzip", n_intervals=12, seed=7,
+                    scale="tiny", k_max=5)
+
+
+class TestJobSpec:
+    def test_key_is_deterministic_across_instances(self):
+        a = JobSpec(workload="odbc", n_intervals=60, seed=11)
+        b = JobSpec(workload="odbc", n_intervals=60, seed=11)
+        assert a is not b
+        assert a.key() == b.key()
+        assert a.key() == a.key()
+
+    def test_key_is_sha256_hex(self):
+        key = TINY_SPEC.key()
+        assert len(key) == 64
+        int(key, 16)  # hex-parseable
+
+    @pytest.mark.parametrize("change", [
+        {"workload": "spec.mcf"},
+        {"n_intervals": 13},
+        {"seed": 8},
+        {"machine": "xeon"},
+        {"scale": "default"},
+        {"k_max": 6},
+        {"folds": 5},
+        {"min_leaf": 2},
+        {"code_version": "0.0.0-other"},
+    ])
+    def test_any_field_change_changes_the_key(self, change):
+        changed = JobSpec(**{**TINY_SPEC.canonical(), **change})
+        assert changed.key() != TINY_SPEC.key()
+
+    def test_dict_round_trip(self):
+        assert JobSpec.from_dict(TINY_SPEC.canonical()) == TINY_SPEC
+
+    def test_run_config_round_trip(self):
+        config = RunConfig("odbh.q13", n_intervals=24, seed=3,
+                           machine="pentium4", scale=TINY)
+        spec = JobSpec.from_run_config(config, k_max=9)
+        assert spec.to_run_config() == config
+        assert spec.k_max == 9
+
+    def test_canonical_is_json_safe(self):
+        json.dumps(TINY_SPEC.canonical())
+
+
+class TestJobResult:
+    def test_execute_matches_direct_pipeline(self):
+        job = execute_job(TINY_SPEC)
+        _, dataset = collect(TINY_SPEC.to_run_config())
+        direct = analyze_predictability(dataset, k_max=TINY_SPEC.k_max,
+                                        seed=TINY_SPEC.seed)
+        reconstructed = job.to_result()
+        np.testing.assert_array_equal(reconstructed.curve.re,
+                                      direct.curve.re)
+        assert reconstructed.k_opt == direct.k_opt
+        assert reconstructed.quadrant == direct.quadrant
+        assert reconstructed.summary() == direct.summary()
+
+    def test_json_round_trip_is_lossless(self):
+        job = execute_job(TINY_SPEC)
+        restored = JobResult.from_dict(json.loads(json.dumps(job.to_dict())))
+        assert restored.re == job.re
+        assert restored.re_kopt == job.re_kopt
+        assert restored.cpi_variance == job.cpi_variance
+        assert restored.to_result().summary() == job.to_result().summary()
+
+
+class TestResultCache:
+    def put_one(self, cache, key="k" * 64, payload=None):
+        cache.put(key, payload if payload is not None else {"x": 1},
+                  spec={"workload": "w"})
+        return key
+
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = self.put_one(cache, payload={"re": [0.5, 0.25]})
+        assert cache.get(key) == {"re": [0.5, 0.25]}
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        assert ResultCache(tmp_path).get("f" * 64) is None
+
+    def test_garbage_json_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = self.put_one(cache)
+        cache.entry_path(key).write_text("{not json at all", encoding="utf-8")
+        assert cache.get(key) is None
+        assert not cache.entry_path(key).exists()
+        assert cache.stats().quarantined == 1
+
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = self.put_one(cache)
+        path = cache.entry_path(key)
+        path.write_text(path.read_text(encoding="utf-8")[:20],
+                        encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.stats().quarantined == 1
+
+    def test_stale_schema_version_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = self.put_one(cache)
+        path = cache.entry_path(key)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["schema_version"] = SCHEMA_VERSION - 1
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.stats().quarantined == 1
+
+    def test_key_mismatch_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = self.put_one(cache)
+        other = "a" * 64
+        path = cache.entry_path(key)
+        cache.entry_path(other).parent.mkdir(parents=True, exist_ok=True)
+        path.rename(cache.entry_path(other))
+        assert cache.get(other) is None
+        assert cache.stats().quarantined == 1
+
+    def test_rewrite_after_quarantine_works(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = self.put_one(cache)
+        cache.entry_path(key).write_text("garbage", encoding="utf-8")
+        assert cache.get(key) is None
+        self.put_one(cache, key, payload={"fixed": True})
+        assert cache.get(key) == {"fixed": True}
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = self.put_one(cache)
+        leftovers = [p for p in cache.entry_path(key).parent.iterdir()
+                     if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            self.put_one(cache, key=f"{i:064x}")
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.total_bytes > 0
+        assert cache.clear() == 3
+        assert cache.stats().entries == 0
+
+    def test_stats_render_mentions_root(self, tmp_path):
+        text = ResultCache(tmp_path).stats().render()
+        assert str(tmp_path) in text
+        assert "entries" in text
+
+    def test_default_dir_respects_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        assert default_cache_dir() == tmp_path / "alt"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert default_cache_dir().name == "repro"
+
+
+class TestNullCache:
+    def test_never_hits_never_stores(self):
+        cache = NullCache()
+        assert cache.put("k", {"x": 1}) is None
+        assert cache.get("k") is None
+        assert cache.clear() == 0
+        assert cache.stats() == CacheStats(root="(disabled)", entries=0,
+                                           total_bytes=0, quarantined=0,
+                                           manifests=0)
+
+
+def test_get_scale_round_trips_spec_scales():
+    for name in ("tiny", "default", "paper"):
+        assert get_scale(name).name == name

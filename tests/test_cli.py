@@ -25,6 +25,49 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_runtime_flags(self):
+        args = build_parser().parse_args(
+            ["census", "odbc", "--jobs", "4", "--cache-dir", "/tmp/c",
+             "--no-cache", "--timeout", "30"])
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache is True
+        assert args.timeout == 30.0
+
+    def test_runtime_flag_defaults(self):
+        args = build_parser().parse_args(["analyze", "odbc"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.no_cache is False
+        assert args.timeout is None
+
+    def test_experiment_help_lists_registry_ids(self):
+        from repro.experiments.runner import EXPERIMENTS, experiment_ids
+        ids = experiment_ids()
+        assert set(ids) == set(EXPERIMENTS)
+        # The help is derived from the registry, so absent ids (e11, e12)
+        # must not be advertised.
+        sub = [a for a in build_parser()._actions
+               if getattr(a, "choices", None)
+               and "experiment" in a.choices]
+        text = sub[0].choices["experiment"].format_help()
+        for exp_id in ids:
+            assert exp_id in text
+        assert "e11" not in text
+        assert "e12" not in text
+
+    def test_experiment_unknown_id_is_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "e11"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment id(s): e11" in err
+        assert "e10" in err  # the real registry is listed
+
+    def test_experiment_ids_are_case_insensitive(self):
+        args = build_parser().parse_args(["experiment", "E1", "e8"])
+        assert args.ids == ["e1", "e8"]
+
 
 class TestCommands:
     def test_list_runs(self, capsys):
@@ -51,3 +94,40 @@ class TestCommands:
         assert main(["experiment", "e1"]) == 0
         out = capsys.readouterr().out
         assert "MATCHES Figure 1" in out
+
+
+class TestRuntimeCommands:
+    def test_census_serial_parallel_and_warm_cache_identical(
+            self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["census", "spec.gzip", "spec.art", "--k-max", "5"]
+        assert main(argv + ["--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2", "--cache-dir", cache_dir]) == 0
+        parallel = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2", "--cache-dir", cache_dir]) == 0
+        captured = capsys.readouterr()
+        assert serial == parallel == captured.out
+        assert "2 cache hits (100%)" in captured.err
+
+    def test_analyze_warm_cache_identical(self, capsys, tmp_path):
+        argv = ["analyze", "spec.gzip", "--intervals", "12", "--k-max", "5",
+                "--scale", "tiny", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert cold == captured.out
+        assert "1 cache hits (100%)" in captured.err
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        argv = ["analyze", "spec.gzip", "--intervals", "12", "--k-max", "5",
+                "--scale", "tiny", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and str(tmp_path) in out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 cached result(s)" in out
