@@ -19,7 +19,8 @@ def test_bench_sampling_rate_sweep(benchmark, record):
         rounds=1, iterations=1)
     bbv = future_work.bbv_comparison(seed=11, k_max=30)
     record("e14_e15_future_work",
-           future_work.render(rate_result=result, bbv_result=bbv))
+           future_work.render(future_work.FutureWorkResult(rate=result,
+                                                           bbv=bbv)))
 
     # Rates only refine, never rescue: RE improves monotonically-ish but
     # stays above the strong-phase threshold.

@@ -1,0 +1,47 @@
+"""Tracing overhead guard: ``span()`` must stay ~free when disabled.
+
+The pipeline is instrumented unconditionally, so the disabled path — one
+module-global check returning the shared no-op singleton — is on every
+hot loop.  This benchmark keeps it honest with a very generous bound; it
+would take a real regression (allocation, timestamping) to trip it.
+"""
+
+import time
+
+from repro import obs
+
+
+def _instrumented_loop(n: int) -> int:
+    total = 0
+    for i in range(n):
+        with obs.span("bench.stage"):
+            total += i
+    return total
+
+
+def test_bench_disabled_span_overhead(benchmark, record):
+    obs.disable_tracing()
+    n = 100_000
+    benchmark.pedantic(_instrumented_loop, args=(n,), rounds=3,
+                       iterations=1)
+    start = time.perf_counter()
+    _instrumented_loop(n)
+    per_call = (time.perf_counter() - start) / n
+    record("obs_overhead",
+           f"disabled span(): {per_call * 1e9:.0f} ns/call over {n:,} calls")
+    assert obs.span("bench.stage") is obs.NULL_SPAN
+    # Generous ceiling — a no-op context manager plus one global check.
+    assert per_call < 5e-6
+
+
+def test_bench_enabled_tracing_records_everything(benchmark, record):
+    n = 2_000
+    tracer = obs.enable_tracing()
+    try:
+        benchmark.pedantic(_instrumented_loop, args=(n,), rounds=1,
+                           iterations=1)
+    finally:
+        roots = len(tracer.roots)
+        obs.disable_tracing()
+    record("obs_enabled", f"enabled tracing recorded {roots:,} root spans")
+    assert roots == n

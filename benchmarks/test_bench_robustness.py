@@ -28,9 +28,9 @@ def test_bench_eipv_size_sweep(benchmark, record):
         > by_size[100_000_000].cpi_variance
 
     record("e10_eipv_size",
-           robustness.render(size_result=result,
-                             machine_result=robustness.machine_sweep(
-                                 seed=11, k_max=30)))
+           robustness.render(robustness.RobustnessResult(
+               size=result,
+               machine=robustness.machine_sweep(seed=11, k_max=30))))
 
 
 def test_bench_machine_sweep(benchmark, record):

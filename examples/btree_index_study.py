@@ -21,7 +21,7 @@ Usage::
 
 import numpy as np
 
-from repro.analysis import format_table, sparkline
+from repro.api import format_table, sparkline
 from repro.uarch import AnalyticalCPU, itanium2
 from repro.workloads.btree import BTreeDescentModulator, path_overlap
 from repro.workloads.database import odbh_database

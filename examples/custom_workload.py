@@ -15,10 +15,8 @@ Usage::
     python examples/custom_workload.py
 """
 
-from repro.analysis import format_curve
-from repro.core import analyze_predictability
-from repro.trace import build_eipvs, collect_trace
-from repro.uarch import ExecutionProfile, itanium2
+from repro import api
+from repro.uarch import ExecutionProfile
 from repro.workloads.os_model import SchedulerConfig, make_kernel_thread
 from repro.workloads.program import (
     EpisodeState,
@@ -27,7 +25,7 @@ from repro.workloads.program import (
     Program,
 )
 from repro.workloads.regions import CodeRegion, layout_regions
-from repro.workloads.system import ContentionModel, SimulatedSystem, Workload
+from repro.workloads.system import ContentionModel, Workload
 from repro.workloads.thread_model import WorkloadThread
 
 MB = 1024 * 1024
@@ -84,16 +82,14 @@ def build_web_cache_workload(n_threads: int = 4) -> Workload:
 
 def main() -> int:
     workload = build_web_cache_workload()
-    system = SimulatedSystem(itanium2(), workload, seed=3)
     print("simulating 50 intervals of the web-cache service...")
-    trace = collect_trace(system, 50 * 100_000_000)
-    dataset = build_eipvs(trace)
-    dataset.workload_name = "webcache"
+    _, dataset = api.collect(workload, n_intervals=50, seed=3)
 
-    result = analyze_predictability(dataset, k_max=40, seed=3)
-    print(format_curve(result.curve.k_values, result.curve.re,
-                       "webcache: relative error vs chambers",
-                       mark_k=result.k_opt))
+    result = api.analyze_dataset(dataset,
+                                 config=api.AnalysisConfig(k_max=40, seed=3))
+    print(api.format_curve(result.curve.k_values, result.curve.re,
+                           "webcache: relative error vs chambers",
+                           mark_k=result.k_opt))
     print(f"\nCPI mean {result.cpi_mean:.2f}, variance "
           f"{result.cpi_variance:.4f}")
     print(f"quadrant: {result.quadrant.value} "

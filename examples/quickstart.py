@@ -1,6 +1,7 @@
 """Quickstart: how well does control flow predict performance?
 
-Runs one workload through the paper's full pipeline:
+Runs one workload through the paper's full pipeline using the stable
+:mod:`repro.api` surface:
 
 1. simulate it on the Itanium 2 machine model;
 2. sample it VTune-style (every 1M retired instructions);
@@ -19,51 +20,35 @@ Try ``spec.art`` (strong phases), ``odbc`` (flat server CPI) or
 
 import sys
 
-from repro.analysis import format_curve
-from repro.sampling import recommend_for
-from repro.core import analyze_predictability
-from repro.trace import build_eipvs, collect_trace
-from repro.uarch import itanium2
-from repro.workloads import DEFAULT, SimulatedSystem, get_workload
+from repro import api
 
 
 def main() -> int:
     workload_name = sys.argv[1] if len(sys.argv) > 1 else "odbh.q13"
-    if len(sys.argv) > 2:
-        n_intervals = int(sys.argv[2])
-    else:
-        # DSS queries need several plan passes for the tree to generalize.
-        n_intervals = 132 if workload_name.startswith("odbh.") else 60
+    n_intervals = int(sys.argv[2]) if len(sys.argv) > 2 else None
 
-    print(f"workload: {workload_name}, {n_intervals} intervals of 100M "
-          f"instructions\n")
+    config = api.AnalysisConfig(k_max=50, seed=11)
+    print(f"workload: {workload_name}, intervals of 100M instructions\n")
 
-    machine = itanium2()
-    workload = get_workload(workload_name, DEFAULT)
-    system = SimulatedSystem(machine, workload, seed=11)
-
-    print("sampling (VTune-style, every "
-          f"{workload.sample_period:,} instructions)...")
-    trace = collect_trace(system, n_intervals * 100_000_000)
+    print("sampling (VTune-style)...")
+    trace, dataset = api.collect(workload_name, n_intervals=n_intervals,
+                                 seed=config.seed)
     print(f"  {len(trace):,} samples, {len(trace.unique_eips()):,} unique "
           f"EIPs, {trace.duration_seconds:.1f}s simulated")
-
-    dataset = build_eipvs(trace)
-    dataset.workload_name = workload_name
     print(f"  {dataset.n_intervals} EIPVs, mean CPI "
           f"{dataset.cpi_mean:.2f}, variance {dataset.cpi_variance:.4f}\n")
 
-    print("regression-tree cross-validation (k = 1..50)...")
-    result = analyze_predictability(dataset, k_max=50, seed=11)
-    print(format_curve(result.curve.k_values, result.curve.re,
-                       "relative error vs chambers",
-                       mark_k=result.k_opt))
+    print(f"regression-tree cross-validation (k = 1..{config.k_max})...")
+    result = api.analyze_dataset(dataset, config=config)
+    print(api.format_curve(result.curve.k_values, result.curve.re,
+                           "relative error vs chambers",
+                           mark_k=result.k_opt))
 
     print(f"\nCPI variance explained by EIPVs: "
           f"{result.explained_fraction:.0%}")
     print(f"quadrant: {result.quadrant.value}")
 
-    recommendation = recommend_for(result)
+    recommendation = api.recommend_for(result)
     print(f"recommended sampling technique: {recommendation.technique}")
     print(f"  rationale: {recommendation.rationale}")
     return 0

@@ -15,28 +15,21 @@ import sys
 
 import numpy as np
 
-from repro.analysis import format_table
+from repro import api
 from repro.sampling import TECHNIQUES, compare_techniques, select_technique
-from repro.trace import build_eipvs, collect_trace
-from repro.uarch import itanium2
-from repro.workloads import DEFAULT, SimulatedSystem, get_workload
 
 
 def main() -> int:
     workload_name = sys.argv[1] if len(sys.argv) > 1 else "spec.art"
     budget = int(sys.argv[2]) if len(sys.argv) > 2 else 6
-    n_intervals = 132 if workload_name.startswith("odbh") else 60
 
-    workload = get_workload(workload_name, DEFAULT)
-    system = SimulatedSystem(itanium2(), workload, seed=11)
-    trace = collect_trace(system, n_intervals * 100_000_000)
-    dataset = build_eipvs(trace)
-    dataset.workload_name = workload_name
+    _, dataset = api.collect(workload_name, seed=11)
 
     print(f"{workload_name}: true CPI {float(np.mean(dataset.cpis)):.3f} "
           f"over {dataset.n_intervals} intervals\n")
 
-    recommendation = select_technique(dataset, seed=11)
+    recommendation = select_technique(dataset,
+                                      config=api.AnalysisConfig(seed=11))
     print(f"quadrant: {recommendation.quadrant.value} "
           f"(variance {recommendation.analysis.cpi_variance:.4f}, "
           f"RE {recommendation.analysis.re_kopt:.3f})")
@@ -51,7 +44,7 @@ def main() -> int:
                   if result.technique == recommendation.technique else "")
         rows.append([result.technique, f"{result.mean_rel_error:.3%}",
                      f"{result.max_abs_error:.4f}", marker])
-    print(format_table(
+    print(api.format_table(
         ["technique", "mean rel error", "max abs error", ""],
         rows, title=f"CPI-estimate error at budget={budget} "
                     f"(25 trials each)"))

@@ -16,22 +16,16 @@ Usage::
     python examples/server_vs_spec.py
 """
 
-from repro.analysis import breakdown_series, format_table, sparkline, spread_series
-from repro.core import analyze_predictability
-from repro.trace import build_eipvs, collect_trace
-from repro.uarch import itanium2
-from repro.workloads import DEFAULT, SimulatedSystem, get_workload
+from repro import api
+from repro.analysis import breakdown_series, spread_series
 
 WORKLOADS = ("odbc", "spec.art", "odbh.q13", "odbh.q18")
 
 
-def study(name: str, n_intervals: int = 60, seed: int = 11):
-    workload = get_workload(name, DEFAULT)
-    system = SimulatedSystem(itanium2(), workload, seed=seed)
-    trace = collect_trace(system, n_intervals * 100_000_000)
-    dataset = build_eipvs(trace)
-    dataset.workload_name = name
-    analysis = analyze_predictability(dataset, k_max=50, seed=seed)
+def study(name: str, seed: int = 11):
+    trace, dataset = api.collect(name, seed=seed)
+    analysis = api.analyze_dataset(
+        dataset, config=api.AnalysisConfig(k_max=50, seed=seed))
     breakdown = breakdown_series(trace, bins=60)
     spread = spread_series(trace)
     return trace, analysis, breakdown, spread
@@ -41,9 +35,8 @@ def main() -> int:
     rows = []
     curves = []
     for name in WORKLOADS:
-        n_intervals = 132 if name.startswith("odbh") else 60
-        print(f"running {name} ({n_intervals} intervals)...")
-        trace, analysis, breakdown, spread = study(name, n_intervals)
+        print(f"running {name}...")
+        trace, analysis, breakdown, spread = study(name)
         rows.append([
             name,
             spread.unique_eips,
@@ -57,14 +50,14 @@ def main() -> int:
         curves.append((name, analysis.curve))
 
     print()
-    print(format_table(
+    print(api.format_table(
         ["workload", "EIPs", "CPI", "CPI var", "EXE share", "RE_kopt",
          "k_opt", "quadrant"],
         rows, title="server vs SPEC vs DSS (paper Sections 5-7)"))
 
     print("\nrelative-error curves (k = 1..50):")
     for name, curve in curves:
-        print(f"  {name:>10} |{sparkline(curve.re, lo=0.0, hi=1.3)}| "
+        print(f"  {name:>10} |{api.sparkline(curve.re, lo=0.0, hi=1.3)}| "
               f"RE_kopt={curve.re_kopt:.3f}")
 
     print("\nreading: ODB-C's curve never dips (nothing to predict);"

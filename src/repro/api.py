@@ -1,0 +1,197 @@
+"""The stable, supported entry points — ``import repro.api as repro``.
+
+Everything here is a thin, typed facade over the pipeline: one call per
+use case, configured through :class:`AnalysisConfig` instead of loose
+keyword arguments, returning the same result objects the experiments
+use.  The deeper modules (``repro.core``, ``repro.trace``,
+``repro.runtime``…) remain importable, but this module is the surface we
+keep stable:
+
+* :func:`collect` — simulate + sample one workload into an EIPV dataset;
+* :func:`analyze_dataset` — the Section-4 analysis on an existing dataset;
+* :func:`analyze` — collect + analyze one workload by name;
+* :func:`census` — the Table 2 / Figure 13 quadrant census;
+* :func:`profile` — run workloads with tracing on and return the
+  per-stage timing breakdown.
+
+The report helpers (:func:`format_table`, :func:`format_curve`,
+:func:`sparkline`) are re-exported so example scripts need only this
+module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+from repro.analysis.report import format_curve, format_table, sparkline
+from repro.core.config import AnalysisConfig
+from repro.core.predictability import (
+    PredictabilityResult,
+    analyze_predictability,
+)
+from repro.experiments.common import (
+    INTERVAL,
+    RunConfig,
+    clear_memo,
+    collect_cached,
+    default_intervals,
+)
+from repro.obs.profile import StageStats, aggregate_spans, render_profile
+from repro.runtime.cache import NullCache
+from repro.runtime.jobs import JobSpec
+from repro.runtime.scheduler import run_jobs
+from repro.sampling.selector import SamplingRecommendation, recommend_for
+from repro.trace.eipv import EIPVDataset
+from repro.workloads.scale import get_scale
+
+__all__ = [
+    "AnalysisConfig",
+    "PredictabilityResult",
+    "ProfileResult",
+    "RunConfig",
+    "SamplingRecommendation",
+    "analyze",
+    "analyze_dataset",
+    "census",
+    "collect",
+    "format_curve",
+    "format_table",
+    "profile",
+    "recommend_for",
+    "sparkline",
+]
+
+
+def _run_config(workload: str, n_intervals: int | None, seed: int,
+                machine: str, scale: str) -> RunConfig:
+    return RunConfig(workload=workload,
+                     n_intervals=n_intervals or default_intervals(workload),
+                     seed=seed, machine=machine, scale=get_scale(scale))
+
+
+def collect(workload, *, n_intervals: int | None = None,
+            seed: int = 11, machine: str = "itanium2",
+            scale: str = "default"):
+    """Simulate + sample one workload; returns ``(trace, dataset)``.
+
+    ``workload`` is a registry name (``"odbc"``, ``"spec.mcf"``…) or a
+    :class:`~repro.workloads.system.Workload` you built yourself.
+    ``n_intervals`` defaults to the experiment-appropriate run length for
+    the workload's class (DSS queries get longer runs).
+    """
+    if isinstance(workload, str):
+        return collect_cached(_run_config(workload, n_intervals, seed,
+                                          machine, scale))
+    # A user-built Workload object: run the same pipeline directly
+    # (no memoization — the object carries no stable identity to key on).
+    from repro.trace.eipv import build_eipvs
+    from repro.trace.sampler import collect_trace
+    from repro.uarch.machine import get_machine
+    from repro.workloads.system import SimulatedSystem
+    system = SimulatedSystem(get_machine(machine), workload, seed=seed)
+    trace = collect_trace(system, (n_intervals or 60) * INTERVAL)
+    dataset = build_eipvs(trace)
+    dataset.workload_name = workload.name
+    return trace, dataset
+
+
+def analyze_dataset(dataset: EIPVDataset, *,
+                    config: AnalysisConfig | None = None,
+                    ) -> PredictabilityResult:
+    """The full Section-4 analysis on an EIPV dataset you already have."""
+    return analyze_predictability(dataset, config=config or AnalysisConfig())
+
+
+def analyze(workload: str, *, config: AnalysisConfig | None = None,
+            n_intervals: int | None = None, machine: str = "itanium2",
+            scale: str = "default") -> PredictabilityResult:
+    """Collect one workload and analyze its EIP-CPI predictability.
+
+    The analysis seed (``config.seed``) also seeds the simulation, so one
+    config fully determines the result.
+    """
+    config = config or AnalysisConfig(seed=11)
+    _, dataset = collect(workload, n_intervals=n_intervals,
+                         seed=config.seed, machine=machine, scale=scale)
+    return analyze_dataset(dataset, config=config)
+
+
+def census(workloads=None, *, config: AnalysisConfig | None = None,
+           n_intervals: int | None = None, jobs: int | None = None,
+           cache=None, timeout: float | None = None):
+    """The Table 2 / Figure 13 quadrant census; returns a
+    :class:`~repro.experiments.table2_quadrants.Table2Result`.
+
+    ``workloads`` defaults to the paper's full 50; ``jobs``/``cache``/
+    ``timeout`` fall back to the process-wide runtime options.
+    """
+    from repro.experiments import table2_quadrants
+    config = config or AnalysisConfig(seed=11)
+    return table2_quadrants.run(workloads=workloads, seed=config.seed,
+                                k_max=config.k_max,
+                                n_intervals=n_intervals, jobs=jobs,
+                                cache=cache, timeout=timeout)
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """One profiling run: the span forest and its aggregate views."""
+
+    workloads: tuple
+    jobs: int
+    #: Serialized root span trees, in submission order.
+    spans: tuple
+    #: Per-stage aggregate (first-visit order — deterministic).
+    stages: tuple
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(stage.total_s for stage in self.stages
+                   if stage.depth == 0)
+
+    def stage_names(self) -> tuple:
+        """The stage paths in breakdown order (structure, not timings)."""
+        return tuple(stage.path for stage in self.stages)
+
+    def report(self, top: int = 5) -> str:
+        """The rendered per-stage breakdown table."""
+        return render_profile(list(self.spans), top=top)
+
+
+def profile(workloads, *, config: AnalysisConfig | None = None,
+            n_intervals: int | None = None, machine: str = "itanium2",
+            scale: str = "default", jobs: int = 1,
+            timeout: float | None = None) -> ProfileResult:
+    """Run one or more workloads end to end with tracing enabled.
+
+    ``workloads`` may be one name or a sequence of names.  Jobs always
+    execute (never served from the result cache — a profile measures real
+    work), serially or fanned out across ``jobs`` worker processes; the
+    merged span forest has the same stage structure either way.  Tracing
+    state is restored on exit, so profiling never leaks into the caller.
+    """
+    names = [workloads] if isinstance(workloads, str) else list(workloads)
+    config = config or AnalysisConfig(seed=11)
+    specs = [JobSpec.from_configs(
+        _run_config(name, n_intervals, config.seed, machine, scale), config)
+        for name in names]
+    # Memoized datasets would skip the collect stage and under-report it;
+    # a profile measures the real pipeline, so start cold.
+    clear_memo()
+    with obs.capture() as tracer:
+        outcomes = run_jobs(specs, jobs=jobs, cache=NullCache(),
+                            timeout=timeout)
+        roots = tracer.snapshot()
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+    if failed:
+        details = "\n\n".join(
+            f"{outcome.spec.workload}: {outcome.error}" for outcome in failed)
+        raise RuntimeError(
+            f"{len(failed)}/{len(outcomes)} profile jobs failed:\n{details}")
+    return ProfileResult(
+        workloads=tuple(names),
+        jobs=max(1, int(jobs or 1)),
+        spans=tuple(roots),
+        stages=tuple(aggregate_spans(roots)),
+    )

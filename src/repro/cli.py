@@ -12,6 +12,8 @@ Commands
     The Table 2 / Figure 13 quadrant census (optionally a subset).
 ``experiment ID [ID...]``
     Regenerate one of the paper's tables/figures.
+``profile WORKLOAD [WORKLOAD...]``
+    Run workloads with tracing on and print the per-stage breakdown.
 ``cache``
     Inspect (``stats``) or empty (``clear``) the on-disk result cache.
 
@@ -21,13 +23,17 @@ relocate the content-addressed result cache, and ``--no-cache`` to
 bypass it.  Results are deterministic: the same seed produces the same
 bytes on stdout whether computed serially, in parallel, or from a warm
 cache (scheduling details go to stderr and the run manifest instead).
+They also accept ``--trace-out PATH`` to record a JSONL span trace of
+the run; observability never touches stdout.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
+from repro import obs
 from repro.analysis.report import format_curve, format_table
 from repro.experiments.common import default_intervals
 from repro.experiments.runner import experiment_ids, run_all
@@ -49,6 +55,33 @@ def _configure_runtime(args) -> runtime_options.RuntimeOptions:
         no_cache=getattr(args, "no_cache", False),
         timeout=getattr(args, "timeout", None),
     )
+
+
+@contextmanager
+def _maybe_trace(args, command: str):
+    """Enable tracing for the body when ``--trace-out`` was given, then
+    write the JSONL trace.  Reporting goes to stderr; stdout stays pure."""
+    path = getattr(args, "trace_out", None)
+    if not path:
+        yield
+        return
+    obs.enable_tracing()
+    try:
+        yield
+    finally:
+        roots = obs.snapshot_roots()
+        obs.disable_tracing()
+        _write_trace(path, roots, command)
+
+
+def _write_trace(path, roots, command: str) -> None:
+    try:
+        out = obs.write_trace(path, roots, meta={"command": command})
+    except OSError as exc:
+        print(f"trace not written: {exc}", file=sys.stderr)
+    else:
+        n_spans = len(obs.trace_events(roots)) - 1
+        print(f"trace: {out} ({n_spans} spans)", file=sys.stderr)
 
 
 def _report_manifest(manifest: RunManifest | None, cache) -> None:
@@ -80,6 +113,11 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_analyze(args) -> int:
+    with _maybe_trace(args, "analyze"):
+        return _run_analyze(args)
+
+
+def _run_analyze(args) -> int:
     opts = _configure_runtime(args)
     n_intervals = args.intervals or default_intervals(args.workload)
     print(f"analyzing {args.workload} ({n_intervals} intervals, "
@@ -108,6 +146,11 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_census(args) -> int:
+    with _maybe_trace(args, "census"):
+        return _run_census(args)
+
+
+def _run_census(args) -> int:
     from repro.experiments import table2_quadrants
     known = set(workload_names())
     unknown = [name for name in args.workloads if name not in known]
@@ -138,7 +181,31 @@ def _cmd_experiment(args) -> int:
             f"unknown experiment id(s): {', '.join(unknown)} "
             f"(choose from {', '.join(known)})")
     _configure_runtime(args)
-    print(run_all(args.ids))
+    with _maybe_trace(args, "experiment"):
+        print(run_all(args.ids))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro import api
+    known = set(workload_names())
+    unknown = [name for name in args.workloads if name not in known]
+    if unknown:
+        args.subparser.error(
+            f"unknown workload(s): {', '.join(unknown)} "
+            f"(see 'repro list')")
+    config = api.AnalysisConfig(k_max=args.k_max, seed=args.seed)
+    try:
+        result = api.profile(args.workloads, config=config,
+                             n_intervals=args.intervals,
+                             machine=args.machine, scale=args.scale,
+                             jobs=args.jobs, timeout=args.timeout)
+    except RuntimeError as exc:
+        print(f"profile failed: {exc}", file=sys.stderr)
+        return 1
+    print(result.report(top=args.top))
+    if args.trace_out:
+        _write_trace(args.trace_out, list(result.spans), "profile")
     return 0
 
 
@@ -164,6 +231,8 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
                        help="bypass the on-disk result cache")
     group.add_argument("--timeout", type=float, default=None, metavar="S",
                        help="per-job timeout in seconds (default: none)")
+    group.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="record a JSONL span trace of the run to PATH")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -205,6 +274,27 @@ def build_parser() -> argparse.ArgumentParser:
                                  f"(default: all)")
     _add_runtime_flags(experiment)
     experiment.set_defaults(func=_cmd_experiment, subparser=experiment)
+
+    profile = sub.add_parser(
+        "profile", help="per-stage timing breakdown of the pipeline")
+    profile.add_argument("workloads", nargs="+",
+                         help="workload(s) to run with tracing enabled")
+    profile.add_argument("--intervals", type=int, default=None)
+    profile.add_argument("--seed", type=int, default=11)
+    profile.add_argument("--k-max", type=int, default=50)
+    profile.add_argument("--scale", default="default",
+                         choices=["tiny", "default", "paper"])
+    profile.add_argument("--machine", default="itanium2",
+                         choices=["itanium2", "pentium4", "xeon"])
+    profile.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes (default: 1, in-process)")
+    profile.add_argument("--timeout", type=float, default=None, metavar="S")
+    profile.add_argument("--top", type=int, default=5, metavar="K",
+                         help="slowest individual spans to list "
+                              "(default: 5)")
+    profile.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="also write the JSONL span trace to PATH")
+    profile.set_defaults(func=_cmd_profile, subparser=profile)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=["stats", "clear"])

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.config import AnalysisConfig
 from repro.core.cross_validation import (
     DEFAULT_FOLDS,
     DEFAULT_K_MAX,
@@ -83,8 +84,9 @@ def compare_methods(dataset: EIPVDataset, k_max: int = DEFAULT_K_MAX,
     k than evaluating one more tree member, and its error surface is
     smooth).
     """
-    curve = relative_error_curve(dataset.matrix, dataset.cpis, k_max=k_max,
-                                 folds=folds, seed=seed)
+    curve = relative_error_curve(
+        dataset.matrix, dataset.cpis,
+        config=AnalysisConfig(k_max=k_max, folds=folds, seed=seed))
     if kmeans_k_values is None:
         kmeans_k_values = [k for k in (2, 4, 8, 12, 16, 24, 32, 50)
                            if k <= k_max]

@@ -1,0 +1,74 @@
+"""The one bundle of analysis knobs: :class:`AnalysisConfig`.
+
+Historically ``k_max`` / ``folds`` / ``seed`` / ``min_leaf`` were loose
+keyword arguments scattered across :mod:`repro.core.predictability`,
+:mod:`repro.core.cross_validation` and the experiment helpers.  They now
+travel together in one frozen dataclass, which is what the supported
+:mod:`repro.api` surface accepts.  The loose kwargs still work
+everywhere they used to, but emit a :class:`DeprecationWarning`;
+:func:`resolve_config` implements that compatibility shim.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+
+#: Sentinel distinguishing "kwarg not passed" from any real value.
+UNSET = object()
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Every knob of the Section-4 analysis, frozen and hashable.
+
+    ``k_max``
+        Chamber-count cap of the regression-tree family (paper: 50).
+    ``folds``
+        Cross-validation fold count (paper: 10).
+    ``seed``
+        RNG seed for the fold partition.
+    ``min_leaf``
+        Minimum training points per chamber.
+    """
+
+    k_max: int = 50
+    folds: int = 10
+    seed: int = 0
+    min_leaf: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k_max < 1:
+            raise ValueError("k_max must be at least 1")
+        if self.folds < 2:
+            raise ValueError("need at least two folds")
+        if self.min_leaf < 1:
+            raise ValueError("min_leaf must be at least 1")
+
+    def replace(self, **changes) -> "AnalysisConfig":
+        """A copy with ``changes`` applied (dataclasses.replace sugar)."""
+        return replace(self, **changes)
+
+
+def resolve_config(config: AnalysisConfig | None,
+                   k_max=UNSET, folds=UNSET, seed=UNSET, min_leaf=UNSET,
+                   caller: str = "this function",
+                   stacklevel: int = 3) -> AnalysisConfig:
+    """Merge legacy loose kwargs into an :class:`AnalysisConfig`.
+
+    Passing any loose kwarg warns (once per call site, via the standard
+    warning filters) and overrides the matching ``config`` field, so old
+    call sites behave exactly as before while new ones migrate to
+    ``config=AnalysisConfig(...)``.
+    """
+    legacy = {name: value
+              for name, value in (("k_max", k_max), ("folds", folds),
+                                  ("seed", seed), ("min_leaf", min_leaf))
+              if value is not UNSET}
+    if legacy:
+        warnings.warn(
+            f"passing {', '.join(sorted(legacy))} to {caller} is "
+            f"deprecated; pass config=AnalysisConfig(...) instead",
+            DeprecationWarning, stacklevel=stacklevel)
+        return (config or AnalysisConfig()).replace(**legacy)
+    return config or AnalysisConfig()

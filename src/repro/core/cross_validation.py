@@ -22,7 +22,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.config import UNSET, AnalysisConfig, resolve_config
 from repro.core.regression_tree import RegressionTreeSequence
+from repro.obs import span
 
 #: The paper's tolerance: RE_kopt approximates RE_inf if within 0.5%.
 KOPT_TOLERANCE = 0.005
@@ -76,47 +78,59 @@ def fold_indices(n: int, folds: int,
 
 
 def cross_validated_sse(matrix: np.ndarray, y: np.ndarray,
-                        k_max: int = DEFAULT_K_MAX,
-                        folds: int = DEFAULT_FOLDS,
-                        seed: int = 0,
-                        min_leaf: int = 1) -> np.ndarray:
+                        k_max=UNSET, folds=UNSET, seed=UNSET, min_leaf=UNSET,
+                        *, config: AnalysisConfig | None = None) -> np.ndarray:
     """Summed held-out squared error E_k for k = 1..k_max.
 
     Builds one tree family per fold and evaluates every member tree on the
-    held-out part, exactly the procedure of Section 4.4.
+    held-out part, exactly the procedure of Section 4.4.  Pass
+    ``config=AnalysisConfig(...)``; the loose kwargs are deprecated.
     """
+    config = resolve_config(config, k_max, folds, seed, min_leaf,
+                            caller="cross_validated_sse")
     matrix = np.asarray(matrix)
     y = np.asarray(y, dtype=np.float64)
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(config.seed)
+    k_max = config.k_max
     sse = np.zeros(k_max)
-    for held_out in fold_indices(len(y), folds, rng):
-        train_mask = np.ones(len(y), dtype=bool)
-        train_mask[held_out] = False
-        tree = RegressionTreeSequence(k_max=k_max, min_leaf=min_leaf)
-        tree.fit(matrix[train_mask], y[train_mask])
-        test_y = y[held_out]
-        predictions = tree.predict_all_k(matrix[held_out])
-        errors = ((predictions - test_y[:, None]) ** 2).sum(axis=0)
-        reached = tree.max_k()
-        sse[:reached] += errors
-        # Trees that stopped growing early keep their last prediction for
-        # larger k (T_k == T_reached beyond the last useful split).
-        if reached < k_max:
-            sse[reached:] += errors[-1]
+    with span("cv", folds=config.folds, k_max=k_max) as cv_span:
+        for held_out in fold_indices(len(y), config.folds, rng):
+            with span("cv.fold") as fold_span:
+                train_mask = np.ones(len(y), dtype=bool)
+                train_mask[held_out] = False
+                tree = RegressionTreeSequence(k_max=k_max,
+                                              min_leaf=config.min_leaf)
+                tree.fit(matrix[train_mask], y[train_mask])
+                test_y = y[held_out]
+                with span("cv.predict"):
+                    predictions = tree.predict_all_k(matrix[held_out])
+                errors = ((predictions - test_y[:, None]) ** 2).sum(axis=0)
+                reached = tree.max_k()
+                sse[:reached] += errors
+                # Trees that stopped growing early keep their last
+                # prediction for larger k (T_k == T_reached beyond the
+                # last useful split).
+                if reached < k_max:
+                    sse[reached:] += errors[-1]
+                fold_span.inc("held_out", len(held_out))
+        cv_span.inc("points", len(y))
     return sse
 
 
 def relative_error_curve(matrix: np.ndarray, y: np.ndarray,
-                         k_max: int = DEFAULT_K_MAX,
-                         folds: int = DEFAULT_FOLDS,
-                         seed: int = 0,
-                         min_leaf: int = 1) -> RECurve:
-    """The paper's RE_k curve with k_opt and RE_inf."""
+                         k_max=UNSET, folds=UNSET, seed=UNSET, min_leaf=UNSET,
+                         *, config: AnalysisConfig | None = None) -> RECurve:
+    """The paper's RE_k curve with k_opt and RE_inf.
+
+    Pass ``config=AnalysisConfig(...)``; loose kwargs are deprecated.
+    """
+    config = resolve_config(config, k_max, folds, seed, min_leaf,
+                            caller="relative_error_curve")
     y = np.asarray(y, dtype=np.float64)
     total_variance = float(np.var(y))
     baseline = total_variance * len(y)
-    sse = cross_validated_sse(matrix, y, k_max=k_max, folds=folds,
-                              seed=seed, min_leaf=min_leaf)
+    k_max = config.k_max
+    sse = cross_validated_sse(matrix, y, config=config)
     if baseline <= 0:
         # Constant CPI: any model is exact; RE is defined as 0.
         re = np.zeros(k_max)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.config import UNSET, AnalysisConfig, resolve_config
 from repro.core.cross_validation import (
     DEFAULT_FOLDS,
     DEFAULT_K_MAX,
@@ -16,6 +17,7 @@ from repro.core.cross_validation import (
     relative_error_curve,
 )
 from repro.core.quadrant import Quadrant, QuadrantResult, classify_result
+from repro.obs import span
 from repro.trace.eipv import EIPVDataset
 
 
@@ -56,20 +58,27 @@ class PredictabilityResult:
 
 
 def analyze_predictability(dataset: EIPVDataset,
-                           k_max: int = DEFAULT_K_MAX,
-                           folds: int = DEFAULT_FOLDS,
-                           seed: int = 0,
-                           min_leaf: int = 1) -> PredictabilityResult:
-    """Run the full Section-4 analysis on one EIPV dataset."""
-    curve = relative_error_curve(dataset.matrix, dataset.cpis, k_max=k_max,
-                                 folds=folds, seed=seed, min_leaf=min_leaf)
-    variance = dataset.cpi_variance
-    quadrant_result = classify_result(
-        workload=dataset.workload_name or "unnamed",
-        cpi_variance=variance,
-        relative_error=curve.re_kopt,
-        k_opt=curve.k_opt,
-    )
+                           k_max=UNSET, folds=UNSET, seed=UNSET,
+                           min_leaf=UNSET, *,
+                           config: AnalysisConfig | None = None,
+                           ) -> PredictabilityResult:
+    """Run the full Section-4 analysis on one EIPV dataset.
+
+    Pass ``config=AnalysisConfig(...)``; the loose ``k_max``/``folds``/
+    ``seed``/``min_leaf`` kwargs still work but are deprecated.
+    """
+    config = resolve_config(config, k_max, folds, seed, min_leaf,
+                            caller="analyze_predictability")
+    with span("analyze", workload=dataset.workload_name or "unnamed"):
+        curve = relative_error_curve(dataset.matrix, dataset.cpis,
+                                     config=config)
+        variance = dataset.cpi_variance
+        quadrant_result = classify_result(
+            workload=dataset.workload_name or "unnamed",
+            cpi_variance=variance,
+            relative_error=curve.re_kopt,
+            k_opt=curve.k_opt,
+        )
     return PredictabilityResult(
         workload=dataset.workload_name or "unnamed",
         curve=curve,

@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import span
+
 #: A split's CPI-variance reduction must exceed this to be applied
 #: (guards against floating-point noise producing spurious splits).
 MIN_GAIN = 1e-12
@@ -184,6 +186,13 @@ class RegressionTreeSequence:
 
     def fit(self, matrix: np.ndarray, y: np.ndarray) -> "RegressionTreeSequence":
         """Grow the tree family on (EIPV matrix, CPI vector)."""
+        with span("fit.tree") as fit_span:
+            self._fit(matrix, y)
+            fit_span.inc("splits", self.n_splits)
+            fit_span.inc("points", len(y))
+        return self
+
+    def _fit(self, matrix: np.ndarray, y: np.ndarray) -> None:
         matrix = np.asarray(matrix)
         y = np.asarray(y, dtype=np.float64)
         if matrix.shape[0] != len(y):
@@ -218,7 +227,6 @@ class RegressionTreeSequence:
             frontier.remove(best_node)
             frontier.extend([best_node.left, best_node.right])
             self.n_splits += 1
-        return self
 
     def _make_node(self, rows: np.ndarray, depth: int) -> TreeNode:
         y = self._y[rows]

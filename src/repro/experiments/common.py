@@ -15,6 +15,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.obs import span
 from repro.trace.eipv import EIPVDataset, build_eipvs
 from repro.trace.events import SampleTrace
 from repro.trace.sampler import collect_trace
@@ -63,17 +64,20 @@ def _metrics():
 def collect(config: RunConfig) -> tuple[SampleTrace, EIPVDataset]:
     """Simulate, sample, and build EIPVs for one run."""
     metrics = _metrics()
-    machine: MachineConfig = get_machine(config.machine)
-    workload = get_workload(config.workload, config.scale)
-    system = SimulatedSystem(machine, workload, seed=config.seed)
-    start = time.perf_counter()
-    trace = collect_trace(system, config.total_instructions())
-    metrics.observe("pipeline.simulate_s", time.perf_counter() - start)
-    start = time.perf_counter()
-    dataset = build_eipvs(trace, config.interval_instructions)
-    metrics.observe("pipeline.build_eipvs_s", time.perf_counter() - start)
-    dataset.workload_name = config.workload
-    metrics.inc("pipeline.collect")
+    with span("pipeline.collect", workload=config.workload,
+              machine=config.machine, intervals=config.n_intervals):
+        machine: MachineConfig = get_machine(config.machine)
+        workload = get_workload(config.workload, config.scale)
+        system = SimulatedSystem(machine, workload, seed=config.seed)
+        start = time.perf_counter()
+        trace = collect_trace(system, config.total_instructions())
+        metrics.observe("pipeline.simulate_s", time.perf_counter() - start)
+        start = time.perf_counter()
+        dataset = build_eipvs(trace, config.interval_instructions)
+        metrics.observe("pipeline.build_eipvs_s",
+                        time.perf_counter() - start)
+        dataset.workload_name = config.workload
+        metrics.inc("pipeline.collect")
     return trace, dataset
 
 
@@ -88,6 +92,18 @@ def collect_cached(config: RunConfig) -> tuple[SampleTrace, EIPVDataset]:
     else:
         _metrics().inc("pipeline.memo_hit")
     return _CACHE[config]
+
+
+def clear_memo() -> int:
+    """Drop the in-process collect memo; returns how many entries it held.
+
+    Used by :func:`repro.api.profile`: a profile must measure the real
+    pipeline, so memoized datasets from earlier calls in the same process
+    would silently skip the collect stage.
+    """
+    n = len(_CACHE)
+    _CACHE.clear()
+    return n
 
 
 def default_intervals(workload: str) -> int:

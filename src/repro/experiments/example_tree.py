@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.regression_tree import RegressionTreeSequence
+from repro.experiments.base import Experiment
 
 #: EIP execution counts (in millions), one row per EIPV of Table 1.
 TABLE1_EIPVS = np.array([
@@ -74,10 +75,18 @@ def run_example() -> ExampleResult:
     )
 
 
-def render() -> str:
+def render(result: ExampleResult | None = None) -> str:
     """Human-readable report for the bench harness."""
-    result = run_example()
+    result = result or run_example()
     status = "MATCHES Figure 1" if result.matches_figure1 else "MISMATCH"
     return (f"Table 1 / Figure 1 worked example — {status}\n"
             f"root split: (EIP{result.root_feature}, "
             f"{result.root_threshold:g})\n{result.rendering}")
+
+
+EXPERIMENT = Experiment(
+    id="e1",
+    title="Table 1 / Figure 1 worked example",
+    runner=run_example,
+    renderer=render,
+)

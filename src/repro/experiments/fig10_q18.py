@@ -17,8 +17,10 @@ from dataclasses import dataclass
 from repro.analysis.breakdown import BreakdownSeries, breakdown_series
 from repro.analysis.report import format_breakdown, format_curve, sparkline
 from repro.analysis.spread import SpreadSeries, spread_series
+from repro.core.config import AnalysisConfig
 from repro.core.cross_validation import RECurve
 from repro.core.predictability import analyze_predictability
+from repro.experiments.base import Experiment
 from repro.experiments.common import RunConfig, collect_cached, default_intervals
 
 
@@ -38,7 +40,8 @@ def run(n_intervals: int | None = None, seed: int = 11,
     trace, dataset = collect_cached(RunConfig("odbh.q18",
                                               n_intervals=n_intervals,
                                               seed=seed))
-    analysis = analyze_predictability(dataset, k_max=k_max, seed=seed)
+    analysis = analyze_predictability(
+        dataset, config=AnalysisConfig(k_max=k_max, seed=seed))
     breakdown = breakdown_series(trace, bins=80)
     exe_share = breakdown.share_timeline("exe")
     positive = exe_share[exe_share > 0]
@@ -76,3 +79,11 @@ def render(result: Q18Result | None = None) -> str:
         f"weak phase: {result.weak_phase}; bottleneck shifts over time: "
         f"{result.bottleneck_shifts} (paper: yes, yes)",
     ])
+
+
+EXPERIMENT = Experiment(
+    id="e7",
+    title="Figures 10-12: ODB-H Q18",
+    runner=run,
+    renderer=render,
+)

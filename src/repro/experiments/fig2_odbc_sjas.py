@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import format_curve
+from repro.core.config import AnalysisConfig
 from repro.core.cross_validation import RECurve
 from repro.core.predictability import analyze_predictability
+from repro.experiments.base import Experiment
 from repro.experiments.common import RunConfig, collect_cached
 
 
@@ -33,8 +35,8 @@ def run(n_intervals: int = 60, seed: int = 11, k_max: int = 50) -> Fig2Result:
     for name in ("odbc", "sjas"):
         _, dataset = collect_cached(RunConfig(name, n_intervals=n_intervals,
                                               seed=seed))
-        curves[name] = analyze_predictability(dataset, k_max=k_max,
-                                              seed=seed).curve
+        curves[name] = analyze_predictability(
+            dataset, config=AnalysisConfig(k_max=k_max, seed=seed)).curve
     odbc, sjas = curves["odbc"], curves["sjas"]
     return Fig2Result(
         odbc=odbc,
@@ -63,3 +65,11 @@ def render(result: Fig2Result | None = None) -> str:
         f"k_opt={result.sjas.k_opt})",
     ]
     return "\n\n".join(parts)
+
+
+EXPERIMENT = Experiment(
+    id="e2",
+    title="Figure 2: RE curves for ODB-C and SjAS",
+    runner=run,
+    renderer=render,
+)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.analysis.report import sparkline
 from repro.analysis.spread import SpreadSeries, spread_series
 from repro.analysis.variance import interval_cpi_summary
+from repro.experiments.base import Experiment
 from repro.experiments.common import RunConfig, collect_cached
 from repro.workloads.appserver import PAPER_UNIQUE_EIPS as SJAS_PAPER_EIPS
 from repro.workloads.oltp import PAPER_UNIQUE_EIPS as ODBC_PAPER_EIPS
@@ -87,3 +88,11 @@ def render(result: Fig3Result | None = None) -> str:
     lines.append(f"\nunique-EIP ordering mcf < ODB-C < SjAS: "
                  f"{result.ordering_matches_paper} (paper: yes)")
     return "\n".join(lines)
+
+
+EXPERIMENT = Experiment(
+    id="e3",
+    title="Figure 3: EIP and CPI spread",
+    runner=run,
+    renderer=render,
+)

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.analysis.breakdown import BreakdownSeries, breakdown_series
 from repro.analysis.report import format_breakdown
+from repro.experiments.base import Experiment
 from repro.experiments.common import RunConfig, collect_cached
 
 
@@ -75,3 +76,11 @@ def render(result: Fig45Result | None = None) -> str:
         f"(paper: 30-40%) -> {result.sjas_exe_share_in_band}",
     ]
     return "\n\n".join(parts)
+
+
+EXPERIMENT = Experiment(
+    id="e4",
+    title="Figures 4-5: CPI breakdown",
+    runner=run,
+    renderer=render,
+)

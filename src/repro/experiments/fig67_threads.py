@@ -12,7 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import format_curve, format_table
+from repro.core.config import AnalysisConfig
 from repro.core.cross_validation import RECurve, relative_error_curve
+from repro.experiments.base import Experiment
 from repro.experiments.common import RunConfig, collect_cached
 from repro.trace.eipv import build_per_thread_eipvs
 from repro.trace.threads import ThreadingStats, slice_level_stats
@@ -43,12 +45,13 @@ def _separate(workload: str, n_intervals: int, seed: int,
     trace, dataset = collect_cached(RunConfig(workload,
                                               n_intervals=n_intervals,
                                               seed=seed))
-    merged = relative_error_curve(dataset.matrix, dataset.cpis, k_max=k_max,
-                                  seed=seed)
+    config = AnalysisConfig(k_max=k_max, seed=seed)
+    merged = relative_error_curve(dataset.matrix, dataset.cpis,
+                                  config=config)
     per_thread = build_per_thread_eipvs(trace,
                                         dataset.interval_instructions)
     threaded = relative_error_curve(per_thread.matrix, per_thread.cpis,
-                                    k_max=k_max, seed=seed)
+                                    config=config)
     return ThreadSeparationResult(
         workload=workload,
         nothread=merged,
@@ -108,3 +111,11 @@ def render(result: Fig67Result | None = None) -> str:
         ["workload", "ctx/s", "paper ctx/s", "OS time", "paper OS",
          "threads"], rows, title="Section 5.2 threading statistics"))
     return "\n\n".join(parts)
+
+
+EXPERIMENT = Experiment(
+    id="e5",
+    title="Figures 6-7 + Sec 5.2: thread separation",
+    runner=run,
+    renderer=render,
+)

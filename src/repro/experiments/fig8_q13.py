@@ -12,8 +12,10 @@ from dataclasses import dataclass
 
 from repro.analysis.report import format_curve, sparkline
 from repro.analysis.spread import SpreadSeries, spread_series
+from repro.core.config import AnalysisConfig
 from repro.core.cross_validation import RECurve
 from repro.core.predictability import analyze_predictability
+from repro.experiments.base import Experiment
 from repro.experiments.common import RunConfig, collect_cached, default_intervals
 from repro.workloads.dss import PAPER_Q13_UNIQUE_EIPS
 
@@ -34,7 +36,8 @@ def run(n_intervals: int | None = None, seed: int = 11,
     trace, dataset = collect_cached(RunConfig("odbh.q13",
                                               n_intervals=n_intervals,
                                               seed=seed))
-    analysis = analyze_predictability(dataset, k_max=k_max, seed=seed)
+    analysis = analyze_predictability(
+        dataset, config=AnalysisConfig(k_max=k_max, seed=seed))
     spread = spread_series(trace)
     return Q13Result(
         curve=analysis.curve,
@@ -66,3 +69,11 @@ def render(result: Q13Result | None = None) -> str:
         f"strong phase behaviour: {result.strong_phase}; "
         f"small k_opt: {result.small_k_opt} (paper: yes, yes)",
     ])
+
+
+EXPERIMENT = Experiment(
+    id="e6",
+    title="Figures 8-9: ODB-H Q13",
+    runner=run,
+    renderer=render,
+)

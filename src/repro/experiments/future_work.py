@@ -22,7 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
+from repro.core.config import AnalysisConfig
 from repro.core.predictability import analyze_predictability
+from repro.experiments.base import Experiment
 from repro.experiments.common import RunConfig, collect_cached, default_intervals
 from repro.trace.bbv import build_bbvs
 from repro.trace.eipv import build_eipvs
@@ -63,7 +65,8 @@ def sampling_rate_sweep(workload: str = "odbh.q17", n_intervals: int = 60,
                               period=period)
         dataset = build_eipvs(trace, 100_000_000)
         dataset.workload_name = workload
-        analysis = analyze_predictability(dataset, k_max=k_max, seed=seed)
+        analysis = analyze_predictability(
+            dataset, config=AnalysisConfig(k_max=k_max, seed=seed))
         rows.append(RateRow(sample_period=period,
                             cpi_variance=analysis.cpi_variance,
                             re_kopt=analysis.re_kopt))
@@ -99,8 +102,9 @@ def bbv_comparison(workloads=("odbh.q13", "odbh.q18", "spec.art", "odbc"),
             name, n_intervals=default_intervals(name), seed=seed))
         bbv_dataset = build_bbvs(trace, eipv_dataset.interval_instructions,
                                  block_bytes=block_bytes)
-        eipv = analyze_predictability(eipv_dataset, k_max=k_max, seed=seed)
-        bbv = analyze_predictability(bbv_dataset, k_max=k_max, seed=seed)
+        config = AnalysisConfig(k_max=k_max, seed=seed)
+        eipv = analyze_predictability(eipv_dataset, config=config)
+        bbv = analyze_predictability(bbv_dataset, config=config)
         rows.append(BBVRow(
             workload=name,
             eipv_features=eipv_dataset.n_eips,
@@ -113,10 +117,23 @@ def bbv_comparison(workloads=("odbh.q13", "odbh.q18", "spec.art", "odbc"),
                                conclusions_agree=bool(agree))
 
 
-def render(rate_result: SamplingRateResult | None = None,
-           bbv_result: BBVComparisonResult | None = None) -> str:
-    rate_result = rate_result or sampling_rate_sweep()
-    bbv_result = bbv_result or bbv_comparison()
+@dataclass(frozen=True)
+class FutureWorkResult:
+    """Both future-work studies, bundled for the experiment protocol."""
+
+    rate: SamplingRateResult
+    bbv: BBVComparisonResult
+
+
+def run(seed: int = 11, k_max: int = 30) -> FutureWorkResult:
+    """Run both future-work studies."""
+    return FutureWorkResult(rate=sampling_rate_sweep(seed=seed, k_max=k_max),
+                            bbv=bbv_comparison(seed=seed, k_max=k_max))
+
+
+def render(result: FutureWorkResult | None = None) -> str:
+    result = result or run()
+    rate_result, bbv_result = result.rate, result.bbv
     rate_rows = [
         [f"1/{row.sample_period // 1000}K", round(row.cpi_variance, 4),
          round(row.re_kopt, 3)]
@@ -142,3 +159,11 @@ def render(rate_result: SamplingRateResult | None = None,
         f"{bbv_result.conclusions_agree}",
     ]
     return "\n\n".join([rate_table, bbv_table, "\n".join(verdicts)])
+
+
+EXPERIMENT = Experiment(
+    id="e14",
+    title="Future work: higher EIP sampling rates on Q-III",
+    runner=run,
+    renderer=render,
+)

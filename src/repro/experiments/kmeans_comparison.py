@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.analysis.report import format_table
 from repro.core.comparison import MethodComparison, compare_methods
+from repro.experiments.base import Experiment
 from repro.experiments.common import RunConfig, collect_cached, default_intervals
 from repro.workloads.scale import PAPER
 
@@ -84,3 +85,11 @@ def render(result: KMeansComparisonResult | None = None) -> str:
     return (f"{table}\n\naverage improvement over fuzzy workloads "
             f"({result.fuzzy_count} of {len(result.comparisons)}): "
             f"{result.average_improvement:.0%} (paper: ~80%)")
+
+
+EXPERIMENT = Experiment(
+    id="e9",
+    title="Section 4.6: tree vs k-means",
+    runner=run,
+    renderer=render,
+)

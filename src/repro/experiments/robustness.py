@@ -18,7 +18,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.report import format_table
+from repro.core.config import AnalysisConfig
 from repro.core.predictability import analyze_predictability
+from repro.experiments.base import Experiment
 from repro.experiments.common import (
     INTERVAL,
     RunConfig,
@@ -59,7 +61,8 @@ def eipv_size_sweep(workload: str = "odbh.q4", seed: int = 11,
     for size in EIPV_SIZES:
         dataset = build_eipvs(trace, size)
         dataset.workload_name = workload
-        analysis = analyze_predictability(dataset, k_max=k_max, seed=seed)
+        analysis = analyze_predictability(
+            dataset, config=AnalysisConfig(k_max=k_max, seed=seed))
         rows.append(EIPVSizeRow(
             interval_instructions=size,
             cpi_variance=analysis.cpi_variance,
@@ -100,8 +103,8 @@ def machine_sweep(workloads=MACHINE_SWEEP_WORKLOADS, seed: int = 11,
             _, dataset = collect_cached(RunConfig(
                 name, n_intervals=default_intervals(name), seed=seed,
                 machine=machine))
-            analysis = analyze_predictability(dataset, k_max=k_max,
-                                              seed=seed)
+            analysis = analyze_predictability(
+                dataset, config=AnalysisConfig(k_max=k_max, seed=seed))
             rows.append(MachineRow(
                 workload=name,
                 machine=machine,
@@ -124,10 +127,23 @@ def machine_sweep(workloads=MACHINE_SWEEP_WORKLOADS, seed: int = 11,
     )
 
 
-def render(size_result: EIPVSizeResult | None = None,
-           machine_result: MachineSweepResult | None = None) -> str:
-    size_result = size_result or eipv_size_sweep()
-    machine_result = machine_result or machine_sweep()
+@dataclass(frozen=True)
+class RobustnessResult:
+    """Both Section-7.1 sweeps, bundled for the experiment protocol."""
+
+    size: EIPVSizeResult
+    machine: MachineSweepResult
+
+
+def run(seed: int = 11, k_max: int = 30) -> RobustnessResult:
+    """Run both robustness sweeps."""
+    return RobustnessResult(size=eipv_size_sweep(seed=seed, k_max=k_max),
+                            machine=machine_sweep(seed=seed, k_max=k_max))
+
+
+def render(result: RobustnessResult | None = None) -> str:
+    result = result or run()
+    size_result, machine_result = result.size, result.machine
     base = size_result.rows[0]
     size_rows = [
         [f"{row.interval_instructions // 1_000_000}M",
@@ -161,3 +177,11 @@ def render(size_result: EIPVSizeResult | None = None,
         f"{machine_result.quadrants_mostly_stable} (paper: yes)",
     ]
     return "\n\n".join([size_table, machine_table, "\n".join(verdicts)])
+
+
+EXPERIMENT = Experiment(
+    id="e10",
+    title="Section 7.1: robustness sweeps",
+    runner=run,
+    renderer=render,
+)

@@ -1,15 +1,18 @@
 """Experiment registry and run-all driver.
 
-Each experiment id (DESIGN.md's E1-E13) maps to a ``render()`` callable
-producing the text reproduction of its table/figure.  ``python -m
-repro.experiments.runner [ids...]`` runs them from the command line;
-the benchmark harness calls the same entry points.
+Every experiment module exposes a module-level
+:class:`~repro.experiments.base.Experiment`; the registry below is built
+from those objects, so the runner, the CLI and the benchmark harness all
+consume the same ``render(result=None)`` protocol.  ``python -m
+repro.experiments.runner [ids...]`` runs them from the command line.
 """
 
 from __future__ import annotations
 
 import sys
 
+from repro.experiments.base import Experiment
+from repro.obs import span
 from repro.runtime.metrics import METRICS
 from repro.experiments import (
     example_tree,
@@ -26,25 +29,24 @@ from repro.experiments import (
     table2_quadrants,
 )
 
-#: Experiment id -> (description, render callable).
-EXPERIMENTS = {
-    "e1": ("Table 1 / Figure 1 worked example", example_tree.render),
-    "e2": ("Figure 2: RE curves for ODB-C and SjAS",
-           fig2_odbc_sjas.render),
-    "e3": ("Figure 3: EIP and CPI spread", fig3_spread.render),
-    "e4": ("Figures 4-5: CPI breakdown", fig45_breakdown.render),
-    "e5": ("Figures 6-7 + Sec 5.2: thread separation",
-           fig67_threads.render),
-    "e6": ("Figures 8-9: ODB-H Q13", fig8_q13.render),
-    "e7": ("Figures 10-12: ODB-H Q18", fig10_q18.render),
-    "e8": ("Table 2 / Figure 13: quadrant census",
-           table2_quadrants.render),
-    "e9": ("Section 4.6: tree vs k-means", kmeans_comparison.render),
-    "e10": ("Section 7.1: robustness sweeps", robustness.render),
-    "e13": ("Section 7: sampling techniques by quadrant",
-            sampling_eval.render),
-    "e14": ("Future work: higher EIP sampling rates on Q-III",
-            future_work.render),
+_MODULES = (
+    example_tree,
+    fig2_odbc_sjas,
+    fig3_spread,
+    fig45_breakdown,
+    fig67_threads,
+    fig8_q13,
+    fig10_q18,
+    table2_quadrants,
+    kmeans_comparison,
+    robustness,
+    sampling_eval,
+    future_work,
+)
+
+#: Experiment id -> :class:`Experiment` (one per module's ``EXPERIMENT``).
+EXPERIMENTS: dict[str, Experiment] = {
+    module.EXPERIMENT.id: module.EXPERIMENT for module in _MODULES
 }
 
 
@@ -53,16 +55,23 @@ def experiment_ids() -> list[str]:
     return sorted(EXPERIMENTS, key=lambda exp_id: int(exp_id[1:]))
 
 
-def run_experiment(experiment_id: str) -> str:
-    """Render one experiment by id (e.g. ``"e2"``)."""
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up one experiment by id (e.g. ``"e2"``), case-insensitive."""
     key = experiment_id.lower()
     if key not in EXPERIMENTS:
         known = ", ".join(experiment_ids())
         raise KeyError(f"unknown experiment {experiment_id!r}; "
                        f"known: {known}")
-    _, render = EXPERIMENTS[key]
+    return EXPERIMENTS[key]
+
+
+def run_experiment(experiment_id: str) -> str:
+    """Render one experiment by id (e.g. ``"e2"``)."""
+    experiment = get_experiment(experiment_id)
+    key = experiment.id
     with METRICS.time(f"experiment.{key}_s"):
-        return render()
+        with span(f"experiment.{key}", title=experiment.title):
+            return experiment.render()
 
 
 def run_all(ids=None) -> str:
@@ -70,9 +79,10 @@ def run_all(ids=None) -> str:
     ids = list(ids) if ids else sorted(EXPERIMENTS)
     sections = []
     for experiment_id in ids:
-        description, _ = EXPERIMENTS[experiment_id.lower()]
+        experiment = get_experiment(experiment_id)
         banner = "=" * 72
-        sections.append(f"{banner}\n{experiment_id.upper()}: {description}"
+        sections.append(f"{banner}\n{experiment_id.upper()}: "
+                        f"{experiment.title}"
                         f"\n{banner}\n{run_experiment(experiment_id)}")
     return "\n\n".join(sections)
 

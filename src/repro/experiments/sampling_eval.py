@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
+from repro.core.config import AnalysisConfig
+from repro.experiments.base import Experiment
 from repro.experiments.common import RunConfig, collect_cached, default_intervals
 from repro.sampling.evaluation import compare_techniques
 from repro.sampling.selector import select_technique
@@ -51,7 +53,8 @@ def run(budget: int = 6, trials: int = 15, seed: int = 11) -> SamplingEvalResult
     for quadrant, workload in REPRESENTATIVES.items():
         _, dataset = collect_cached(RunConfig(
             workload, n_intervals=default_intervals(workload), seed=seed))
-        recommendation = select_technique(dataset, seed=seed)
+        recommendation = select_technique(dataset,
+                                          config=AnalysisConfig(seed=seed))
         results = tuple(compare_techniques(dataset, budget, trials=trials,
                                            seed=seed))
         by_name = {r.technique: r for r in results}
@@ -102,3 +105,11 @@ def render(result: SamplingEvalResult | None = None) -> str:
         f"(paper: yes)",
     ]
     return "\n\n".join([table, "\n".join(verdicts)])
+
+
+EXPERIMENT = Experiment(
+    id="e13",
+    title="Section 7: sampling techniques by quadrant",
+    runner=run,
+    renderer=render,
+)

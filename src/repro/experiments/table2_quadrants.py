@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table
 from repro.core.predictability import PredictabilityResult
 from repro.core.quadrant import Quadrant
+from repro.experiments.base import Experiment
 from repro.experiments.common import default_intervals
 from repro.runtime import options as runtime_options
 from repro.runtime.jobs import JobSpec
@@ -111,8 +112,8 @@ def run(workloads=None, seed: int = 11, k_max: int = 50,
     )
 
 
-def render(result: Table2Result | None = None, **kwargs) -> str:
-    result = result or run(**kwargs)
+def render(result: Table2Result | None = None) -> str:
+    result = result or run()
     rows = [
         [entry.workload,
          round(entry.result.cpi_variance, 4),
@@ -132,3 +133,11 @@ def render(result: Table2Result | None = None, **kwargs) -> str:
     verdict = (f"{result.match_count}/{result.total} workloads match the "
                f"paper's (reconstructed) placement")
     return "\n\n".join([table, counts, verdict])
+
+
+EXPERIMENT = Experiment(
+    id="e8",
+    title="Table 2 / Figure 13: quadrant census",
+    runner=run,
+    renderer=render,
+)

@@ -1,0 +1,62 @@
+"""Structured JSONL event log for a traced run (``--trace-out``).
+
+One line per event, in a stable order: a ``trace_meta`` header, then one
+``span`` event per span in depth-first record order.  Every value is
+JSON-safe by construction (span snapshots already are), so the file can
+be consumed by ``jq``, pandas, or a trace viewer without the library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Bump when the event shapes change incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+
+def trace_events(roots, meta: dict | None = None) -> list[dict]:
+    """The event list for a span forest (what :func:`write_trace` dumps)."""
+    events = [{"type": "trace_meta",
+               "schema_version": TRACE_SCHEMA_VERSION,
+               **(meta or {})}]
+
+    def visit(node: dict, prefix: str, depth: int) -> None:
+        path = f"{prefix}/{node['name']}" if prefix else node["name"]
+        events.append({
+            "type": "span",
+            "path": path,
+            "name": node["name"],
+            "depth": depth,
+            "wall_s": round(float(node.get("wall_s", 0.0)), 9),
+            "counters": node.get("counters", {}),
+            "attrs": node.get("attrs", {}),
+        })
+        for child in node.get("children", ()):
+            visit(child, path, depth + 1)
+
+    for root in roots:
+        if root:
+            visit(root, "", 0)
+    return events
+
+
+def write_trace(path, roots, meta: dict | None = None) -> Path:
+    """Write the JSONL trace for ``roots`` to ``path``; returns it."""
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps(event, sort_keys=True, separators=(",", ":"))
+             for event in trace_events(roots, meta)]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def read_trace(path) -> list[dict]:
+    """Parse a JSONL trace back into its event list."""
+    events = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            events.append(json.loads(line))
+    return events

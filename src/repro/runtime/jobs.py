@@ -23,6 +23,7 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from repro.core.config import AnalysisConfig
 from repro.core.cross_validation import RECurve
 from repro.core.predictability import (
     PredictabilityResult,
@@ -30,6 +31,7 @@ from repro.core.predictability import (
 )
 from repro.core.quadrant import classify_result
 from repro.experiments.common import INTERVAL, RunConfig, collect_cached
+from repro.obs import span
 from repro.workloads.scale import get_scale
 
 #: Bump when pipeline semantics change; part of every job's identity, so
@@ -63,6 +65,24 @@ class JobSpec:
                    k_max=k_max, folds=folds, min_leaf=min_leaf,
                    interval_instructions=config.interval_instructions)
 
+    @classmethod
+    def from_configs(cls, run: RunConfig,
+                     analysis: AnalysisConfig) -> "JobSpec":
+        """Build a spec from the two public config objects.
+
+        A job has one seed driving both the simulation and the fold
+        partition; ``run.seed`` is canonical (matching the paper, where
+        one measured run feeds one analysis).
+        """
+        return cls(workload=run.workload,
+                   n_intervals=run.n_intervals,
+                   seed=run.seed,
+                   machine=run.machine,
+                   scale=run.scale.name,
+                   k_max=analysis.k_max, folds=analysis.folds,
+                   min_leaf=analysis.min_leaf,
+                   interval_instructions=run.interval_instructions)
+
     def to_run_config(self) -> RunConfig:
         return RunConfig(workload=self.workload,
                          n_intervals=self.n_intervals,
@@ -70,6 +90,11 @@ class JobSpec:
                          machine=self.machine,
                          scale=get_scale(self.scale),
                          interval_instructions=self.interval_instructions)
+
+    def analysis_config(self) -> AnalysisConfig:
+        """The spec's analysis knobs as an :class:`AnalysisConfig`."""
+        return AnalysisConfig(k_max=self.k_max, folds=self.folds,
+                              seed=self.seed, min_leaf=self.min_leaf)
 
     def canonical(self) -> dict:
         """JSON-safe dict with a stable field set — the hashed identity."""
@@ -103,16 +128,22 @@ class JobResult:
     n_intervals: int
     n_eips: int
     timings: dict = field(default_factory=dict)
+    #: Serialized span trees from the executing process (empty unless
+    #: tracing was enabled there); stripped before cache storage so a
+    #: cache entry's bytes never depend on observability settings.
+    spans: tuple = ()
 
     def to_dict(self) -> dict:
         data = asdict(self)
         data["re"] = list(self.re)
+        data["spans"] = [dict(s) for s in self.spans]
         return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobResult":
         data = dict(data)
         data["re"] = tuple(float(v) for v in data["re"])
+        data["spans"] = tuple(data.get("spans", ()))
         return cls(**data)
 
     def to_result(self) -> PredictabilityResult:
@@ -142,14 +173,20 @@ class JobResult:
 
 
 def execute_job(spec: JobSpec) -> JobResult:
-    """Run the full pipeline for one spec (pure; safe in any worker)."""
+    """Run the full pipeline for one spec (pure; safe in any worker).
+
+    When tracing is enabled the job's span subtree is snapshotted into
+    ``JobResult.spans``, which is how worker-process spans travel back to
+    the scheduling process.
+    """
     start = time.perf_counter()
-    _, dataset = collect_cached(spec.to_run_config())
-    collected = time.perf_counter()
-    analysis = analyze_predictability(dataset, k_max=spec.k_max,
-                                      folds=spec.folds, seed=spec.seed,
-                                      min_leaf=spec.min_leaf)
-    done = time.perf_counter()
+    with span("job", workload=spec.workload, seed=spec.seed) as job_span:
+        _, dataset = collect_cached(spec.to_run_config())
+        collected = time.perf_counter()
+        analysis = analyze_predictability(dataset,
+                                          config=spec.analysis_config())
+        done = time.perf_counter()
+    snapshot = job_span.snapshot()
     return JobResult(
         key=spec.key(),
         workload=analysis.workload,
@@ -165,4 +202,5 @@ def execute_job(spec: JobSpec) -> JobResult:
         n_eips=int(analysis.n_eips),
         timings={"collect_s": collected - start,
                  "analyze_s": done - collected},
+        spans=(snapshot,) if snapshot is not None else (),
     )

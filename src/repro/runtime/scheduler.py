@@ -20,6 +20,7 @@ from concurrent.futures import ProcessPoolExecutor, TimeoutError as FuturesTimeo
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
+from repro import obs
 from repro.runtime.cache import NullCache
 from repro.runtime.jobs import JobResult, JobSpec, execute_job
 from repro.runtime.metrics import METRICS
@@ -43,11 +44,20 @@ class JobOutcome:
         return self.result is not None
 
 
-def _worker_execute(spec_dict: dict) -> tuple[dict, int, float]:
+def _worker_execute(spec_dict: dict,
+                    tracing: bool = False) -> tuple[dict, int, float]:
     """Module-level worker body (must be picklable by the pool)."""
     spec = JobSpec.from_dict(spec_dict)
+    if tracing:
+        # Fresh tracer per job: the span subtree rides back inside the
+        # result dict, so a reused pool worker never accumulates state.
+        obs.enable_tracing()
     start = time.perf_counter()
-    result = execute_job(spec)
+    try:
+        result = execute_job(spec)
+    finally:
+        if tracing:
+            obs.disable_tracing()
     return result.to_dict(), os.getpid(), time.perf_counter() - start
 
 
@@ -67,9 +77,10 @@ def _run_serial(spec: JobSpec, key: str) -> JobOutcome:
 def _execute_parallel(specs: list[JobSpec], keys: list[str], jobs: int,
                       timeout: float | None) -> list[JobOutcome] | None:
     """Pool fan-out; returns ``None`` if the pool cannot be used at all."""
+    tracing = obs.tracing_enabled()
     try:
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(specs)))
-        futures = [pool.submit(_worker_execute, spec.canonical())
+        futures = [pool.submit(_worker_execute, spec.canonical(), tracing)
                    for spec in specs]
     except (OSError, PermissionError, ImportError, NotImplementedError,
             ValueError, RuntimeError):
@@ -80,9 +91,12 @@ def _execute_parallel(specs: list[JobSpec], keys: list[str], jobs: int,
         start = time.perf_counter()
         try:
             result_dict, pid, elapsed = future.result(timeout=timeout)
+            result = JobResult.from_dict(result_dict)
+            # Merge the worker's span subtree into this process's trace,
+            # in submission order — same shape as a serial run.
+            obs.graft(result.spans)
             outcomes.append(JobOutcome(
-                spec=spec, key=key,
-                result=JobResult.from_dict(result_dict),
+                spec=spec, key=key, result=result,
                 cache_hit=False, wall_time=elapsed,
                 worker=f"pid-{pid}"))
         except FuturesTimeout:
@@ -151,8 +165,12 @@ def run_jobs(specs, jobs: int = 1, cache=None, timeout: float | None = None,
         for i, outcome in zip(pending, executed):
             outcomes[i] = outcome
             if outcome.ok:
+                # Spans are observability, not results: strip them so the
+                # cached bytes are identical with and without tracing.
+                payload = outcome.result.to_dict()
+                payload.pop("spans", None)
                 try:
-                    cache.put(outcome.key, outcome.result.to_dict(),
+                    cache.put(outcome.key, payload,
                               spec=outcome.spec.canonical())
                 except OSError:
                     # A cache that can't be written must never sink the

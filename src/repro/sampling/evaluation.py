@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import span
 from repro.sampling.phase_based import phase_based_plan
 from repro.sampling.random_sampling import random_plan
 from repro.sampling.stratified import stratified_plan
@@ -61,9 +62,12 @@ def evaluate_technique(dataset: EIPVDataset, technique: str, budget: int,
     rng = np.random.default_rng(seed)
     target = true_cpi(dataset)
     errors = []
-    for _ in range(trials):
-        plan = builder(dataset, budget, rng)
-        errors.append(plan.estimate_cpi(dataset) - target)
+    with span("sampling.evaluate", technique=technique,
+              budget=budget) as eval_span:
+        for _ in range(trials):
+            plan = builder(dataset, budget, rng)
+            errors.append(plan.estimate_cpi(dataset) - target)
+        eval_span.inc("trials", trials)
     errors = np.abs(np.asarray(errors))
     return TechniqueError(
         technique=technique,

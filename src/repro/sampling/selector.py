@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.config import UNSET, AnalysisConfig, resolve_config
 from repro.core.predictability import (
     PredictabilityResult,
     analyze_predictability,
@@ -66,9 +67,14 @@ def recommend_for(result: PredictabilityResult) -> SamplingRecommendation:
     )
 
 
-def select_technique(dataset: EIPVDataset, k_max: int = 50,
-                     folds: int = 10, seed: int = 0) -> SamplingRecommendation:
-    """The full methodology: analyze, classify, recommend."""
-    result = analyze_predictability(dataset, k_max=k_max, folds=folds,
-                                    seed=seed)
+def select_technique(dataset: EIPVDataset, k_max=UNSET, folds=UNSET,
+                     seed=UNSET, *, config: AnalysisConfig | None = None,
+                     ) -> SamplingRecommendation:
+    """The full methodology: analyze, classify, recommend.
+
+    Pass ``config=AnalysisConfig(...)``; loose kwargs are deprecated.
+    """
+    config = resolve_config(config, k_max, folds, seed,
+                            caller="select_technique")
+    result = analyze_predictability(dataset, config=config)
     return recommend_for(result)

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import span
 from repro.trace.events import SampleTrace
 
 #: The paper's interval size in retired instructions.
@@ -130,11 +131,15 @@ def build_eipvs(trace: SampleTrace,
         raise ValueError("trace too short for even one interval")
     used = n_intervals * samples_per_interval
 
-    unique_eips, codes = np.unique(trace.eips[:used], return_inverse=True)
-    rows = np.repeat(np.arange(n_intervals), samples_per_interval)
-    sub = trace.select(np.arange(used))
-    matrix, cpis = _aggregate(sub, rows, n_intervals, codes,
-                              len(unique_eips))
+    with span("trace.build_eipvs") as build_span:
+        unique_eips, codes = np.unique(trace.eips[:used],
+                                       return_inverse=True)
+        rows = np.repeat(np.arange(n_intervals), samples_per_interval)
+        sub = trace.select(np.arange(used))
+        matrix, cpis = _aggregate(sub, rows, n_intervals, codes,
+                                  len(unique_eips))
+        build_span.inc("intervals", n_intervals)
+        build_span.inc("eips", len(unique_eips))
     return EIPVDataset(
         matrix=matrix,
         cpis=cpis,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import span
 from repro.trace.events import SampleTrace
 from repro.workloads.system import SimulatedSystem
 
@@ -133,4 +134,9 @@ class SamplingDriver:
 def collect_trace(system: SimulatedSystem, total_instructions: int,
                   period: int | None = None) -> SampleTrace:
     """Convenience wrapper: sample ``system`` for ``total_instructions``."""
-    return SamplingDriver(system, period=period).collect(total_instructions)
+    with span("trace.sample",
+              workload=system.workload.name) as sample_span:
+        trace = SamplingDriver(system, period=period).collect(
+            total_instructions)
+        sample_span.inc("samples", len(trace))
+    return trace

@@ -1,0 +1,130 @@
+"""Span mechanics: disabled no-ops, nesting, grafting, round trips."""
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import NULL_SPAN, Span, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    """Every test starts and ends with tracing disabled."""
+    obs.disable_tracing()
+    yield
+    obs.disable_tracing()
+
+
+class TestDisabled:
+    def test_span_returns_shared_null_singleton(self):
+        assert not obs.tracing_enabled()
+        assert obs.span("anything") is NULL_SPAN
+        assert obs.span("other", attr="x") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with obs.span("stage") as sp:
+            assert sp is NULL_SPAN
+            assert sp.inc("points", 3) is sp
+            assert sp.set(workload="odbc") is sp
+        assert sp.snapshot() is None
+        assert not sp.enabled
+
+    def test_snapshot_roots_empty_and_graft_noop(self):
+        obs.graft([{"name": "orphan", "wall_s": 1.0}])
+        assert obs.snapshot_roots() == []
+        assert obs.current_tracer() is None
+
+
+class TestEnabled:
+    def test_nesting_builds_a_tree(self):
+        tracer = obs.enable_tracing()
+        with obs.span("outer") as outer:
+            with obs.span("inner.a"):
+                pass
+            with obs.span("inner.b") as b:
+                b.inc("items", 2).set(kind="test")
+        assert [root.name for root in tracer.roots] == ["outer"]
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert outer.children[1].counters == {"items": 2}
+        assert outer.children[1].attrs == {"kind": "test"}
+        assert outer.wall_s >= sum(c.wall_s for c in outer.children)
+
+    def test_sibling_roots_keep_record_order(self):
+        tracer = obs.enable_tracing()
+        for name in ("first", "second", "third"):
+            with obs.span(name):
+                pass
+        assert [r.name for r in tracer.roots] == ["first", "second", "third"]
+        assert tracer.current is None
+
+    def test_enable_disable_toggles_span_type(self):
+        obs.enable_tracing()
+        live = obs.span("stage")
+        assert isinstance(live, Span) and live.enabled
+        obs.disable_tracing()
+        assert obs.span("stage") is NULL_SPAN
+
+    def test_counters_accumulate(self):
+        obs.enable_tracing()
+        with obs.span("stage") as sp:
+            sp.inc("n")
+            sp.inc("n", 4)
+        assert sp.counters == {"n": 5}
+
+
+class TestSnapshotRoundTrip:
+    def test_snapshot_is_json_safe_and_lossless(self):
+        tracer = obs.enable_tracing()
+        with obs.span("job", workload="odbc"):
+            with obs.span("analyze") as inner:
+                inner.inc("points", 60)
+        snap = tracer.snapshot()
+        assert len(snap) == 1
+        root = snap[0]
+        assert root["name"] == "job"
+        assert root["attrs"] == {"workload": "odbc"}
+        assert root["children"][0]["counters"] == {"points": 60}
+        rebuilt = Span.from_snapshot(root, Tracer())
+        assert rebuilt.snapshot() == root
+
+    def test_graft_under_current_span(self):
+        tracer = obs.enable_tracing()
+        worker_tree = {"name": "job", "wall_s": 0.25,
+                       "children": [{"name": "analyze", "wall_s": 0.2}]}
+        with obs.span("census"):
+            obs.graft([worker_tree, None])
+        root, = tracer.roots
+        assert [c.name for c in root.children] == ["job"]
+        assert root.children[0].children[0].name == "analyze"
+        assert root.children[0].wall_s == 0.25
+
+    def test_graft_as_roots_when_no_span_open(self):
+        tracer = obs.enable_tracing()
+        tracer.graft([{"name": "job", "wall_s": 0.1}])
+        assert [r.name for r in tracer.roots] == ["job"]
+
+
+class TestCapture:
+    def test_capture_restores_previous_state(self):
+        assert not obs.tracing_enabled()
+        with obs.capture() as tracer:
+            assert obs.current_tracer() is tracer
+            with obs.span("stage"):
+                pass
+        assert not obs.tracing_enabled()
+        assert [r.name for r in tracer.roots] == ["stage"]
+
+    def test_capture_restores_outer_tracer(self):
+        outer = obs.enable_tracing()
+        with obs.span("outer"):
+            with obs.capture() as inner:
+                with obs.span("shadowed"):
+                    pass
+        assert obs.current_tracer() is outer
+        assert [r.name for r in outer.roots] == ["outer"]
+        assert [r.name for r in inner.roots] == ["shadowed"]
+
+    def test_capture_restores_on_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with obs.capture():
+                raise RuntimeError("boom")
+        assert not obs.tracing_enabled()

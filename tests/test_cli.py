@@ -131,3 +131,78 @@ class TestRuntimeCommands:
         assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "removed 1 cached result(s)" in out
+
+    def test_no_cache_creates_no_directories(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(["analyze", "spec.gzip", "--intervals", "12",
+                     "--k-max", "5", "--scale", "tiny", "--no-cache",
+                     "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert not cache_dir.exists()
+
+
+ANALYZE_TINY = ["analyze", "spec.gzip", "--intervals", "12", "--k-max", "5",
+                "--scale", "tiny", "--no-cache"]
+
+
+class TestObservabilityCommands:
+    def test_profile_prints_per_stage_breakdown(self, capsys):
+        code = main(["profile", "spec.gzip", "--intervals", "12",
+                     "--k-max", "5", "--scale", "tiny", "--top", "3"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "per-stage breakdown" in captured.out
+        assert "pipeline.collect" in captured.out
+        assert "cv.fold" in captured.out
+        assert "top 3 slowest spans" in captured.out
+        assert captured.err == ""
+
+    def test_profile_rejects_unknown_workload(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["profile", "no.such.workload"])
+        assert excinfo.value.code == 2
+        assert "unknown workload(s)" in capsys.readouterr().err
+
+    def test_profile_writes_trace(self, capsys, tmp_path):
+        from repro.obs import read_trace
+        trace = tmp_path / "profile.jsonl"
+        assert main(["profile", "spec.gzip", "--intervals", "12",
+                     "--k-max", "5", "--scale", "tiny",
+                     "--trace-out", str(trace)]) == 0
+        assert f"trace: {trace}" in capsys.readouterr().err
+        events = read_trace(trace)
+        assert events[0]["type"] == "trace_meta"
+        assert events[0]["command"] == "profile"
+        assert any(e.get("path") == "job/analyze" for e in events)
+
+    def test_analyze_stdout_identical_with_tracing(self, capsys, tmp_path):
+        from repro import obs
+        from repro.obs import read_trace
+        assert main(ANALYZE_TINY) == 0
+        plain = capsys.readouterr().out
+        trace = tmp_path / "analyze.jsonl"
+        assert main(ANALYZE_TINY + ["--trace-out", str(trace)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain  # observability never touches stdout
+        assert "trace:" in captured.err
+        assert not obs.tracing_enabled()  # trace state never leaks
+        events = read_trace(trace)
+        assert events[0] == {"type": "trace_meta", "schema_version": 1,
+                             "command": "analyze"}
+        roots = [e for e in events if e.get("depth") == 0]
+        assert [r["path"] for r in roots] == ["job"]
+
+    def test_census_parallel_stdout_identical_with_tracing(
+            self, capsys, tmp_path):
+        from repro.obs import read_trace
+        argv = ["census", "spec.gzip", "spec.art", "--k-max", "5",
+                "--no-cache", "--jobs", "2"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        trace = tmp_path / "census.jsonl"
+        assert main(argv + ["--trace-out", str(trace)]) == 0
+        assert capsys.readouterr().out == plain
+        roots = [e for e in read_trace(trace) if e.get("depth") == 0]
+        # One merged job tree per workload, in submission order.
+        assert [r["attrs"]["workload"] for r in roots] == \
+            ["spec.gzip", "spec.art"]
