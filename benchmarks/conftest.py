@@ -4,13 +4,21 @@ Every benchmark regenerates one of the paper's tables or figures.  The
 rendered text goes to ``benchmarks/results/<name>.txt`` (and the pytest
 captured output), so `pytest benchmarks/ --benchmark-only` leaves behind a
 complete reproduction report alongside the timing table.
+
+Machine-readable timings additionally accumulate in
+``benchmarks/results/BENCH_pipeline.json`` (one entry per pipeline
+stage: wall seconds, throughput, speedup over the reference
+implementation), so the perf trajectory is trackable across PRs and CI
+can upload one artifact.
 """
 
+import json
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_JSON = RESULTS_DIR / "BENCH_pipeline.json"
 
 
 @pytest.fixture(scope="session")
@@ -21,5 +29,30 @@ def record():
     def _record(name: str, text: str) -> None:
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         print(f"\n{text}\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Append one stage's timings to ``BENCH_pipeline.json``.
+
+    The file holds a list of ``{"stage", "wall_s", ...}`` entries keyed
+    by stage name; re-recording a stage replaces its entry, so repeated
+    runs keep exactly one row per stage.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(stage: str, wall_s: float, **extra) -> dict:
+        entries: dict[str, dict] = {}
+        if BENCH_JSON.exists():
+            entries = {e["stage"]: e
+                       for e in json.loads(BENCH_JSON.read_text())}
+        entry = {"stage": stage, "wall_s": round(wall_s, 4), **extra}
+        entries[stage] = entry
+        BENCH_JSON.write_text(
+            json.dumps(list(entries.values()), indent=1) + "\n")
+        print(f"\n{json.dumps(entry)}\n")
+        return entry
 
     return _record

@@ -1,0 +1,229 @@
+"""Hot-path pipeline benchmarks: collect, fit+CV, and parallel folds.
+
+Times the three stages the vectorization PR targets, each against the
+implementation it replaced, and asserts both the speedup floor and the
+thing that makes the speedup trustworthy — bit-identical output:
+
+* ``collect`` — the batched sampling engine versus the retained
+  per-period reference loop (``_collect_reference``) on a 1B-instruction
+  run; every trace array must be ``array_equal``.
+* ``fit_cv`` — 10-fold CV on a wide sparse EIPV dataset with node-local
+  split search and batch-routed ``predict_all_k``, versus the seed-era
+  path (dense matrix, full-store split scan, per-row Python predict
+  walk); the SSE vectors must match exactly.
+* ``cv_jobs`` — :func:`cross_validated_sse` serial versus fanned out
+  over the runtime scheduler; fold merge order is deterministic, so the
+  curves must be identical.
+
+Timings land in ``benchmarks/results/BENCH_pipeline.json`` via the
+``bench_json`` fixture so the trajectory is comparable across PRs.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.core.cross_validation import cross_validated_sse, fold_indices
+from repro.core.regression_tree import RegressionTreeSequence
+from repro.sparse import CSRMatrix
+from repro.trace.sampler import SamplingDriver
+from repro.uarch.cpu import ExecutionProfile
+from repro.uarch.machine import itanium2
+from repro.workloads.os_model import SchedulerConfig
+from repro.workloads.program import CyclicSchedule, FlatMixSchedule, Program
+from repro.workloads.regions import CodeRegion
+from repro.workloads.system import SimulatedSystem, Workload
+from repro.workloads.thread_model import WorkloadThread
+
+TOTAL_INSTRUCTIONS = 1_000_000_000
+
+_timings: dict[str, float] = {}
+
+
+# --------------------------------------------------------------- collect
+
+def big_system(seed=11):
+    """Two phased threads over hot/cold regions, sampled every 100k
+    instructions: 10,000 samples across a 1B-instruction run."""
+    hot = CodeRegion(name="hot", eip_base=0x1000, n_eips=64,
+                     profile=ExecutionProfile())
+    cold = CodeRegion(name="cold", eip_base=0x8000, n_eips=256,
+                      profile=ExecutionProfile(base_cpi=0.9))
+    phased = Program("p", CyclicSchedule([(hot, 40_000_000),
+                                          (cold, 60_000_000)]))
+    flat = Program("q", FlatMixSchedule([hot, cold]))
+    workload = Workload(
+        name="bench",
+        threads=[WorkloadThread(thread_id=0, process="app", program=phased),
+                 WorkloadThread(thread_id=1, process="db", program=flat)],
+        scheduler=SchedulerConfig(mean_quantum=10_000_000),
+        sample_period=100_000)
+    return SimulatedSystem(itanium2(), workload, seed=seed)
+
+
+def test_bench_collect_vs_reference(benchmark, bench_json):
+    # Warm numpy's internal caches so neither side pays first-call costs.
+    SamplingDriver(big_system()).collect(10_000_000)
+
+    reference_start = time.perf_counter()
+    reference = SamplingDriver(
+        big_system())._collect_reference(TOTAL_INSTRUCTIONS)
+    reference_wall = time.perf_counter() - reference_start
+
+    batched = {}
+
+    def _collect():
+        start = time.perf_counter()
+        batched["trace"] = SamplingDriver(
+            big_system()).collect(TOTAL_INSTRUCTIONS)
+        batched["wall"] = time.perf_counter() - start
+
+    benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    trace = batched["trace"]
+    for name in ("eips", "thread_ids", "process_ids", "instructions",
+                 "cycles", "work_cycles", "fe_cycles", "exe_cycles",
+                 "other_cycles"):
+        assert np.array_equal(getattr(trace, name),
+                              getattr(reference, name)), name
+
+    speedup = reference_wall / batched["wall"]
+    bench_json("collect", batched["wall"],
+               samples_per_s=round(len(trace) / batched["wall"], 1),
+               reference_wall_s=round(reference_wall, 4),
+               speedup=round(speedup, 1),
+               samples=len(trace),
+               instructions=TOTAL_INSTRUCTIONS)
+    assert speedup >= 5.0
+
+
+# ---------------------------------------------------------------- fit+CV
+
+def wide_dataset(m=4000, n_eips=6000, noise_draws=120, band_draws=5,
+                 depth=5, distinct=12, seed=11):
+    """Hierarchical macro-phases: each level-d subtree shares a band EIP
+    (think hot shared-library code), plus per-interval concentrated
+    noise EIPs.  CPI is set by the phase bits, so CART recovers the
+    hierarchy with balanced splits."""
+    rng = np.random.default_rng(seed)
+    group = (np.arange(m) * (1 << depth)) // m
+    rows_parts, cols_parts = [], []
+    col = 0
+    for d in range(depth):
+        bit = (group >> (depth - 1 - d)) & 1
+        prefix = group >> (depth - d)
+        hit = np.flatnonzero(bit == 1)
+        rows_parts.append(np.repeat(hit, band_draws))
+        cols_parts.append(np.repeat(col + prefix[hit], band_draws))
+        col += 1 << d
+    n_band = col
+    width = n_eips - n_band
+    subset = rng.integers(0, width, (m, distinct))
+    nrows = np.repeat(np.arange(m), noise_draws)
+    pick = rng.integers(0, distinct, len(nrows))
+    rows = np.concatenate(rows_parts + [nrows])
+    cols = np.concatenate(cols_parts + [n_band + subset[nrows, pick]])
+    matrix = CSRMatrix.from_codes(rows, cols, (m, n_eips))
+    weights = 1.0 / (1 << np.arange(depth))
+    bits = (group[:, None] >> (depth - 1 - np.arange(depth))) & 1
+    y = 1.0 + bits @ weights + rng.normal(0, 0.02, m)
+    return matrix, y
+
+
+def predict_all_k_reference(tree, matrix):
+    """The seed-era predict: one Python walk per row on a dense matrix."""
+    k_max = tree.max_k()
+    out = np.empty((matrix.shape[0], k_max))
+    for i, x in enumerate(matrix):
+        node = tree.root
+        ranks, values = [], []
+        while node.split_rank is not None:
+            ranks.append(node.split_rank)
+            values.append(node.value)
+            node = (node.left if x[node.feature] <= node.threshold
+                    else node.right)
+        ranks.append(k_max)
+        values.append(node.value)
+        out[i] = np.asarray(values)[np.searchsorted(
+            np.asarray(ranks), np.arange(k_max), side="left")]
+    return out
+
+
+def _cv(matrix, y, split_search, predict, folds=10, k_max=50, seed=3):
+    """The serial CV loop with an injectable tree mode and predictor."""
+    rng = np.random.default_rng(seed)
+    sse = np.zeros(k_max)
+    for held_out in fold_indices(len(y), folds, rng):
+        train = np.ones(len(y), dtype=bool)
+        train[held_out] = False
+        tree = RegressionTreeSequence(k_max=k_max,
+                                      split_search=split_search)
+        tree.fit(matrix[train], y[train])
+        errors = ((predict(tree, matrix[held_out])
+                   - y[held_out][:, None]) ** 2).sum(axis=0)
+        sse[:tree.max_k()] += errors
+        if tree.max_k() < k_max:
+            sse[tree.max_k():] += errors[-1]
+    return sse
+
+
+def test_bench_fit_cv_sparse_node_vs_seed(benchmark, bench_json):
+    matrix, y = wide_dataset()
+    dense = matrix.toarray()
+
+    reference_start = time.perf_counter()
+    before = _cv(dense, y, "full", predict_all_k_reference)
+    reference_wall = time.perf_counter() - reference_start
+
+    run = {}
+
+    def _fit_cv():
+        start = time.perf_counter()
+        run["sse"] = _cv(matrix, y, "node",
+                         lambda tree, rows: tree.predict_all_k(rows))
+        run["wall"] = time.perf_counter() - start
+
+    benchmark.pedantic(_fit_cv, rounds=1, iterations=1)
+
+    assert np.array_equal(run["sse"], before)
+    speedup = reference_wall / run["wall"]
+    folds = 10
+    bench_json("fit_cv", run["wall"],
+               samples_per_s=round(len(y) * folds / run["wall"], 1),
+               reference_wall_s=round(reference_wall, 4),
+               speedup=round(speedup, 1),
+               n_points=len(y), n_eips=matrix.shape[1], nnz=matrix.nnz)
+    assert speedup >= 2.0
+
+
+def test_bench_cv_parallel_folds(benchmark, bench_json):
+    matrix, y = wide_dataset()
+
+    config = AnalysisConfig(k_max=50, folds=10, seed=3)
+
+    serial_start = time.perf_counter()
+    serial = cross_validated_sse(matrix, y, config=config, jobs=1)
+    serial_wall = time.perf_counter() - serial_start
+
+    run = {}
+
+    def _parallel():
+        start = time.perf_counter()
+        run["sse"] = cross_validated_sse(matrix, y, config=config, jobs=4)
+        run["wall"] = time.perf_counter() - start
+
+    benchmark.pedantic(_parallel, rounds=1, iterations=1)
+
+    # Fold fan-out is a performance knob, never a correctness one.
+    np.testing.assert_array_equal(run["sse"], serial)
+    speedup = serial_wall / run["wall"]
+    bench_json("cv_jobs4", run["wall"],
+               samples_per_s=round(len(y) * 10 / run["wall"], 1),
+               serial_wall_s=round(serial_wall, 4),
+               speedup=round(speedup, 2),
+               cpus=os.cpu_count())
+    if (os.cpu_count() or 1) >= 4:
+        assert run["wall"] < serial_wall

@@ -98,23 +98,30 @@ def collect(workload, *, n_intervals: int | None = None,
 
 def analyze_dataset(dataset: EIPVDataset, *,
                     config: AnalysisConfig | None = None,
-                    ) -> PredictabilityResult:
-    """The full Section-4 analysis on an EIPV dataset you already have."""
-    return analyze_predictability(dataset, config=config or AnalysisConfig())
+                    jobs: int | None = None) -> PredictabilityResult:
+    """The full Section-4 analysis on an EIPV dataset you already have.
+
+    ``jobs > 1`` fans the cross-validation folds across worker processes;
+    the merge is deterministic, so results are identical at any value.
+    """
+    return analyze_predictability(dataset, config=config or AnalysisConfig(),
+                                  jobs=jobs)
 
 
 def analyze(workload: str, *, config: AnalysisConfig | None = None,
             n_intervals: int | None = None, machine: str = "itanium2",
-            scale: str = "default") -> PredictabilityResult:
+            scale: str = "default",
+            jobs: int | None = None) -> PredictabilityResult:
     """Collect one workload and analyze its EIP-CPI predictability.
 
     The analysis seed (``config.seed``) also seeds the simulation, so one
-    config fully determines the result.
+    config fully determines the result.  ``jobs`` parallelizes the
+    cross-validation folds (bit-identical results).
     """
     config = config or AnalysisConfig(seed=11)
     _, dataset = collect(workload, n_intervals=n_intervals,
                          seed=config.seed, machine=machine, scale=scale)
-    return analyze_dataset(dataset, config=config)
+    return analyze_dataset(dataset, config=config, jobs=jobs)
 
 
 def census(workloads=None, *, config: AnalysisConfig | None = None,

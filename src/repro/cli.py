@@ -18,7 +18,9 @@ Commands
     Inspect (``stats``) or empty (``clear``) the on-disk result cache.
 
 ``analyze``, ``census`` and ``experiment`` all accept ``--jobs N`` to
-fan pipeline jobs out across worker processes, ``--cache-dir PATH`` to
+fan work out across worker processes (census/experiment parallelize
+whole workloads; analyze parallelizes the cross-validation folds of its
+single run), ``--cache-dir PATH`` to
 relocate the content-addressed result cache, and ``--no-cache`` to
 bypass it.  Results are deterministic: the same seed produces the same
 bytes on stdout whether computed serially, in parallel, or from a warm
@@ -35,6 +37,7 @@ from contextlib import contextmanager
 
 from repro import obs
 from repro.analysis.report import format_curve, format_table
+from repro.core.cross_validation import set_default_cv_jobs
 from repro.experiments.common import default_intervals
 from repro.experiments.runner import experiment_ids, run_all
 from repro.runtime import options as runtime_options
@@ -126,7 +129,14 @@ def _run_analyze(args) -> int:
                    seed=args.seed, machine=args.machine, scale=args.scale,
                    k_max=args.k_max)
     cache = opts.build_cache()
-    outcome, = run_jobs([spec], jobs=1, cache=cache, timeout=opts.timeout)
+    # One analyze is one job; --jobs N instead parallelizes its
+    # cross-validation folds (deterministic merge — same bytes out).
+    previous_cv_jobs = set_default_cv_jobs(opts.jobs)
+    try:
+        outcome, = run_jobs([spec], jobs=1, cache=cache,
+                            timeout=opts.timeout)
+    finally:
+        set_default_cv_jobs(previous_cv_jobs)
     if not outcome.ok:
         print(f"analysis failed:\n{outcome.error}", file=sys.stderr)
         return 1
@@ -139,7 +149,8 @@ def _run_analyze(args) -> int:
     print(f"recommended sampling: {recommendation.technique}")
     print(f"  {recommendation.rationale}")
     _report_manifest(
-        RunManifest.from_outcomes([outcome], command="analyze", jobs=1,
+        RunManifest.from_outcomes([outcome], command="analyze",
+                                  jobs=opts.jobs,
                                   cache_root=getattr(cache, "root", None)),
         cache)
     return 0
@@ -222,8 +233,9 @@ def _cmd_cache(args) -> int:
 def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("runtime")
     group.add_argument("--jobs", type=int, default=1, metavar="N",
-                       help="worker processes for pipeline jobs "
-                            "(default: 1, in-process)")
+                       help="worker processes: census/experiment fan out "
+                            "whole workloads, analyze fans out its CV "
+                            "folds (default: 1, in-process)")
     group.add_argument("--cache-dir", default=None, metavar="PATH",
                        help="result cache directory "
                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")

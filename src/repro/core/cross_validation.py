@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.config import UNSET, AnalysisConfig, resolve_config
 from repro.core.regression_tree import RegressionTreeSequence
 from repro.obs import span
+from repro.sparse import is_sparse
 
 #: The paper's tolerance: RE_kopt approximates RE_inf if within 0.5%.
 KOPT_TOLERANCE = 0.005
@@ -34,6 +35,24 @@ DEFAULT_K_MAX = 50
 
 #: The paper's fold count.
 DEFAULT_FOLDS = 10
+
+#: Process-wide default for fold fan-out (1 = the serial loop).  Set by
+#: the CLI's ``--jobs`` so a single ``analyze`` parallelizes its folds
+#: without threading a knob through every analysis signature.
+_DEFAULT_CV_JOBS = 1
+
+
+def set_default_cv_jobs(jobs: int | None) -> int:
+    """Set the process-wide fold-parallelism default; returns the old one.
+
+    Fold results merge deterministically, so this is a performance knob,
+    never a correctness one.  Callers should restore the previous value
+    (try/finally) to keep the setting scoped.
+    """
+    global _DEFAULT_CV_JOBS
+    previous = _DEFAULT_CV_JOBS
+    _DEFAULT_CV_JOBS = max(1, int(jobs or 1))
+    return previous
 
 
 @dataclass(frozen=True)
@@ -79,19 +98,33 @@ def fold_indices(n: int, folds: int,
 
 def cross_validated_sse(matrix: np.ndarray, y: np.ndarray,
                         k_max=UNSET, folds=UNSET, seed=UNSET, min_leaf=UNSET,
-                        *, config: AnalysisConfig | None = None) -> np.ndarray:
+                        *, config: AnalysisConfig | None = None,
+                        jobs: int | None = None) -> np.ndarray:
     """Summed held-out squared error E_k for k = 1..k_max.
 
     Builds one tree family per fold and evaluates every member tree on the
     held-out part, exactly the procedure of Section 4.4.  Pass
     ``config=AnalysisConfig(...)``; the loose kwargs are deprecated.
+    ``jobs > 1`` fans the folds across worker processes with a
+    deterministic merge — the result is bit-identical to the serial loop
+    (``jobs=None`` uses the process default, see
+    :func:`set_default_cv_jobs`).
     """
     config = resolve_config(config, k_max, folds, seed, min_leaf,
                             caller="cross_validated_sse")
-    matrix = np.asarray(matrix)
+    if not is_sparse(matrix):
+        matrix = np.asarray(matrix)
     y = np.asarray(y, dtype=np.float64)
     rng = np.random.default_rng(config.seed)
     k_max = config.k_max
+    effective_jobs = (_DEFAULT_CV_JOBS if jobs is None
+                      else max(1, int(jobs)))
+    if effective_jobs > 1:
+        from repro.runtime.folds import run_parallel_folds
+        with span("cv", folds=config.folds, k_max=k_max) as cv_span:
+            sse = run_parallel_folds(matrix, y, config, effective_jobs)
+            cv_span.inc("points", len(y))
+        return sse
     sse = np.zeros(k_max)
     with span("cv", folds=config.folds, k_max=k_max) as cv_span:
         for held_out in fold_indices(len(y), config.folds, rng):
@@ -119,10 +152,12 @@ def cross_validated_sse(matrix: np.ndarray, y: np.ndarray,
 
 def relative_error_curve(matrix: np.ndarray, y: np.ndarray,
                          k_max=UNSET, folds=UNSET, seed=UNSET, min_leaf=UNSET,
-                         *, config: AnalysisConfig | None = None) -> RECurve:
+                         *, config: AnalysisConfig | None = None,
+                         jobs: int | None = None) -> RECurve:
     """The paper's RE_k curve with k_opt and RE_inf.
 
     Pass ``config=AnalysisConfig(...)``; loose kwargs are deprecated.
+    ``jobs`` parallelizes the folds (bit-identical merge).
     """
     config = resolve_config(config, k_max, folds, seed, min_leaf,
                             caller="relative_error_curve")
@@ -130,7 +165,7 @@ def relative_error_curve(matrix: np.ndarray, y: np.ndarray,
     total_variance = float(np.var(y))
     baseline = total_variance * len(y)
     k_max = config.k_max
-    sse = cross_validated_sse(matrix, y, config=config)
+    sse = cross_validated_sse(matrix, y, config=config, jobs=jobs)
     if baseline <= 0:
         # Constant CPI: any model is exact; RE is defined as 0.
         re = np.zeros(k_max)

@@ -61,17 +61,19 @@ def analyze_predictability(dataset: EIPVDataset,
                            k_max=UNSET, folds=UNSET, seed=UNSET,
                            min_leaf=UNSET, *,
                            config: AnalysisConfig | None = None,
+                           jobs: int | None = None,
                            ) -> PredictabilityResult:
     """Run the full Section-4 analysis on one EIPV dataset.
 
     Pass ``config=AnalysisConfig(...)``; the loose ``k_max``/``folds``/
-    ``seed``/``min_leaf`` kwargs still work but are deprecated.
+    ``seed``/``min_leaf`` kwargs still work but are deprecated.  ``jobs``
+    parallelizes the cross-validation folds (bit-identical results).
     """
     config = resolve_config(config, k_max, folds, seed, min_leaf,
                             caller="analyze_predictability")
     with span("analyze", workload=dataset.workload_name or "unnamed"):
         curve = relative_error_curve(dataset.matrix, dataset.cpis,
-                                     config=config)
+                                     config=config, jobs=jobs)
         variance = dataset.cpi_variance
         quadrant_result = classify_result(
             workload=dataset.workload_name or "unnamed",

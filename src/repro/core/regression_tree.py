@@ -19,8 +19,15 @@ Design notes:
 * **Sparsity.** An EIPV holds at most ``samples_per_interval`` non-zero
   counts out of N unique EIPs, so columns are overwhelmingly zero.  The
   split search keeps per-feature non-zero lists and treats the zero block
-  in closed form, making each node's exact search O(nnz + N) instead of
-  O(m * N).
+  in closed form; the store ingests dense or CSR matrices identically.
+
+* **Node-local search.** Each frontier node carries the indices of its own
+  triplets, partitioned from its parent when a split is applied.  A node's
+  exact split search therefore touches O(nnz_node) entries, not
+  O(nnz_total) — the difference between quadratic and near-linear fits on
+  wide datasets.  ``split_search="full"`` keeps the previous
+  whole-store-scan behaviour as an equality/benchmark reference; both
+  modes walk candidates in the same order and produce bit-identical trees.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs import span
+from repro.sparse import is_sparse
 
 #: A split's CPI-variance reduction must exceed this to be applied
 #: (guards against floating-point noise producing spurious splits).
@@ -44,7 +52,9 @@ class TreeNode:
     node's training points (the prediction for any EIPV landing here);
     ``sse`` is their sum of squared deviations.  ``split_rank`` is the
     order in which this node was split during best-first growth (0 for the
-    root); ``None`` while the node is a leaf.
+    root); ``None`` while the node is a leaf.  ``store_idx`` holds the
+    node's triplet indices during node-local growth; it is released as
+    soon as the node can no longer split.
     """
 
     rows: np.ndarray
@@ -57,6 +67,7 @@ class TreeNode:
     right: "TreeNode | None" = None
     split_rank: int | None = None
     best_split: tuple | None = field(default=None, repr=False)
+    store_idx: np.ndarray | None = field(default=None, repr=False)
 
     @property
     def n(self) -> int:
@@ -72,16 +83,24 @@ class _FeatureStore:
 
     One lexicographic sort at fit time lets every node's exact split search
     run as a handful of segmented-prefix-sum numpy operations over just the
-    node's non-zero entries.
+    node's non-zero entries.  Accepts a dense matrix or a
+    :class:`~repro.sparse.CSRMatrix`; CSR triplets export in row-major
+    order — the same order ``np.nonzero`` yields — so the stable sort (and
+    hence the fitted tree) is identical either way.
     """
 
-    def __init__(self, matrix: np.ndarray) -> None:
-        matrix = np.asarray(matrix)
-        if matrix.ndim != 2:
-            raise ValueError("feature matrix must be 2-D")
-        self.n_rows, self.n_features = matrix.shape
-        rows, features = np.nonzero(matrix)
-        values = matrix[rows, features].astype(np.float64)
+    def __init__(self, matrix) -> None:
+        if is_sparse(matrix):
+            self.n_rows, self.n_features = matrix.shape
+            rows, features, values = matrix.triplets()
+            values = values.astype(np.float64)
+        else:
+            matrix = np.asarray(matrix)
+            if matrix.ndim != 2:
+                raise ValueError("feature matrix must be 2-D")
+            self.n_rows, self.n_features = matrix.shape
+            rows, features = np.nonzero(matrix)
+            values = matrix[rows, features].astype(np.float64)
         order = np.lexsort((values, features))
         self.feat = features[order].astype(np.int64)
         self.row = rows[order].astype(np.int64)
@@ -90,78 +109,47 @@ class _FeatureStore:
         self.feat_offsets = np.searchsorted(
             self.feat, np.arange(self.n_features + 1))
 
+    @property
+    def nnz(self) -> int:
+        return len(self.feat)
+
     def column(self, feature: int) -> tuple[np.ndarray, np.ndarray]:
         """(rows, values) of one feature's non-zero entries."""
         start, end = self.feat_offsets[feature], self.feat_offsets[feature + 1]
         return self.row[start:end], self.val[start:end]
 
 
-def _best_threshold(values: np.ndarray, y: np.ndarray, n0: int,
-                    sum0: float, sumsq0: float, n: int, total_sum: float,
-                    total_sumsq: float) -> tuple[float, float]:
-    """Exact best split of one feature within a node.
+class _ColumnAccessor:
+    """Per-feature column reads for prediction routing, dense or CSR.
 
-    ``values``/``y`` are the node's non-zero feature values and their CPIs;
-    the zero block is summarized by (n0, sum0, sumsq0).  Returns
-    ``(children_sse, threshold)`` for the best "x <= threshold" split, or
-    ``(inf, 0)`` when the feature is constant within the node.
+    For CSR input the triplets are re-sorted by column once; a reusable
+    scratch array then turns each node visit into two scatter/gather
+    passes over just that column's non-zeros.
     """
-    n_nz = len(values)
-    if n_nz == 0 or (n0 == 0 and n_nz == 1):
-        return np.inf, 0.0
 
-    order = np.argsort(values, kind="stable")
-    v_sorted = values[order]
-    y_sorted = y[order]
+    def __init__(self, matrix) -> None:
+        if is_sparse(matrix):
+            self._dense = None
+            rows, cols, vals = matrix.triplets()
+            order = np.lexsort((rows, cols))
+            self._rows = rows[order]
+            self._vals = vals[order].astype(np.float64)
+            self._offsets = np.searchsorted(cols[order],
+                                            np.arange(matrix.shape[1] + 1))
+            self._scratch = np.zeros(matrix.shape[0])
+        else:
+            self._dense = np.asarray(matrix)
 
-    # Prefix sums over the sorted non-zero block.
-    cum_sum = np.cumsum(y_sorted)
-    cum_sumsq = np.cumsum(y_sorted * y_sorted)
-    positions = np.arange(1, n_nz + 1)
-
-    # Candidate split points: after the zero block (threshold 0, only when
-    # both sides non-empty), and after each run of equal non-zero values
-    # except the last.
-    n_left = n0 + positions
-    sum_left = sum0 + cum_sum
-    sumsq_left = sumsq0 + cum_sumsq
-
-    boundary = v_sorted[:-1] != v_sorted[1:] if n_nz > 1 else np.array([],
-                                                                       bool)
-    valid = np.zeros(n_nz, dtype=bool)
-    if n_nz > 1:
-        valid[:-1] = boundary  # split between distinct adjacent values
-
-    best_sse = np.inf
-    best_threshold = 0.0
-
-    if n0 > 0:
-        # Split "x <= 0": zero block left, all non-zeros right.
-        left_sse = sumsq0 - sum0 * sum0 / n0
-        right_n = n - n0
-        right_sum = total_sum - sum0
-        right_sumsq = total_sumsq - sumsq0
-        right_sse = right_sumsq - right_sum * right_sum / right_n
-        sse = left_sse + right_sse
-        if sse < best_sse:
-            best_sse = sse
-            best_threshold = 0.0
-
-    if valid.any():
-        idx = np.nonzero(valid)[0]
-        nl = n_left[idx].astype(np.float64)
-        nr = n - nl
-        sl = sum_left[idx]
-        ql = sumsq_left[idx]
-        sr = total_sum - sl
-        qr = total_sumsq - ql
-        sse_candidates = (ql - sl * sl / nl) + (qr - sr * sr / nr)
-        best = int(np.argmin(sse_candidates))
-        if sse_candidates[best] < best_sse:
-            best_sse = float(sse_candidates[best])
-            best_threshold = float(v_sorted[idx[best]])
-
-    return best_sse, best_threshold
+    def get(self, feature: int, rows: np.ndarray) -> np.ndarray:
+        """Values of ``matrix[rows, feature]`` (zeros where absent)."""
+        if self._dense is not None:
+            return self._dense[rows, feature]
+        lo, hi = self._offsets[feature], self._offsets[feature + 1]
+        col_rows = self._rows[lo:hi]
+        self._scratch[col_rows] = self._vals[lo:hi]
+        values = self._scratch[rows]
+        self._scratch[col_rows] = 0.0
+        return values
 
 
 class RegressionTreeSequence:
@@ -169,22 +157,28 @@ class RegressionTreeSequence:
 
     Build once with :meth:`fit`; then :meth:`predict` evaluates any member
     T_k by treating splits of rank >= k - 1 as un-applied.
+    ``split_search`` selects the node-local search (default) or the legacy
+    whole-store scan (``"full"``) — both produce identical trees.
     """
 
-    def __init__(self, k_max: int = 50, min_leaf: int = 1) -> None:
+    def __init__(self, k_max: int = 50, min_leaf: int = 1,
+                 split_search: str = "node") -> None:
         if k_max < 1:
             raise ValueError("k_max must be at least 1")
         if min_leaf < 1:
             raise ValueError("min_leaf must be at least 1")
+        if split_search not in ("node", "full"):
+            raise ValueError("split_search must be 'node' or 'full'")
         self.k_max = k_max
         self.min_leaf = min_leaf
+        self.split_search = split_search
         self.root: TreeNode | None = None
         self.n_splits = 0
         self._store: _FeatureStore | None = None
 
     # -- construction ---------------------------------------------------
 
-    def fit(self, matrix: np.ndarray, y: np.ndarray) -> "RegressionTreeSequence":
+    def fit(self, matrix, y: np.ndarray) -> "RegressionTreeSequence":
         """Grow the tree family on (EIPV matrix, CPI vector)."""
         with span("fit.tree") as fit_span:
             self._fit(matrix, y)
@@ -192,8 +186,9 @@ class RegressionTreeSequence:
             fit_span.inc("points", len(y))
         return self
 
-    def _fit(self, matrix: np.ndarray, y: np.ndarray) -> None:
-        matrix = np.asarray(matrix)
+    def _fit(self, matrix, y: np.ndarray) -> None:
+        if not is_sparse(matrix):
+            matrix = np.asarray(matrix)
         y = np.asarray(y, dtype=np.float64)
         if matrix.shape[0] != len(y):
             raise ValueError("matrix rows must match y length")
@@ -202,9 +197,14 @@ class RegressionTreeSequence:
         store = _FeatureStore(matrix)
         self._store = store
         self._y = y
+        # Reusable scratch, indexed by dataset row (reset after each use).
+        self._scratch_val = np.zeros(store.n_rows)
+        self._scratch_flag = np.zeros(store.n_rows, dtype=bool)
 
         rows = np.arange(len(y), dtype=np.int32)
         self.root = self._make_node(rows, depth=0)
+        if self.split_search == "node":
+            self.root.store_idx = np.arange(store.nnz, dtype=np.int64)
         self._find_best_split(self.root)
 
         # Best-first growth: repeatedly split the leaf with the largest
@@ -227,6 +227,8 @@ class RegressionTreeSequence:
             frontier.remove(best_node)
             frontier.extend([best_node.left, best_node.right])
             self.n_splits += 1
+        for node in frontier:
+            node.store_idx = None  # growth over: release frontier triplets
 
     def _make_node(self, rows: np.ndarray, depth: int) -> TreeNode:
         y = self._y[rows]
@@ -235,35 +237,50 @@ class RegressionTreeSequence:
         sse = float(((y - value) ** 2).sum())
         return TreeNode(rows=rows, value=value, sse=sse, depth=depth)
 
+    def _node_triplets(self, node: TreeNode):
+        """The node's (feature, value, cpi) triplets in store order.
+
+        Node-local mode reads them straight from the node's own index
+        array; full mode rebuilds them by masking the whole store (the
+        legacy behaviour, kept as the equality/benchmark reference).  Both
+        yield the same arrays in the same order.
+        """
+        store = self._store
+        if self.split_search == "node":
+            idx = node.store_idx
+            return store.feat[idx], store.val[idx], self._y[store.row[idx]]
+        in_node = np.zeros(store.n_rows, dtype=bool)
+        in_node[node.rows] = True
+        select = in_node[store.row]
+        return (store.feat[select], store.val[select],
+                self._y[store.row[select]])
+
     def _find_best_split(self, node: TreeNode) -> None:
         """Compute and cache the node's best (feature, threshold).
 
-        Fully vectorized: the node's non-zero entries are filtered from the
-        store's (feature, value)-sorted triplets; segmented prefix sums then
-        score every candidate ``count(EIP) <= t`` wall of every feature in
-        one pass.  The per-feature zero block (intervals where the EIP was
-        never sampled) is handled in closed form.
+        Fully vectorized: segmented prefix sums over the node's non-zero
+        triplets (already sorted by feature then value) score every
+        candidate ``count(EIP) <= t`` wall of every feature in one pass.
+        The per-feature zero block (intervals where the EIP was never
+        sampled) is handled in closed form.
         """
         rows = node.rows
         n = len(rows)
         if n < 2 * self.min_leaf or node.sse <= MIN_GAIN:
             node.best_split = None
+            node.store_idx = None
             return
         y_node = self._y[rows]
         total_sum = float(y_node.sum())
         total_sumsq = float((y_node * y_node).sum())
 
-        in_node = np.zeros(self._store.n_rows, dtype=bool)
-        in_node[rows] = True
-        select = in_node[self._store.row]
-        if not select.any():
-            node.best_split = None
-            return
-        feat = self._store.feat[select]
-        val = self._store.val[select]
-        y_nz = self._y[self._store.row[select]]
-        y_sq = y_nz * y_nz
+        feat, val, y_nz = self._node_triplets(node)
         count = len(feat)
+        if count == 0:
+            node.best_split = None
+            node.store_idx = None
+            return
+        y_sq = y_nz * y_nz
 
         # Segment bookkeeping: one segment per feature present in the node,
         # entries within a segment already sorted by value.
@@ -340,6 +357,7 @@ class RegressionTreeSequence:
 
         if best_feature < 0 or node.sse - best_sse <= MIN_GAIN:
             node.best_split = None
+            node.store_idx = None
         else:
             node.best_split = (best_sse, best_feature, best_threshold)
 
@@ -347,11 +365,22 @@ class RegressionTreeSequence:
         """Execute the node's cached best split and prepare the children."""
         sse_children, feature, threshold = node.best_split
         rows = node.rows
-        rows_j, values_j = self._store.column(feature)
+        store = self._store
+        node_local = self.split_search == "node"
+        if node_local:
+            idx = node.store_idx
+            feat_sub = store.feat[idx]
+            lo = np.searchsorted(feat_sub, feature, side="left")
+            hi = np.searchsorted(feat_sub, feature, side="right")
+            rows_j = store.row[idx[lo:hi]]
+            values_j = store.val[idx[lo:hi]]
+        else:
+            rows_j, values_j = store.column(feature)
         # Feature value per node row (zeros by default).
-        in_node = np.zeros(self._store.n_rows, dtype=np.float64)
-        in_node[rows_j] = values_j
-        go_left = in_node[rows] <= threshold
+        scratch = self._scratch_val
+        scratch[rows_j] = values_j
+        go_left = scratch[rows] <= threshold
+        scratch[rows_j] = 0.0
         left_rows = rows[go_left]
         right_rows = rows[~go_left]
         if len(left_rows) == 0 or len(right_rows) == 0:
@@ -361,6 +390,17 @@ class RegressionTreeSequence:
         node.split_rank = self.n_splits
         node.left = self._make_node(left_rows, node.depth + 1)
         node.right = self._make_node(right_rows, node.depth + 1)
+        if node_local:
+            # Partition the triplets: a boolean-mask split preserves the
+            # (feature, value, row-major) order, so each child searches
+            # exactly the subsequence the full scan would have produced.
+            flag = self._scratch_flag
+            flag[left_rows] = True
+            mask = flag[store.row[idx]]
+            flag[left_rows] = False
+            node.left.store_idx = idx[mask]
+            node.right.store_idx = idx[~mask]
+            node.store_idx = None  # parent triplets are no longer needed
         self._find_best_split(node.left)
         self._find_best_split(node.right)
 
@@ -384,46 +424,57 @@ class RegressionTreeSequence:
                 node = node.right
         return node
 
-    def predict(self, matrix: np.ndarray, k: int | None = None) -> np.ndarray:
+    def predict(self, matrix, k: int | None = None) -> np.ndarray:
         """Predicted CPI (chamber mean) of each row of ``matrix`` under T_k."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
         if k is None:
             k = self.max_k()
-        matrix = np.asarray(matrix)
-        return np.fromiter(
-            (self.leaf_for(row, k).value for row in matrix),
-            dtype=np.float64, count=matrix.shape[0])
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if not is_sparse(matrix):
+            matrix = np.asarray(matrix)
+        columns = _ColumnAccessor(matrix)
+        out = np.empty(matrix.shape[0])
+        stack = [(self.root, np.arange(matrix.shape[0], dtype=np.int64))]
+        while stack:
+            node, rows = stack.pop()
+            if node.split_rank is not None and node.split_rank <= k - 2:
+                go_left = columns.get(node.feature, rows) <= node.threshold
+                stack.append((node.right, rows[~go_left]))
+                stack.append((node.left, rows[go_left]))
+            else:
+                out[rows] = node.value
+        return out
 
-    def predict_all_k(self, matrix: np.ndarray) -> np.ndarray:
+    def predict_all_k(self, matrix) -> np.ndarray:
         """Predictions under every member tree at once.
 
         Returns an array of shape ``(len(matrix), max_k)`` whose column
-        ``k - 1`` equals ``predict(matrix, k)``.  Split ranks are strictly
-        increasing along any root-to-leaf path (a child exists only after
-        its parent split), so one walk per row yields all k.
+        ``k - 1`` equals ``predict(matrix, k)``.  Rows are batch-routed
+        level by level: a node entered after ancestor splits of rank
+        ``< low`` predicts columns ``low .. split_rank`` (all remaining
+        columns at a leaf), because T_k applies exactly the splits of rank
+        ``<= k - 2`` and ranks increase along any root-to-leaf path.
         """
         if self.root is None:
             raise RuntimeError("tree is not fitted")
-        matrix = np.asarray(matrix)
+        if not is_sparse(matrix):
+            matrix = np.asarray(matrix)
         k_max = self.max_k()
+        columns = _ColumnAccessor(matrix)
         out = np.empty((matrix.shape[0], k_max))
-        for i, x in enumerate(matrix):
-            node = self.root
-            ranks = []
-            values = []
-            while node.split_rank is not None:
-                ranks.append(node.split_rank)
-                values.append(node.value)
-                node = (node.left if x[node.feature] <= node.threshold
-                        else node.right)
-            ranks.append(k_max)  # the leaf holds for every remaining k
-            values.append(node.value)
-            ranks_arr = np.asarray(ranks)
-            values_arr = np.asarray(values)
-            # T_k applies splits of rank <= k - 2; the prediction is the
-            # first node on the path whose split rank exceeds k - 2.
-            path_index = np.searchsorted(ranks_arr, np.arange(k_max),
-                                         side="left")
-            out[i] = values_arr[path_index]
+        stack = [(self.root, np.arange(matrix.shape[0], dtype=np.int64), 0)]
+        while stack:
+            node, rows, low = stack.pop()
+            if node.split_rank is None:
+                out[rows, low:] = node.value
+                continue
+            rank = node.split_rank
+            out[rows, low:rank + 1] = node.value
+            go_left = columns.get(node.feature, rows) <= node.threshold
+            stack.append((node.right, rows[~go_left], rank + 1))
+            stack.append((node.left, rows[go_left], rank + 1))
         return out
 
     def leaves(self, k: int | None = None) -> list[TreeNode]:

@@ -1,0 +1,205 @@
+"""Cross-validation folds as schedulable jobs (kind ``"cv_fold"``).
+
+Parallelizing a *single* analysis: the folds of
+:func:`repro.core.cross_validation.cross_validated_sse` are independent
+tree fits, so they fan out through the same scheduler census runs use.
+Three properties keep a parallel run bit-identical to the serial loop:
+
+* **Identical partition.**  Each fold job recomputes
+  ``fold_indices(n_points, folds, default_rng(seed))`` — one permutation
+  draw — so every worker derives the same fold membership from the spec
+  alone, with no index arrays shipped around.
+
+* **Identical per-fold floats.**  A fold job runs exactly the serial
+  loop's body (same fit, same ``predict_all_k``, same squared-error
+  reduction); results travel back by pickle, which preserves every float
+  bit.
+
+* **Identical merge.**  The parent accumulates per-fold error vectors in
+  fold submission order with the same ``sse[:reached] += errors`` /
+  tail-extension operations the serial loop performs.
+
+The (matrix, y) dataset is published to each pool worker once via the
+pool initializer (:func:`publish_dataset` keyed by a content token)
+instead of being pickled into all ``folds`` job payloads.  Fold jobs are
+never cached: a fold is an internal slice of one analysis, cheap relative
+to its dataset hash and meaningless outside it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import ClassVar
+
+import numpy as np
+
+from repro.core.regression_tree import RegressionTreeSequence
+from repro.obs import span
+from repro.runtime.cache import NullCache
+from repro.runtime.jobs import CODE_VERSION, register_job_kind
+from repro.sparse import is_sparse
+
+#: Datasets available to fold jobs in this process, keyed by token.
+_DATASETS: dict[str, tuple] = {}
+
+
+def dataset_token(matrix, y: np.ndarray) -> str:
+    """Short content hash identifying one (matrix, y) dataset."""
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(y, dtype=np.float64).tobytes())
+    if is_sparse(matrix):
+        for part in (matrix.indptr, matrix.indices, matrix.data):
+            digest.update(np.ascontiguousarray(part).tobytes())
+    else:
+        digest.update(np.ascontiguousarray(matrix).tobytes())
+    digest.update(repr(tuple(matrix.shape)).encode())
+    return digest.hexdigest()[:16]
+
+
+def publish_dataset(token: str, matrix, y: np.ndarray) -> None:
+    """Make a dataset visible to fold jobs executing in this process."""
+    _DATASETS[token] = (matrix, y)
+
+
+def _init_worker(token: str, matrix, y: np.ndarray) -> None:
+    """Pool initializer: ship the dataset to a worker once."""
+    publish_dataset(token, matrix, y)
+
+
+@dataclass(frozen=True)
+class FoldSpec:
+    """One fold of one cross-validation, self-describing via the seed."""
+
+    kind: ClassVar[str] = "cv_fold"
+
+    dataset_token: str
+    fold_index: int
+    n_points: int
+    folds: int
+    seed: int
+    k_max: int
+    min_leaf: int
+    code_version: str = CODE_VERSION
+
+    def canonical(self) -> dict:
+        return asdict(self)
+
+    def key(self) -> str:
+        payload = json.dumps(self.canonical(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FoldSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FoldResult:
+    """Held-out squared errors of one fold's tree family."""
+
+    key: str
+    errors: tuple
+    reached: int
+    timings: dict = field(default_factory=dict)
+    spans: tuple = ()
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["errors"] = list(self.errors)
+        data["spans"] = [dict(s) for s in self.spans]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FoldResult":
+        data = dict(data)
+        data["errors"] = tuple(float(v) for v in data["errors"])
+        data["spans"] = tuple(data.get("spans", ()))
+        return cls(**data)
+
+
+def execute_fold(spec: FoldSpec) -> FoldResult:
+    """Fit on the fold's training part, score every T_k on the rest.
+
+    This is the serial loop body of ``cross_validated_sse``, verbatim, so
+    the floats coming back are the ones the serial path would produce.
+    """
+    from repro.core.cross_validation import fold_indices
+
+    try:
+        matrix, y = _DATASETS[spec.dataset_token]
+    except KeyError:
+        raise RuntimeError(
+            f"dataset {spec.dataset_token!r} was not published to this "
+            "process (fold jobs need publish_dataset or the pool "
+            "initializer)") from None
+    start = time.perf_counter()
+    held_out = fold_indices(spec.n_points, spec.folds,
+                            np.random.default_rng(spec.seed))[spec.fold_index]
+    with span("cv.fold") as fold_span:
+        train_mask = np.ones(spec.n_points, dtype=bool)
+        train_mask[held_out] = False
+        tree = RegressionTreeSequence(k_max=spec.k_max,
+                                      min_leaf=spec.min_leaf)
+        tree.fit(matrix[train_mask], y[train_mask])
+        test_y = y[held_out]
+        with span("cv.predict"):
+            predictions = tree.predict_all_k(matrix[held_out])
+        errors = ((predictions - test_y[:, None]) ** 2).sum(axis=0)
+        fold_span.inc("held_out", len(held_out))
+    snapshot = fold_span.snapshot()
+    return FoldResult(
+        key=spec.key(),
+        errors=tuple(float(v) for v in errors),
+        reached=tree.max_k(),
+        timings={"fold_s": time.perf_counter() - start},
+        spans=(snapshot,) if snapshot is not None else (),
+    )
+
+
+def run_parallel_folds(matrix, y: np.ndarray, config,
+                       jobs: int, timeout: float | None = None) -> np.ndarray:
+    """Fan the folds of one cross-validation across worker processes.
+
+    Returns the summed held-out squared-error vector E_k — bit-identical
+    to the serial loop at any ``jobs`` (including the scheduler's serial
+    fallback when a pool cannot be built).
+    """
+    from repro.runtime.scheduler import run_jobs
+
+    token = dataset_token(matrix, y)
+    publish_dataset(token, matrix, y)
+    try:
+        specs = [FoldSpec(dataset_token=token, fold_index=i,
+                          n_points=len(y), folds=config.folds,
+                          seed=config.seed, k_max=config.k_max,
+                          min_leaf=config.min_leaf)
+                 for i in range(config.folds)]
+        outcomes = run_jobs(specs, jobs=jobs, cache=NullCache(),
+                            timeout=timeout, initializer=_init_worker,
+                            initargs=(token, matrix, y))
+    finally:
+        _DATASETS.pop(token, None)
+
+    sse = np.zeros(config.k_max)
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise RuntimeError(
+                f"cross-validation fold {outcome.spec.fold_index} failed:\n"
+                f"{outcome.error}")
+        errors = np.asarray(outcome.result.errors, dtype=np.float64)
+        reached = outcome.result.reached
+        sse[:reached] += errors
+        # Trees that stopped growing early keep their last prediction for
+        # larger k — the same tail extension as the serial loop.
+        if reached < config.k_max:
+            sse[reached:] += errors[-1]
+    return sse
+
+
+register_job_kind("cv_fold", execute=execute_fold,
+                  spec_from_dict=FoldSpec.from_dict,
+                  result_from_dict=FoldResult.from_dict)

@@ -17,9 +17,11 @@ fresh computation.
 from __future__ import annotations
 
 import hashlib
+import importlib
 import json
 import time
 from dataclasses import asdict, dataclass, field
+from typing import Callable, ClassVar
 
 import numpy as np
 
@@ -40,8 +42,51 @@ CODE_VERSION = "1.0.0"
 
 
 @dataclass(frozen=True)
+class JobKind:
+    """How the scheduler runs and round-trips one kind of job.
+
+    The scheduler is kind-agnostic: given a spec with a ``kind`` class
+    attribute it looks up the execute function and the dict round-trip
+    codecs here, both in this process and inside pool workers.
+    """
+
+    name: str
+    execute: Callable
+    spec_from_dict: Callable
+    result_from_dict: Callable
+
+
+JOB_KINDS: dict[str, JobKind] = {}
+
+#: Kinds whose defining module may not be imported yet (pool workers
+#: receive only the kind name, so resolution must be able to import).
+_LAZY_KINDS = {"cv_fold": "repro.runtime.folds"}
+
+
+def register_job_kind(name: str, *, execute: Callable,
+                      spec_from_dict: Callable,
+                      result_from_dict: Callable) -> None:
+    """Register a job kind (typically at module import time)."""
+    JOB_KINDS[name] = JobKind(name=name, execute=execute,
+                              spec_from_dict=spec_from_dict,
+                              result_from_dict=result_from_dict)
+
+
+def resolve_kind(name: str) -> JobKind:
+    """The registered :class:`JobKind`, importing its module if needed."""
+    if name not in JOB_KINDS and name in _LAZY_KINDS:
+        importlib.import_module(_LAZY_KINDS[name])
+    try:
+        return JOB_KINDS[name]
+    except KeyError:
+        raise KeyError(f"unknown job kind {name!r}") from None
+
+
+@dataclass(frozen=True)
 class JobSpec:
     """Frozen, content-addressable description of one analysis run."""
+
+    kind: ClassVar[str] = "analysis"
 
     workload: str
     n_intervals: int = 60
@@ -204,3 +249,8 @@ def execute_job(spec: JobSpec) -> JobResult:
                  "analyze_s": done - collected},
         spans=(snapshot,) if snapshot is not None else (),
     )
+
+
+register_job_kind("analysis", execute=execute_job,
+                  spec_from_dict=JobSpec.from_dict,
+                  result_from_dict=JobResult.from_dict)

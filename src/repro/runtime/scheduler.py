@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from repro import obs
 from repro.runtime.cache import NullCache
-from repro.runtime.jobs import JobResult, JobSpec, execute_job
+from repro.runtime.jobs import JobResult, JobSpec, resolve_kind
 from repro.runtime.metrics import METRICS
 
 
@@ -44,17 +44,18 @@ class JobOutcome:
         return self.result is not None
 
 
-def _worker_execute(spec_dict: dict,
+def _worker_execute(kind_name: str, spec_dict: dict,
                     tracing: bool = False) -> tuple[dict, int, float]:
     """Module-level worker body (must be picklable by the pool)."""
-    spec = JobSpec.from_dict(spec_dict)
+    kind = resolve_kind(kind_name)
+    spec = kind.spec_from_dict(spec_dict)
     if tracing:
         # Fresh tracer per job: the span subtree rides back inside the
         # result dict, so a reused pool worker never accumulates state.
         obs.enable_tracing()
     start = time.perf_counter()
     try:
-        result = execute_job(spec)
+        result = kind.execute(spec)
     finally:
         if tracing:
             obs.disable_tracing()
@@ -64,7 +65,7 @@ def _worker_execute(spec_dict: dict,
 def _run_serial(spec: JobSpec, key: str) -> JobOutcome:
     start = time.perf_counter()
     try:
-        result = execute_job(spec)
+        result = resolve_kind(spec.kind).execute(spec)
         error = None
     except Exception:
         result = None
@@ -75,12 +76,16 @@ def _run_serial(spec: JobSpec, key: str) -> JobOutcome:
 
 
 def _execute_parallel(specs: list[JobSpec], keys: list[str], jobs: int,
-                      timeout: float | None) -> list[JobOutcome] | None:
+                      timeout: float | None, initializer=None,
+                      initargs=()) -> list[JobOutcome] | None:
     """Pool fan-out; returns ``None`` if the pool cannot be used at all."""
     tracing = obs.tracing_enabled()
     try:
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(specs)))
-        futures = [pool.submit(_worker_execute, spec.canonical(), tracing)
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(specs)),
+                                   initializer=initializer,
+                                   initargs=initargs)
+        futures = [pool.submit(_worker_execute, spec.kind, spec.canonical(),
+                               tracing)
                    for spec in specs]
     except (OSError, PermissionError, ImportError, NotImplementedError,
             ValueError, RuntimeError):
@@ -91,7 +96,7 @@ def _execute_parallel(specs: list[JobSpec], keys: list[str], jobs: int,
         start = time.perf_counter()
         try:
             result_dict, pid, elapsed = future.result(timeout=timeout)
-            result = JobResult.from_dict(result_dict)
+            result = resolve_kind(spec.kind).result_from_dict(result_dict)
             # Merge the worker's span subtree into this process's trace,
             # in submission order — same shape as a serial run.
             obs.graft(result.spans)
@@ -122,8 +127,14 @@ def _execute_parallel(specs: list[JobSpec], keys: list[str], jobs: int,
 
 
 def run_jobs(specs, jobs: int = 1, cache=None, timeout: float | None = None,
-             metrics=METRICS) -> list[JobOutcome]:
-    """Schedule every spec; return outcomes in submission order."""
+             metrics=METRICS, initializer=None,
+             initargs=()) -> list[JobOutcome]:
+    """Schedule every spec; return outcomes in submission order.
+
+    ``initializer``/``initargs`` run once per pool worker (ignored on the
+    serial path) — the hook job kinds use to ship shared read-only state
+    to workers once instead of pickling it into every job.
+    """
     specs = list(specs)
     cache = cache if cache is not None else NullCache()
     jobs = max(1, int(jobs or 1))
@@ -137,7 +148,7 @@ def run_jobs(specs, jobs: int = 1, cache=None, timeout: float | None = None,
         result = None
         if payload is not None:
             try:
-                candidate = JobResult.from_dict(payload)
+                candidate = resolve_kind(spec.kind).result_from_dict(payload)
                 if candidate.key == key:
                     result = candidate
             except (TypeError, ValueError, KeyError):
@@ -158,7 +169,9 @@ def run_jobs(specs, jobs: int = 1, cache=None, timeout: float | None = None,
         todo_keys = [keys[i] for i in pending]
         executed = None
         if jobs > 1 and len(todo) > 1:
-            executed = _execute_parallel(todo, todo_keys, jobs, timeout)
+            executed = _execute_parallel(todo, todo_keys, jobs, timeout,
+                                         initializer=initializer,
+                                         initargs=initargs)
         if executed is None:
             executed = [_run_serial(spec, key)
                         for spec, key in zip(todo, todo_keys)]

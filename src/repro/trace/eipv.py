@@ -8,16 +8,22 @@ sampling period an EIPV aggregates 100 consecutive samples.
 
 :class:`EIPVDataset` is the (EIPV matrix, CPI vector) pair every analysis
 in the paper consumes — the regression tree, k-means, and the quadrant
-classifier all start here.
+classifier all start here.  The matrix may be dense (``np.ndarray``) or a
+:class:`~repro.sparse.CSRMatrix`: an interval holds at most
+``samples_per_interval`` non-zero counts, so huge-footprint workloads
+(ODB-C-style, ~10^4 unique EIPs) are overwhelmingly zeros and the sparse
+representation cuts the O(intervals × eips) memory to O(nnz).  Both forms
+feed the regression tree identically (bit-identical fits).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.obs import span
+from repro.sparse import CSRMatrix, is_sparse
 from repro.trace.events import SampleTrace
 
 #: The paper's interval size in retired instructions.
@@ -31,15 +37,16 @@ class EIPVDataset:
     ``matrix[j, i]`` is how many times unique EIP ``eip_index[i]`` was
     sampled during interval ``j``; ``cpis[j]`` is that interval's
     instantaneous CPI.  ``thread_ids[j]`` is the owning thread for
-    per-thread datasets (-1 when intervals mix threads).
+    per-thread datasets (-1 when intervals mix threads).  ``matrix`` is
+    either a dense ``np.ndarray`` or a :class:`~repro.sparse.CSRMatrix`.
     """
 
-    matrix: np.ndarray
+    matrix: np.ndarray | CSRMatrix
     cpis: np.ndarray
     eip_index: np.ndarray
     interval_instructions: int
     workload_name: str = ""
-    thread_ids: np.ndarray = field(default=None)
+    thread_ids: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if self.matrix.ndim != 2:
@@ -65,6 +72,11 @@ class EIPVDataset:
         return self.matrix.shape[1]
 
     @property
+    def is_sparse(self) -> bool:
+        """True when the EIPV matrix is CSR-backed."""
+        return is_sparse(self.matrix)
+
+    @property
     def cpi_variance(self) -> float:
         """Population variance of interval CPI — the paper's key statistic."""
         return float(np.var(self.cpis))
@@ -88,12 +100,14 @@ class EIPVDataset:
         """Keep only the ``max_features`` most-sampled EIP columns.
 
         Useful to bound tree-build cost for huge-footprint workloads; the
-        paper keeps all EIPs, so analyses default to no pruning.
+        paper keeps all EIPs, so analyses default to no pruning.  Ties are
+        broken deterministically: stable sort by (count desc, column asc).
         """
         if max_features >= self.n_eips:
             return self
-        totals = self.matrix.sum(axis=0)
-        keep = np.sort(np.argsort(totals)[::-1][:max_features])
+        totals = np.asarray(self.matrix.sum(axis=0), dtype=np.int64)
+        order = np.lexsort((np.arange(len(totals)), -totals))
+        keep = np.sort(order[:max_features])
         return EIPVDataset(
             matrix=self.matrix[:, keep],
             cpis=self.cpis,
@@ -103,24 +117,76 @@ class EIPVDataset:
             thread_ids=self.thread_ids,
         )
 
+    def to_sparse(self) -> "EIPVDataset":
+        """The same dataset with a CSR-backed matrix (no-op if sparse)."""
+        if self.is_sparse:
+            return self
+        return EIPVDataset(
+            matrix=CSRMatrix.from_dense(self.matrix),
+            cpis=self.cpis,
+            eip_index=self.eip_index,
+            interval_instructions=self.interval_instructions,
+            workload_name=self.workload_name,
+            thread_ids=self.thread_ids,
+        )
+
+    def to_dense(self) -> "EIPVDataset":
+        """The same dataset with a dense matrix (no-op if already dense)."""
+        if not self.is_sparse:
+            return self
+        return EIPVDataset(
+            matrix=self.matrix.toarray(),
+            cpis=self.cpis,
+            eip_index=self.eip_index,
+            interval_instructions=self.interval_instructions,
+            workload_name=self.workload_name,
+            thread_ids=self.thread_ids,
+        )
+
+
+def _interval_cpis(trace: SampleTrace, interval_rows: np.ndarray,
+                   n_intervals: int) -> np.ndarray:
+    """Per-interval CPI: cycle delta over instructions retired.
+
+    ``bincount`` accumulates weights in input order, matching the previous
+    ``np.add.at`` implementation bit for bit.
+    """
+    cycles = np.bincount(interval_rows, weights=trace.cycles,
+                         minlength=n_intervals)
+    instructions = np.bincount(interval_rows,
+                               weights=trace.instructions.astype(np.float64),
+                               minlength=n_intervals)
+    return cycles / np.maximum(instructions, 1)
+
 
 def _aggregate(trace: SampleTrace, interval_rows: np.ndarray,
                n_intervals: int, eip_codes: np.ndarray,
                n_eips: int) -> tuple[np.ndarray, np.ndarray]:
-    """Histogram matrix and CPI per interval from coded samples."""
-    matrix = np.zeros((n_intervals, n_eips), dtype=np.int32)
-    np.add.at(matrix, (interval_rows, eip_codes), 1)
-    cycles = np.zeros(n_intervals)
-    instructions = np.zeros(n_intervals)
-    np.add.at(cycles, interval_rows, trace.cycles)
-    np.add.at(instructions, interval_rows, trace.instructions)
-    cpis = cycles / np.maximum(instructions, 1)
-    return matrix, cpis
+    """Dense histogram matrix and CPI per interval from coded samples."""
+    flat = np.bincount(interval_rows * n_eips + eip_codes,
+                       minlength=n_intervals * n_eips)
+    matrix = flat.reshape(n_intervals, n_eips).astype(np.int32)
+    return matrix, _interval_cpis(trace, interval_rows, n_intervals)
+
+
+def _aggregate_sparse(trace: SampleTrace, interval_rows: np.ndarray,
+                      n_intervals: int, eip_codes: np.ndarray,
+                      n_eips: int) -> tuple[CSRMatrix, np.ndarray]:
+    """CSR histogram matrix — never allocates the dense intermediate."""
+    matrix = CSRMatrix.from_codes(interval_rows, eip_codes,
+                                  shape=(n_intervals, n_eips))
+    return matrix, _interval_cpis(trace, interval_rows, n_intervals)
 
 
 def build_eipvs(trace: SampleTrace,
-                interval_instructions: int = DEFAULT_INTERVAL) -> EIPVDataset:
-    """Build merged (all-thread) EIPVs, the paper's default pipeline."""
+                interval_instructions: int = DEFAULT_INTERVAL,
+                sparse: bool = False) -> EIPVDataset:
+    """Build merged (all-thread) EIPVs, the paper's default pipeline.
+
+    ``sparse=True`` builds a CSR-backed matrix directly from the sample
+    codes without densifying; downstream analyses produce identical
+    results either way.
+    """
     if len(trace) == 0:
         raise ValueError("empty trace")
     samples_per_interval = interval_instructions // trace.sample_period
@@ -136,8 +202,9 @@ def build_eipvs(trace: SampleTrace,
                                        return_inverse=True)
         rows = np.repeat(np.arange(n_intervals), samples_per_interval)
         sub = trace.select(np.arange(used))
-        matrix, cpis = _aggregate(sub, rows, n_intervals, codes,
-                                  len(unique_eips))
+        aggregate = _aggregate_sparse if sparse else _aggregate
+        matrix, cpis = aggregate(sub, rows, n_intervals, codes,
+                                 len(unique_eips))
         build_span.inc("intervals", n_intervals)
         build_span.inc("eips", len(unique_eips))
     return EIPVDataset(
@@ -151,7 +218,8 @@ def build_eipvs(trace: SampleTrace,
 
 def build_per_thread_eipvs(
         trace: SampleTrace,
-        interval_instructions: int = DEFAULT_INTERVAL) -> EIPVDataset:
+        interval_instructions: int = DEFAULT_INTERVAL,
+        sparse: bool = False) -> EIPVDataset:
     """Per-thread EIPVs (Section 5.2's thread-separated analysis).
 
     Samples are first split by thread tag; each thread's sample stream is
@@ -165,6 +233,7 @@ def build_per_thread_eipvs(
         raise ValueError("interval shorter than the sampling period")
 
     union_eips = np.unique(trace.eips)
+    aggregate = _aggregate_sparse if sparse else _aggregate
     matrices = []
     cpi_parts = []
     owners = []
@@ -176,15 +245,17 @@ def build_per_thread_eipvs(
         codes = np.searchsorted(union_eips, sub.eips[:used])
         rows = np.repeat(np.arange(n_intervals), samples_per_interval)
         clipped = sub.select(np.arange(used))
-        matrix, cpis = _aggregate(clipped, rows, n_intervals, codes,
-                                  len(union_eips))
+        matrix, cpis = aggregate(clipped, rows, n_intervals, codes,
+                                 len(union_eips))
         matrices.append(matrix)
         cpi_parts.append(cpis)
         owners.append(np.full(n_intervals, thread_id, dtype=np.int32))
     if not matrices:
         raise ValueError("no thread has enough samples for one interval")
+    stacked = (CSRMatrix.vstack(matrices) if sparse
+               else np.vstack(matrices))
     return EIPVDataset(
-        matrix=np.vstack(matrices),
+        matrix=stacked,
         cpis=np.concatenate(cpi_parts),
         eip_index=union_eips,
         interval_instructions=interval_instructions,

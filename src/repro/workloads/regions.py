@@ -141,6 +141,7 @@ class CodeRegion:
     eip_concentration: float = 0.0
     modulator: ProfileModulator | None = None
     _eip_weights: np.ndarray = field(init=False, repr=False, default=None)
+    _eip_cdf: np.ndarray = field(init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
         if self.n_eips <= 0:
@@ -152,6 +153,11 @@ class CodeRegion:
         ranks = np.arange(1, self.n_eips + 1, dtype=np.float64)
         weights = ranks ** (-self.eip_concentration)
         self._eip_weights = weights / weights.sum()
+        # Normalized exactly the way np.random.Generator.choice builds its
+        # CDF, so uniform draws map to the same indices choice would pick.
+        cdf = np.cumsum(self._eip_weights)
+        cdf /= cdf[-1]
+        self._eip_cdf = cdf
 
     @property
     def eips(self) -> np.ndarray:
@@ -165,10 +171,24 @@ class CodeRegion:
 
     def sample_eips(self, rng: np.random.Generator,
                     count: int) -> np.ndarray:
-        """Draw ``count`` observed EIPs according to the region's skew."""
+        """Draw ``count`` observed EIPs according to the region's skew.
+
+        Equivalent to ``rng.choice(n_eips, size=count, p=weights)`` but
+        skips choice's per-call validation; both consume exactly one
+        uniform double per draw, so traces stay bit-identical.
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
-        indices = rng.choice(self.n_eips, size=count, p=self._eip_weights)
+        return self.eips_from_uniform(rng.random(count))
+
+    def eips_from_uniform(self, u: np.ndarray) -> np.ndarray:
+        """Map uniform [0, 1) draws to EIPs, one per draw.
+
+        This is the batched core of :meth:`sample_eips`: callers that
+        pre-draw uniforms (the vectorized sampling engine) can route them
+        through the region's CDF in bulk.
+        """
+        indices = self._eip_cdf.searchsorted(np.asarray(u), side="right")
         return self.eip_base + EIP_STRIDE * indices
 
     def chunk_profile(self, rng: np.random.Generator) -> ExecutionProfile:

@@ -113,3 +113,47 @@ class TestRECurve:
         matrix, y = phased_dataset(m=6)
         with pytest.raises(ValueError):
             relative_error_curve(matrix, y, folds=10)
+
+
+class TestParallelFolds:
+    def test_jobs_match_serial_bit_for_bit(self):
+        """Fold fan-out is a performance knob: same bytes either way."""
+        matrix, y = phased_dataset(m=60, n=8, noise=0.1)
+        serial = cross_validated_sse(matrix, y, k_max=10, jobs=1)
+        parallel = cross_validated_sse(matrix, y, k_max=10, jobs=4)
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_jobs_match_serial_on_sparse_input(self):
+        from repro.sparse import CSRMatrix
+        matrix, y = phased_dataset(m=60, n=8, noise=0.1)
+        sparse = CSRMatrix.from_dense(matrix)
+        serial = cross_validated_sse(sparse, y, k_max=10, jobs=1)
+        parallel = cross_validated_sse(sparse, y, k_max=10, jobs=3)
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_curve_identical_through_jobs(self):
+        matrix, y = phased_dataset(m=60, n=8, noise=0.1)
+        one = relative_error_curve(matrix, y, k_max=10, jobs=1)
+        four = relative_error_curve(matrix, y, k_max=10, jobs=4)
+        np.testing.assert_array_equal(one.re, four.re)
+        assert one.k_opt == four.k_opt
+        assert one.re_kopt == four.re_kopt
+
+    def test_default_cv_jobs_is_scoped(self):
+        from repro.core.cross_validation import set_default_cv_jobs
+        matrix, y = phased_dataset(m=40, n=6, noise=0.1)
+        serial = cross_validated_sse(matrix, y, k_max=6)
+        previous = set_default_cv_jobs(2)
+        try:
+            assert previous == 1
+            fanned = cross_validated_sse(matrix, y, k_max=6)
+        finally:
+            set_default_cv_jobs(previous)
+        np.testing.assert_array_equal(serial, fanned)
+        # An explicit jobs=1 overrides the process default.
+        previous = set_default_cv_jobs(4)
+        try:
+            explicit = cross_validated_sse(matrix, y, k_max=6, jobs=1)
+        finally:
+            set_default_cv_jobs(previous)
+        np.testing.assert_array_equal(serial, explicit)

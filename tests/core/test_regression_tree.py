@@ -5,10 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.regression_tree import (
-    RegressionTreeSequence,
-    _best_threshold,
-)
+from repro.core.regression_tree import RegressionTreeSequence
+from repro.sparse import CSRMatrix
 from repro.experiments.example_tree import (
     FIGURE1_CHAMBERS,
     TABLE1_CPIS,
@@ -168,29 +166,38 @@ class TestInvariants:
             RegressionTreeSequence().predict(np.zeros((1, 2)))
 
 
+def _brute_force_best_sse(matrix, y, min_leaf=1):
+    """Exhaustive O(m^2 n) split search: the oracle for the vectorized one.
+
+    Tries every (feature, distinct value) wall and returns the smallest
+    total children SSE, or inf when no wall leaves min_leaf on each side.
+    """
+    best = np.inf
+    for j in range(matrix.shape[1]):
+        column = matrix[:, j]
+        for t in np.unique(column)[:-1]:
+            left = column <= t
+            if left.sum() < min_leaf or (~left).sum() < min_leaf:
+                continue
+            sse = (((y[left] - y[left].mean()) ** 2).sum()
+                   + ((y[~left] - y[~left].mean()) ** 2).sum())
+            best = min(best, float(sse))
+    return best
+
+
 @settings(max_examples=40, deadline=None)
 @given(seed=st.integers(0, 10_000), m=st.integers(4, 30),
        n=st.integers(1, 10))
-def test_root_split_matches_scalar_reference(seed, m, n):
-    """The vectorized segmented split search agrees exactly with the
-    straightforward per-feature reference implementation."""
+def test_root_split_matches_brute_force(seed, m, n):
+    """The vectorized segmented split search agrees exactly with an
+    exhaustive every-wall reference."""
     rng = np.random.default_rng(seed)
     matrix = ((rng.random((m, n)) < 0.45)
               * rng.integers(1, 8, (m, n))).astype(float)
     y = np.round(rng.random(m) * 3, 3)
     tree = RegressionTreeSequence(k_max=2).fit(matrix, y)
 
-    total_sum = float(y.sum())
-    total_sumsq = float((y * y).sum())
-    best_sse = np.inf
-    for j in range(n):
-        column = matrix[:, j]
-        nz = column != 0
-        sse, _ = _best_threshold(
-            column[nz], y[nz], int((~nz).sum()), float(y[~nz].sum()),
-            float((y[~nz] ** 2).sum()), m, total_sum, total_sumsq)
-        best_sse = min(best_sse, sse)
-
+    best_sse = _brute_force_best_sse(matrix, y)
     if tree.root.feature is None:
         # No useful split found: reference must agree (no split can beat
         # the parent SSE by more than floating noise).
@@ -199,3 +206,94 @@ def test_root_split_matches_scalar_reference(seed, m, n):
     else:
         children_sse = tree.root.left.sse + tree.root.right.sse
         assert children_sse == pytest.approx(best_sse, abs=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), min_leaf=st.integers(1, 4))
+def test_root_split_respects_min_leaf_vs_brute_force(seed, min_leaf):
+    rng = np.random.default_rng(seed)
+    matrix = ((rng.random((20, 5)) < 0.5)
+              * rng.integers(1, 6, (20, 5))).astype(float)
+    y = np.round(rng.random(20) * 3, 3)
+    tree = RegressionTreeSequence(k_max=2, min_leaf=min_leaf).fit(matrix, y)
+    best_sse = _brute_force_best_sse(matrix, y, min_leaf=min_leaf)
+    if tree.root.feature is not None:
+        children_sse = tree.root.left.sse + tree.root.right.sse
+        assert children_sse == pytest.approx(best_sse, abs=1e-8)
+        assert min(tree.root.left.n, tree.root.right.n) >= min_leaf
+
+
+def _tree_signature(tree):
+    signature = []
+
+    def walk(node):
+        if node is None:
+            return
+        signature.append((node.split_rank, node.feature, node.threshold,
+                          node.value, node.sse, node.rows.tolist()))
+        walk(node.left)
+        walk(node.right)
+
+    walk(tree.root)
+    return signature
+
+
+class TestSearchModesAndSparse:
+    """Node-local, full-scan and CSR-input fits are bit-identical."""
+
+    def random_data(self, seed, m=45, n=25, density=0.3):
+        rng = np.random.default_rng(seed)
+        matrix = ((rng.random((m, n)) < density)
+                  * rng.integers(1, 20, (m, n))).astype(float)
+        y = rng.random(m) * 4
+        return matrix, y
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_node_local_matches_full_scan(self, seed):
+        matrix, y = self.random_data(seed)
+        node = RegressionTreeSequence(k_max=12).fit(matrix, y)
+        full = RegressionTreeSequence(k_max=12,
+                                      split_search="full").fit(matrix, y)
+        assert _tree_signature(node) == _tree_signature(full)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_csr_input_matches_dense(self, seed):
+        matrix, y = self.random_data(seed + 100)
+        dense = RegressionTreeSequence(k_max=12).fit(matrix, y)
+        sparse = RegressionTreeSequence(k_max=12).fit(
+            CSRMatrix.from_dense(matrix), y)
+        assert _tree_signature(dense) == _tree_signature(sparse)
+
+    def test_predict_matches_on_csr_input(self):
+        matrix, y = self.random_data(7)
+        tree = RegressionTreeSequence(k_max=10).fit(matrix, y)
+        probe, _ = self.random_data(8, m=30)
+        dense_all = tree.predict_all_k(probe)
+        sparse_all = tree.predict_all_k(CSRMatrix.from_dense(probe))
+        assert np.array_equal(dense_all, sparse_all)
+        assert np.array_equal(tree.predict(probe, 4),
+                              tree.predict(CSRMatrix.from_dense(probe), 4))
+
+    def test_predict_all_k_matches_leaf_walk(self):
+        matrix, y = self.random_data(9)
+        tree = RegressionTreeSequence(k_max=10).fit(matrix, y)
+        probe, _ = self.random_data(10, m=20)
+        all_k = tree.predict_all_k(probe)
+        for k in range(1, tree.max_k() + 1):
+            reference = np.array([tree.leaf_for(row, k).value
+                                  for row in probe])
+            assert np.array_equal(all_k[:, k - 1], reference)
+
+    def test_store_indices_released_after_fit(self):
+        matrix, y = self.random_data(11)
+        tree = RegressionTreeSequence(k_max=8).fit(matrix, y)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            assert node.store_idx is None
+            if node.left is not None:
+                stack.extend([node.left, node.right])
+
+    def test_invalid_split_search_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTreeSequence(split_search="bogus")

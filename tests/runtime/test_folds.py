@@ -1,0 +1,148 @@
+"""Cross-validation fold jobs and the job-kind registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.core.cross_validation import fold_indices
+from repro.core.regression_tree import RegressionTreeSequence
+from repro.runtime import folds as folds_mod
+from repro.runtime.folds import (
+    FoldResult,
+    FoldSpec,
+    dataset_token,
+    execute_fold,
+    publish_dataset,
+    run_parallel_folds,
+)
+from repro.runtime.jobs import JOB_KINDS, JobSpec, resolve_kind
+from repro.sparse import CSRMatrix
+
+
+def small_dataset(m=40, n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    matrix = (rng.random((m, n)) < 0.5) * rng.integers(1, 10, (m, n))
+    y = rng.normal(2.0, 0.5, m)
+    return matrix.astype(float), y
+
+
+def make_spec(token, y, fold_index=0, folds=5, seed=3, k_max=6):
+    return FoldSpec(dataset_token=token, fold_index=fold_index,
+                    n_points=len(y), folds=folds, seed=seed,
+                    k_max=k_max, min_leaf=1)
+
+
+class TestFoldSpec:
+    def test_key_stable_and_distinct(self):
+        a = make_spec("tok", np.zeros(40))
+        b = make_spec("tok", np.zeros(40))
+        c = make_spec("tok", np.zeros(40), fold_index=1)
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+
+    def test_round_trip(self):
+        spec = make_spec("tok", np.zeros(40), fold_index=2)
+        again = FoldSpec.from_dict(spec.canonical())
+        assert again == spec
+        assert again.key() == spec.key()
+
+    def test_kind_not_part_of_identity(self):
+        assert FoldSpec.kind == "cv_fold"
+        assert "kind" not in make_spec("tok", np.zeros(40)).canonical()
+
+
+class TestDatasetToken:
+    def test_content_addressed(self):
+        matrix, y = small_dataset()
+        assert dataset_token(matrix, y) == dataset_token(matrix.copy(),
+                                                         y.copy())
+        other = matrix.copy()
+        other[0, 0] += 1
+        assert dataset_token(matrix, y) != dataset_token(other, y)
+
+    def test_sparse_and_dense_tokens_differ_by_layout_not_crash(self):
+        matrix, y = small_dataset()
+        sparse = CSRMatrix.from_dense(matrix)
+        assert dataset_token(sparse, y) == dataset_token(
+            CSRMatrix.from_dense(matrix), y)
+
+
+class TestExecuteFold:
+    def test_matches_serial_loop_body(self):
+        matrix, y = small_dataset()
+        token = dataset_token(matrix, y)
+        publish_dataset(token, matrix, y)
+        try:
+            spec = make_spec(token, y, fold_index=1)
+            result = execute_fold(spec)
+        finally:
+            folds_mod._DATASETS.pop(token, None)
+        held_out = fold_indices(len(y), spec.folds,
+                                np.random.default_rng(spec.seed))[1]
+        train_mask = np.ones(len(y), dtype=bool)
+        train_mask[held_out] = False
+        tree = RegressionTreeSequence(k_max=spec.k_max, min_leaf=1)
+        tree.fit(matrix[train_mask], y[train_mask])
+        predictions = tree.predict_all_k(matrix[held_out])
+        expected = ((predictions - y[held_out][:, None]) ** 2).sum(axis=0)
+        np.testing.assert_array_equal(np.asarray(result.errors), expected)
+        assert result.reached == tree.max_k()
+        assert result.key == spec.key()
+
+    def test_unpublished_dataset_raises(self):
+        spec = make_spec("no-such-token", np.zeros(40))
+        with pytest.raises(RuntimeError, match="not published"):
+            execute_fold(spec)
+
+    def test_result_round_trip(self):
+        result = FoldResult(key="k", errors=(1.5, 2.25), reached=2,
+                            timings={"fold_s": 0.1})
+        again = FoldResult.from_dict(result.to_dict())
+        assert again == result
+
+
+class TestRunParallelFolds:
+    def test_serial_and_parallel_identical(self):
+        matrix, y = small_dataset()
+        config = AnalysisConfig(k_max=6, folds=5, seed=3)
+        one = run_parallel_folds(matrix, y, config, jobs=1)
+        four = run_parallel_folds(matrix, y, config, jobs=4)
+        np.testing.assert_array_equal(one, four)
+
+    def test_dataset_unpublished_after_run(self):
+        matrix, y = small_dataset()
+        config = AnalysisConfig(k_max=4, folds=4, seed=3)
+        run_parallel_folds(matrix, y, config, jobs=1)
+        assert dataset_token(matrix, y) not in folds_mod._DATASETS
+
+
+class TestKindRegistry:
+    def test_analysis_and_cv_fold_registered(self):
+        assert resolve_kind("analysis").spec_from_dict == JobSpec.from_dict
+        kind = resolve_kind("cv_fold")
+        assert kind.execute is execute_fold
+        assert kind.result_from_dict == FoldResult.from_dict
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="no.such.kind"):
+            resolve_kind("no.such.kind")
+
+    def test_lazy_import_in_fresh_process(self):
+        """A process that never imported repro.runtime.folds (a pool
+        worker receiving only the kind name) still resolves cv_fold."""
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        code = ("import sys\n"
+                "from repro.runtime.jobs import resolve_kind\n"
+                "assert 'repro.runtime.folds' not in sys.modules\n"
+                "print(resolve_kind('cv_fold').name)\n")
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == "cv_fold"

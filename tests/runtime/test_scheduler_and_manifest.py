@@ -135,7 +135,8 @@ def _fake_pool(exc_type):
             return False
 
     class FakePool:
-        def __init__(self, max_workers=None):
+        def __init__(self, max_workers=None, initializer=None,
+                     initargs=()):
             pass
 
         def submit(self, fn, *args):

@@ -120,6 +120,20 @@ class TestRuntimeCommands:
         assert cold == captured.out
         assert "1 cache hits (100%)" in captured.err
 
+    def test_analyze_jobs_output_identical(self, capsys):
+        """--jobs fans out the CV folds; stdout stays byte-identical."""
+        from repro.core import cross_validation
+
+        argv = ["analyze", "spec.gzip", "--intervals", "12", "--k-max", "5",
+                "--scale", "tiny", "--no-cache"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "4"]) == 0
+        fanned = capsys.readouterr().out
+        assert serial == fanned
+        # The CLI restores the process-wide fold-parallelism default.
+        assert cross_validation._DEFAULT_CV_JOBS == 1
+
     def test_cache_stats_and_clear(self, capsys, tmp_path):
         argv = ["analyze", "spec.gzip", "--intervals", "12", "--k-max", "5",
                 "--scale", "tiny", "--cache-dir", str(tmp_path)]

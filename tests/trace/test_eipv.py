@@ -162,3 +162,75 @@ def test_eipv_invariants(n_samples, samples_per_interval):
                        (j + 1) * samples_per_interval)
         expected = trace.cycles[window].sum() / interval
         assert dataset.cpis[j] == pytest.approx(expected)
+
+
+class TestSparseBuilds:
+    def test_sparse_build_matches_dense(self):
+        trace = synthetic_trace(200, period=1_000)
+        dense = build_eipvs(trace, interval_instructions=10_000)
+        sparse = build_eipvs(trace, interval_instructions=10_000,
+                             sparse=True)
+        assert sparse.is_sparse and not dense.is_sparse
+        np.testing.assert_array_equal(sparse.matrix.toarray(), dense.matrix)
+        np.testing.assert_array_equal(sparse.cpis, dense.cpis)
+        np.testing.assert_array_equal(sparse.eip_index, dense.eip_index)
+
+    def test_sparse_per_thread_matches_dense(self):
+        trace = synthetic_trace(400, period=1_000, n_threads=3)
+        dense = build_per_thread_eipvs(trace, interval_instructions=10_000)
+        sparse = build_per_thread_eipvs(trace, interval_instructions=10_000,
+                                        sparse=True)
+        np.testing.assert_array_equal(sparse.matrix.toarray(), dense.matrix)
+        np.testing.assert_array_equal(sparse.cpis, dense.cpis)
+        np.testing.assert_array_equal(sparse.thread_ids, dense.thread_ids)
+
+    def test_interval_cpis_match_add_at(self):
+        """bincount-with-weights accumulates like the old np.add.at."""
+        trace = synthetic_trace(100, period=1_000)
+        dataset = build_eipvs(trace, interval_instructions=10_000)
+        rows = np.repeat(np.arange(10), 10)
+        cycles = np.zeros(10)
+        np.add.at(cycles, rows, trace.cycles[:100])
+        np.testing.assert_array_equal(dataset.cpis, cycles / 10_000)
+
+    def test_round_trip_conversions(self):
+        trace = synthetic_trace(100, period=1_000)
+        dataset = build_eipvs(trace, interval_instructions=10_000)
+        sparse = dataset.to_sparse()
+        assert sparse.is_sparse
+        assert sparse.to_sparse() is sparse
+        back = sparse.to_dense()
+        assert dataset.to_dense() is dataset
+        np.testing.assert_array_equal(back.matrix, dataset.matrix)
+        np.testing.assert_array_equal(back.thread_ids, dataset.thread_ids)
+
+    def test_sparse_subset_and_prune(self):
+        trace = synthetic_trace(200, period=1_000)
+        dense = build_eipvs(trace, interval_instructions=10_000)
+        sparse = dense.to_sparse()
+        rows = np.array([1, 3, 17])
+        np.testing.assert_array_equal(sparse.subset(rows).matrix.toarray(),
+                                      dense.subset(rows).matrix)
+        np.testing.assert_array_equal(
+            sparse.prune_features(5).matrix.toarray(),
+            dense.prune_features(5).matrix)
+
+    def test_prune_tie_break_is_lowest_column(self):
+        """Equal-count columns: the earlier column index wins."""
+        matrix = np.array([[2, 0, 2, 1],
+                           [0, 2, 0, 1]], dtype=np.int32)  # totals 2,2,2,2
+        dataset = EIPVDataset(matrix=matrix,
+                              cpis=np.array([1.0, 2.0]),
+                              eip_index=np.array([10, 20, 30, 40]),
+                              interval_instructions=1_000)
+        pruned = dataset.prune_features(2)
+        np.testing.assert_array_equal(pruned.eip_index, [10, 20])
+        sparse_pruned = dataset.to_sparse().prune_features(2)
+        np.testing.assert_array_equal(sparse_pruned.eip_index, [10, 20])
+
+    def test_thread_ids_default_none_fills_untagged(self):
+        dataset = EIPVDataset(matrix=np.ones((3, 2), dtype=np.int32),
+                              cpis=np.ones(3),
+                              eip_index=np.array([1, 2]),
+                              interval_instructions=1_000)
+        np.testing.assert_array_equal(dataset.thread_ids, [-1, -1, -1])

@@ -2,13 +2,15 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.trace.sampler import SamplingDriver, collect_trace
 from repro.uarch.cpu import ExecutionProfile
 from repro.uarch.machine import itanium2
 from repro.workloads.os_model import SchedulerConfig
 from repro.workloads.program import CyclicSchedule, FlatMixSchedule, Program
-from repro.workloads.regions import CodeRegion
+from repro.workloads.regions import CodeRegion, RandomLatencyModulator
 from repro.workloads.system import SimulatedSystem, Workload
 from repro.workloads.thread_model import WorkloadThread
 
@@ -82,6 +84,13 @@ class TestSampling:
         assert (t1.eips == t2.eips).all()
         assert t1.cycles == pytest.approx(t2.cycles)
 
+    def test_batched_collect_matches_reference(self):
+        """The vectorized engine and the loop are array-for-array equal."""
+        batched = SamplingDriver(make_system(seed=3)).collect(200_000)
+        reference = SamplingDriver(
+            make_system(seed=3))._collect_reference(200_000)
+        _assert_traces_identical(batched, reference)
+
     def test_sample_cpi_reflects_phase(self):
         """Samples taken in an expensive phase show higher CPI."""
         cheap = CodeRegion(name="cheap", eip_base=0x1000, n_eips=4,
@@ -104,3 +113,65 @@ class TestSampling:
         trace = collect_trace(system, 400_000)
         in_costly = np.asarray(trace.eips) >= 0x2000
         assert trace.cpis[in_costly].mean() > 2 * trace.cpis[~in_costly].mean()
+
+
+_TRACE_ARRAYS = ("eips", "thread_ids", "process_ids", "instructions",
+                 "cycles", "work_cycles", "fe_cycles", "exe_cycles",
+                 "other_cycles")
+
+
+def _assert_traces_identical(a, b):
+    """Bit-for-bit trace equality: same dtypes, same bytes, same metadata."""
+    for name in _TRACE_ARRAYS:
+        x, y = getattr(a, name), getattr(b, name)
+        assert x.dtype == y.dtype, name
+        assert np.array_equal(x, y), name
+    assert a.processes == b.processes
+    assert a.sample_period == b.sample_period
+    assert a.metadata == b.metadata
+
+
+def _randomized_system(seed):
+    """A workload exercising every sampler code path: multi-part plans
+    (CyclicSchedule chunks spanning slices), skewed EIP draws,
+    data-dependent modulators, several processes."""
+    rng = np.random.default_rng(seed)
+    hot = CodeRegion(name="hot", eip_base=0x1000,
+                     n_eips=int(rng.integers(2, 24)),
+                     profile=ExecutionProfile(),
+                     eip_concentration=float(rng.random() * 2))
+    cold = CodeRegion(name="cold", eip_base=0x8000,
+                      n_eips=int(rng.integers(2, 64)),
+                      profile=ExecutionProfile(base_cpi=0.9),
+                      modulator=RandomLatencyModulator(0.1))
+    cyclic = Program("cyclic", CyclicSchedule(
+        [(hot, int(rng.integers(2_000, 6_000))),
+         (cold, int(rng.integers(2_000, 6_000)))]))
+    flat = Program("flat", FlatMixSchedule([hot, cold]))
+    workload = Workload(
+        name="randomized",
+        threads=[WorkloadThread(thread_id=0, process="app", program=cyclic),
+                 WorkloadThread(thread_id=1, process="db", program=flat)],
+        scheduler=SchedulerConfig(
+            mean_quantum=int(rng.integers(5_000, 30_000))),
+        sample_period=10_000)
+    return SimulatedSystem(itanium2(), workload, seed=seed)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       periods=st.integers(4, 30),
+       period=st.integers(3_000, 20_000),
+       slack=st.integers(0, 2_999))
+def test_collect_equals_reference_on_randomized_workloads(
+        seed, periods, period, slack):
+    """Property: the batched engine reproduces the reference loop exactly
+    — same EIP draws (same RNG stream consumption), same counter floats
+    (same association order), same process-code assignment — for any
+    workload, period and run length."""
+    total = periods * period + slack
+    batched = SamplingDriver(_randomized_system(seed),
+                             period=period).collect(total)
+    reference = SamplingDriver(
+        _randomized_system(seed), period=period)._collect_reference(total)
+    _assert_traces_identical(batched, reference)
