@@ -6,10 +6,12 @@ captured output), so `pytest benchmarks/ --benchmark-only` leaves behind a
 complete reproduction report alongside the timing table.
 
 Machine-readable timings additionally accumulate in
-``benchmarks/results/BENCH_pipeline.json`` (one entry per pipeline
+``benchmarks/results/BENCH_<name>.json`` files (one entry per measured
 stage: wall seconds, throughput, speedup over the reference
 implementation), so the perf trajectory is trackable across PRs and CI
-can upload one artifact.
+can upload them as artifacts.  ``BENCH_pipeline.json`` holds the
+pipeline-stage timings; ``BENCH_shm.json`` the shared-memory transport
+and out-of-core collection numbers.
 """
 
 import json
@@ -33,9 +35,8 @@ def record():
     return _record
 
 
-@pytest.fixture(scope="session")
-def bench_json():
-    """Append one stage's timings to ``BENCH_pipeline.json``.
+def json_recorder(path: Path):
+    """A writer that appends stage timings to one ``BENCH_*.json`` file.
 
     The file holds a list of ``{"stage", "wall_s", ...}`` entries keyed
     by stage name; re-recording a stage replaces its entry, so repeated
@@ -45,14 +46,26 @@ def bench_json():
 
     def _record(stage: str, wall_s: float, **extra) -> dict:
         entries: dict[str, dict] = {}
-        if BENCH_JSON.exists():
+        if path.exists():
             entries = {e["stage"]: e
-                       for e in json.loads(BENCH_JSON.read_text())}
+                       for e in json.loads(path.read_text())}
         entry = {"stage": stage, "wall_s": round(wall_s, 4), **extra}
         entries[stage] = entry
-        BENCH_JSON.write_text(
+        path.write_text(
             json.dumps(list(entries.values()), indent=1) + "\n")
         print(f"\n{json.dumps(entry)}\n")
         return entry
 
     return _record
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Record pipeline-stage timings into ``BENCH_pipeline.json``."""
+    return json_recorder(BENCH_JSON)
+
+
+@pytest.fixture(scope="session")
+def bench_shm_json():
+    """Record shm/out-of-core timings into ``BENCH_shm.json``."""
+    return json_recorder(RESULTS_DIR / "BENCH_shm.json")

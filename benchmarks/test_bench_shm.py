@@ -1,0 +1,172 @@
+"""Shared-memory fan-out vs pickled initargs, and out-of-core RSS.
+
+Two claims are measured, both recorded in ``BENCH_shm.json``:
+
+* publishing a wide (6000-EIP) dataset to four workers through the
+  :class:`~repro.runtime.shm.SharedArena` is at least 2x cheaper per
+  worker than pickling the arrays into each worker's initializer;
+* streaming a billion-instruction collection through
+  ``collect_to_store`` keeps peak RSS roughly flat while the in-memory
+  ``collect`` grows linearly with the run length.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.runtime import shm
+from repro.runtime.folds import dataset_token
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: The fan-out width the acceptance numbers are quoted at.
+N_WORKERS = 4
+
+
+def _min_time(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _pickle_round(token, matrix, y) -> None:
+    # What ProcessPoolExecutor initargs cost under the spawn start method:
+    # each worker's Process pickles its args independently and the worker
+    # unpickles its own private copy of the arrays.
+    for _ in range(N_WORKERS):
+        pickle.loads(pickle.dumps((token, matrix, y),
+                                  protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _shm_round(token, matrix, y) -> None:
+    # The arena path: copy into the segment once, then every worker maps
+    # read-only views over the same physical pages.
+    with shm.SharedArena() as arena:
+        handle = arena.publish(token, matrix, y)
+        assert handle is not None
+        for _ in range(N_WORKERS):
+            view_m, view_y = shm.attach_dataset(handle)
+            del view_m, view_y
+            shm.detach_all()  # forget the mapping so each attach is cold
+
+
+@pytest.mark.skipif(not shm.shm_available(),
+                    reason="POSIX shared memory unavailable")
+def test_bench_transport_publish(benchmark, bench_shm_json):
+    rng = np.random.default_rng(0)
+    matrix = rng.integers(0, 50, size=(600, 6000), dtype=np.int32)
+    y = rng.random(600)
+    token = dataset_token(matrix, y)
+    timings = {}
+
+    def measure():
+        timings["pickle_s"] = _min_time(lambda: _pickle_round(token, matrix,
+                                                              y))
+        timings["shm_s"] = _min_time(lambda: _shm_round(token, matrix, y))
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    per_worker_pickle = timings["pickle_s"] / N_WORKERS
+    per_worker_shm = timings["shm_s"] / N_WORKERS
+    speedup = per_worker_pickle / per_worker_shm
+    bench_shm_json(
+        "transport_publish", timings["shm_s"],
+        intervals=600, eips=6000, workers=N_WORKERS,
+        payload_mb=round((matrix.nbytes + y.nbytes) / 2**20, 1),
+        pickle_s=round(timings["pickle_s"], 4),
+        per_worker_pickle_ms=round(per_worker_pickle * 1e3, 3),
+        per_worker_shm_ms=round(per_worker_shm * 1e3, 3),
+        speedup=round(speedup, 2))
+    assert speedup >= 2.0
+    assert shm.live_segments() == ()
+
+
+# One subprocess per (mode, run length): peak RSS is a whole-process
+# property, so each measurement needs a fresh interpreter.  The child
+# builds its workload from public APIs only (no test imports).
+_CHILD = """
+import resource, sys
+from repro.trace.sampler import SamplingDriver
+from repro.uarch.cpu import ExecutionProfile
+from repro.uarch.machine import itanium2
+from repro.workloads.os_model import SchedulerConfig
+from repro.workloads.program import FlatMixSchedule, Program
+from repro.workloads.regions import CodeRegion
+from repro.workloads.system import SimulatedSystem, Workload
+from repro.workloads.thread_model import WorkloadThread
+
+mode, total, path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+threads = []
+for i in range(2):
+    region = CodeRegion(name=f"r{i}", eip_base=0x10000 * (i + 1),
+                        n_eips=16, profile=ExecutionProfile())
+    threads.append(WorkloadThread(
+        thread_id=i, process="app",
+        program=Program(f"p{i}", FlatMixSchedule([region]))))
+workload = Workload(name="bench", threads=threads,
+                    scheduler=SchedulerConfig(mean_quantum=20_000),
+                    sample_period=1_000)
+driver = SamplingDriver(SimulatedSystem(itanium2(), workload, seed=0))
+if mode == "memory":
+    n = len(driver.collect(total))
+else:
+    from repro.trace.storage import TraceStore
+    driver.collect_to_store(TraceStore.create(path), total)
+    n = TraceStore.open(path).n_samples
+print(n, resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+"""
+
+
+def _child_rss_mb(mode: str, total: int, store_path) -> tuple[int, float]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, mode, str(total), str(store_path)],
+        check=True, capture_output=True, text=True, env=env)
+    n_samples, rss_kb = proc.stdout.split()
+    return int(n_samples), int(rss_kb) / 1024.0
+
+
+@pytest.mark.skipif(sys.platform != "linux",
+                    reason="ru_maxrss is in KB only on Linux")
+def test_bench_streaming_rss(benchmark, bench_shm_json, tmp_path):
+    quarter, full = 250_000_000, 1_000_000_000
+    stats = {}
+
+    def measure():
+        for mode in ("memory", "store"):
+            for label, total in (("quarter", quarter), ("full", full)):
+                start = time.perf_counter()
+                n, rss = _child_rss_mb(mode, total,
+                                       tmp_path / f"{mode}-{label}")
+                stats[mode, label] = {"samples": n, "rss_mb": rss,
+                                      "wall_s": time.perf_counter() - start}
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    mem_growth = (stats["memory", "full"]["rss_mb"]
+                  - stats["memory", "quarter"]["rss_mb"])
+    store_growth = (stats["store", "full"]["rss_mb"]
+                    - stats["store", "quarter"]["rss_mb"])
+    bench_shm_json(
+        "streaming_collect_rss", stats["store", "full"]["wall_s"],
+        instructions=full, samples=stats["store", "full"]["samples"],
+        memory_rss_mb=round(stats["memory", "full"]["rss_mb"], 1),
+        store_rss_mb=round(stats["store", "full"]["rss_mb"], 1),
+        memory_growth_mb=round(mem_growth, 1),
+        store_growth_mb=round(store_growth, 1),
+        memory_wall_s=round(stats["memory", "full"]["wall_s"], 2))
+    # 4x the instructions must cost the in-memory path real resident
+    # growth while the streaming path stays (close to) flat.
+    assert stats["store", "full"]["samples"] == full // 1_000
+    assert mem_growth > 50.0
+    assert stats["store", "full"]["rss_mb"] < stats["memory",
+                                                    "full"]["rss_mb"]
+    assert store_growth < 0.5 * mem_growth

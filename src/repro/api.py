@@ -12,7 +12,11 @@ keep stable:
 * :func:`analyze` — collect + analyze one workload by name;
 * :func:`census` — the Table 2 / Figure 13 quadrant census;
 * :func:`profile` — run workloads with tracing on and return the
-  per-stage timing breakdown.
+  per-stage timing breakdown;
+* :func:`collect_to_store` / :func:`analyze_store` — the out-of-core
+  tier: stream a collection to an on-disk
+  :class:`~repro.trace.storage.TraceStore` and analyze it in bounded
+  memory (bit-identical results to the in-memory path).
 
 The report helpers (:func:`format_table`, :func:`format_curve`,
 :func:`sparkline`) are re-exported so example scripts need only this
@@ -51,10 +55,13 @@ __all__ = [
     "ProfileResult",
     "RunConfig",
     "SamplingRecommendation",
+    "StageStats",
     "analyze",
     "analyze_dataset",
+    "analyze_store",
     "census",
     "collect",
+    "collect_to_store",
     "format_curve",
     "format_table",
     "profile",
@@ -94,6 +101,65 @@ def collect(workload, *, n_intervals: int | None = None,
     dataset = build_eipvs(trace)
     dataset.workload_name = workload.name
     return trace, dataset
+
+
+def collect_to_store(workload: str, store_path, *,
+                     n_intervals: int | None = None, seed: int = 11,
+                     machine: str = "itanium2", scale: str = "default",
+                     chunk_samples: int = 8192):
+    """Stream one workload's sampled trace into an on-disk store.
+
+    The out-of-core twin of :func:`collect`: the simulation is consumed
+    incrementally and samples leave for disk in chunks, so peak memory
+    is bounded by ``chunk_samples`` regardless of run length.  Returns
+    the finalized, opened :class:`~repro.trace.storage.TraceStore`; the
+    stored columns are bit-identical to what an in-memory collection of
+    the same (workload, seed, machine, scale) would hold.
+    """
+    from repro.trace.sampler import SamplingDriver
+    from repro.trace.storage import TraceStore
+    from repro.uarch.machine import get_machine
+    from repro.workloads.registry import get_workload
+    from repro.workloads.system import SimulatedSystem
+
+    config = _run_config(workload, n_intervals, seed, machine, scale)
+    system = SimulatedSystem(get_machine(config.machine),
+                             get_workload(config.workload, config.scale),
+                             seed=config.seed)
+    with obs.span("trace.sample",
+                  workload=system.workload.name) as sample_span:
+        driver = SamplingDriver(system)
+        driver.collect_to_store(TraceStore.create(store_path),
+                                config.total_instructions(),
+                                chunk_samples=chunk_samples)
+        store = TraceStore.open(store_path)
+        sample_span.inc("samples", len(store))
+    return store
+
+
+def analyze_store(store, *, workload: str | None = None,
+                  config: AnalysisConfig | None = None,
+                  interval_instructions: int = INTERVAL,
+                  sparse: bool = False,
+                  jobs: int | None = None) -> PredictabilityResult:
+    """The Section-4 analysis over an on-disk trace store.
+
+    ``store`` is a :class:`~repro.trace.storage.TraceStore` or a path to
+    one.  EIPVs are accumulated chunk-by-chunk from the memmapped
+    columns, so the trace is never resident; the result is bit-identical
+    to :func:`analyze` of the same collection.  ``workload`` overrides
+    the dataset's workload name (the registry name, when the store was
+    collected from one).
+    """
+    from repro.trace.storage import TraceStore
+    if not hasattr(store, "column"):
+        store = TraceStore.open(store)
+    dataset = EIPVDataset.from_store(
+        store, interval_instructions=interval_instructions, sparse=sparse)
+    if workload is not None:
+        dataset.workload_name = workload
+    return analyze_dataset(dataset, config=config or AnalysisConfig(seed=11),
+                           jobs=jobs)
 
 
 def analyze_dataset(dataset: EIPVDataset, *,

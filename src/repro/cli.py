@@ -26,7 +26,12 @@ bypass it.  Results are deterministic: the same seed produces the same
 bytes on stdout whether computed serially, in parallel, or from a warm
 cache (scheduling details go to stderr and the run manifest instead).
 They also accept ``--trace-out PATH`` to record a JSONL span trace of
-the run; observability never touches stdout.
+the run (observability never touches stdout) and ``--shm/--no-shm`` to
+choose how parallel-fold datasets reach workers (shared-memory views vs
+pickling — identical results either way).  ``analyze --trace-store DIR``
+runs the out-of-core pipeline: the trace is collected into (or reused
+from) a columnar on-disk store and EIPVs stream from it in bounded
+memory, with byte-identical stdout.
 """
 
 from __future__ import annotations
@@ -57,6 +62,7 @@ def _configure_runtime(args) -> runtime_options.RuntimeOptions:
         cache_dir=getattr(args, "cache_dir", None),
         no_cache=getattr(args, "no_cache", False),
         timeout=getattr(args, "timeout", None),
+        shm=getattr(args, "shm", True),
     )
 
 
@@ -125,6 +131,8 @@ def _run_analyze(args) -> int:
     n_intervals = args.intervals or default_intervals(args.workload)
     print(f"analyzing {args.workload} ({n_intervals} intervals, "
           f"scale={args.scale}, seed={args.seed})...")
+    if getattr(args, "trace_store", None):
+        return _run_analyze_store(args, opts, n_intervals)
     spec = JobSpec(workload=args.workload, n_intervals=n_intervals,
                    seed=args.seed, machine=args.machine, scale=args.scale,
                    k_max=args.k_max)
@@ -153,6 +161,46 @@ def _run_analyze(args) -> int:
                                   jobs=opts.jobs,
                                   cache_root=getattr(cache, "root", None)),
         cache)
+    return 0
+
+
+def _run_analyze_store(args, opts, n_intervals: int) -> int:
+    """``analyze --trace-store DIR``: the out-of-core pipeline.
+
+    The trace lives on disk (collected into DIR first if DIR is not
+    already a finalized store) and EIPVs stream from the memmapped
+    columns, so the run holds neither the trace nor more than a chunk of
+    it in memory.  Stdout is byte-identical to the in-memory path; the
+    job result cache is bypassed — the store itself is the reusable
+    artifact.
+    """
+    from repro import api
+    from repro.trace.storage import TraceStore
+
+    if TraceStore.is_store(args.trace_store):
+        store = TraceStore.open(args.trace_store)
+        print(f"trace store: {args.trace_store} ({len(store)} samples, "
+              "reused)", file=sys.stderr)
+    else:
+        store = api.collect_to_store(
+            args.workload, args.trace_store, n_intervals=n_intervals,
+            seed=args.seed, machine=args.machine, scale=args.scale)
+        print(f"trace store: {args.trace_store} ({len(store)} samples, "
+              "collected)", file=sys.stderr)
+    config = api.AnalysisConfig(k_max=args.k_max, seed=args.seed)
+    previous_cv_jobs = set_default_cv_jobs(opts.jobs)
+    try:
+        result = api.analyze_store(store, workload=args.workload,
+                                   config=config)
+    finally:
+        set_default_cv_jobs(previous_cv_jobs)
+    print(format_curve(result.curve.k_values, result.curve.re,
+                       "relative error vs chambers", mark_k=result.k_opt))
+    print()
+    print(result.summary())
+    recommendation = recommend_for(result)
+    print(f"recommended sampling: {recommendation.technique}")
+    print(f"  {recommendation.rationale}")
     return 0
 
 
@@ -243,6 +291,12 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
                        help="bypass the on-disk result cache")
     group.add_argument("--timeout", type=float, default=None, metavar="S",
                        help="per-job timeout in seconds (default: none)")
+    group.add_argument("--shm", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="publish parallel-fold datasets via shared "
+                            "memory instead of pickling them into each "
+                            "worker (results identical either way; "
+                            "default: --shm)")
     group.add_argument("--trace-out", default=None, metavar="PATH",
                        help="record a JSONL span trace of the run to PATH")
 
@@ -266,6 +320,12 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["tiny", "default", "paper"])
     analyze.add_argument("--machine", default="itanium2",
                          choices=["itanium2", "pentium4", "xeon"])
+    analyze.add_argument("--trace-store", default=None, metavar="DIR",
+                         help="out-of-core mode: collect the trace into "
+                              "a columnar store at DIR (or reuse the "
+                              "store already there) and stream EIPVs "
+                              "from it in bounded memory; output is "
+                              "byte-identical to the in-memory run")
     _add_runtime_flags(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 

@@ -10,12 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import UNSET, AnalysisConfig, resolve_config
-from repro.core.cross_validation import (
-    DEFAULT_FOLDS,
-    DEFAULT_K_MAX,
-    RECurve,
-    relative_error_curve,
-)
+from repro.core.cross_validation import RECurve, relative_error_curve
 from repro.core.quadrant import Quadrant, QuadrantResult, classify_result
 from repro.obs import span
 from repro.trace.eipv import EIPVDataset

@@ -288,7 +288,6 @@ class RegressionTreeSequence:
         new_seg[0] = True
         np.not_equal(feat[1:], feat[:-1], out=new_seg[1:])
         seg_start = np.nonzero(new_seg)[0]
-        n_segments = len(seg_start)
         seg_id = np.cumsum(new_seg) - 1
         seg_end = np.append(seg_start[1:], count)
         seg_len = seg_end - seg_start

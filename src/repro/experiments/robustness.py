@@ -22,7 +22,6 @@ from repro.core.config import AnalysisConfig
 from repro.core.predictability import analyze_predictability
 from repro.experiments.base import Experiment
 from repro.experiments.common import (
-    INTERVAL,
     RunConfig,
     collect_cached,
     default_intervals,

@@ -31,6 +31,7 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+import weakref
 from dataclasses import asdict, dataclass, field
 from typing import ClassVar
 
@@ -45,18 +46,46 @@ from repro.sparse import is_sparse
 #: Datasets available to fold jobs in this process, keyed by token.
 _DATASETS: dict[str, tuple] = {}
 
+#: Memoized tokens keyed by the identity of the live (matrix, y) pair.
+#: Entries are evicted by ``weakref.finalize`` when either object dies,
+#: so a recycled ``id()`` can never resurrect a stale token.
+_TOKEN_MEMO: dict[tuple[int, int], str] = {}
+
+
+def _hash_buffer(digest, arr: np.ndarray) -> None:
+    """Feed an array's bytes to the digest without a ``tobytes`` copy."""
+    if not arr.flags["C_CONTIGUOUS"]:
+        arr = np.ascontiguousarray(arr)
+    digest.update(arr.data)
+
 
 def dataset_token(matrix, y: np.ndarray) -> str:
-    """Short content hash identifying one (matrix, y) dataset."""
+    """Short content hash identifying one (matrix, y) dataset.
+
+    Hashing streams each buffer straight into SHA-256 (contiguous arrays
+    are not copied), and the token is memoized per live object pair so
+    repeated analyses of the same dataset hash its gigabytes only once.
+    """
+    memo_key = (id(matrix), id(y))
+    token = _TOKEN_MEMO.get(memo_key)
+    if token is not None:
+        return token
     digest = hashlib.sha256()
-    digest.update(np.ascontiguousarray(y, dtype=np.float64).tobytes())
+    _hash_buffer(digest, np.ascontiguousarray(y, dtype=np.float64))
     if is_sparse(matrix):
         for part in (matrix.indptr, matrix.indices, matrix.data):
-            digest.update(np.ascontiguousarray(part).tobytes())
+            _hash_buffer(digest, part)
     else:
-        digest.update(np.ascontiguousarray(matrix).tobytes())
+        _hash_buffer(digest, np.asarray(matrix))
     digest.update(repr(tuple(matrix.shape)).encode())
-    return digest.hexdigest()[:16]
+    token = digest.hexdigest()[:16]
+    try:
+        for obj in (matrix, y):
+            weakref.finalize(obj, _TOKEN_MEMO.pop, memo_key, None)
+    except TypeError:
+        return token
+    _TOKEN_MEMO[memo_key] = token
+    return token
 
 
 def publish_dataset(token: str, matrix, y: np.ndarray) -> None:
@@ -65,8 +94,23 @@ def publish_dataset(token: str, matrix, y: np.ndarray) -> None:
 
 
 def _init_worker(token: str, matrix, y: np.ndarray) -> None:
-    """Pool initializer: ship the dataset to a worker once."""
+    """Pool initializer: ship the dataset to a worker once (pickled)."""
     publish_dataset(token, matrix, y)
+
+
+def _init_worker_shm(handle) -> None:
+    """Pool initializer: attach the shared-memory dataset (zero-copy).
+
+    Only the small :class:`~repro.runtime.shm.ArenaHandle` is pickled;
+    the arrays are read-only views over the parent's segment.  If the
+    attach fails the pool breaks and the scheduler's serial fallback
+    recomputes the folds in the parent, where the dataset is still
+    published in-process.
+    """
+    from repro.runtime.shm import attach_dataset
+
+    matrix, y = attach_dataset(handle)
+    publish_dataset(handle.token, matrix, y)
 
 
 @dataclass(frozen=True)
@@ -160,29 +204,49 @@ def execute_fold(spec: FoldSpec) -> FoldResult:
     )
 
 
-def run_parallel_folds(matrix, y: np.ndarray, config,
-                       jobs: int, timeout: float | None = None) -> np.ndarray:
+def run_parallel_folds(matrix, y: np.ndarray, config, jobs: int,
+                       timeout: float | None = None,
+                       shm: bool | None = None) -> np.ndarray:
     """Fan the folds of one cross-validation across worker processes.
 
     Returns the summed held-out squared-error vector E_k — bit-identical
     to the serial loop at any ``jobs`` (including the scheduler's serial
     fallback when a pool cannot be built).
-    """
-    from repro.runtime.scheduler import run_jobs
 
+    ``shm`` selects the dataset transport: ``True`` publishes (matrix, y)
+    once into a shared-memory arena and workers attach zero-copy views,
+    ``False`` pickles the arrays into each worker, ``None`` follows the
+    process-wide :func:`repro.runtime.options.current` default.  Shared
+    memory silently degrades to the pickled transport when unavailable;
+    either way the fold floats are the same.
+    """
+    from repro.runtime import options as runtime_options
+    from repro.runtime.scheduler import run_jobs
+    from repro.runtime.shm import SharedArena
+
+    if shm is None:
+        shm = runtime_options.current().shm
     token = dataset_token(matrix, y)
     publish_dataset(token, matrix, y)
+    arena = SharedArena() if (shm and jobs > 1) else None
     try:
+        initializer, initargs = _init_worker, (token, matrix, y)
+        if arena is not None:
+            handle = arena.publish(token, matrix, y)
+            if handle is not None:
+                initializer, initargs = _init_worker_shm, (handle,)
         specs = [FoldSpec(dataset_token=token, fold_index=i,
                           n_points=len(y), folds=config.folds,
                           seed=config.seed, k_max=config.k_max,
                           min_leaf=config.min_leaf)
                  for i in range(config.folds)]
         outcomes = run_jobs(specs, jobs=jobs, cache=NullCache(),
-                            timeout=timeout, initializer=_init_worker,
-                            initargs=(token, matrix, y))
+                            timeout=timeout, initializer=initializer,
+                            initargs=initargs)
     finally:
         _DATASETS.pop(token, None)
+        if arena is not None:
+            arena.destroy()
 
     sse = np.zeros(config.k_max)
     for outcome in outcomes:

@@ -24,6 +24,11 @@ class RuntimeOptions:
     cache_dir: Path | None = None
     no_cache: bool = True
     timeout: float | None = None
+    #: Publish parallel-fold datasets through shared memory (zero-copy)
+    #: rather than pickling them into each worker.  Purely a transport
+    #: choice — results are bit-identical either way — and it degrades
+    #: to pickling when shared memory is unavailable.
+    shm: bool = True
 
     def build_cache(self):
         """A :class:`ResultCache` per the options (or a null one)."""
@@ -36,7 +41,8 @@ _current = RuntimeOptions()
 
 
 def configure(jobs: int = 1, cache_dir=None, no_cache: bool = True,
-              timeout: float | None = None) -> RuntimeOptions:
+              timeout: float | None = None,
+              shm: bool = True) -> RuntimeOptions:
     """Install new process-wide defaults; returns them."""
     global _current
     _current = RuntimeOptions(
@@ -44,6 +50,7 @@ def configure(jobs: int = 1, cache_dir=None, no_cache: bool = True,
         cache_dir=Path(cache_dir) if cache_dir else None,
         no_cache=bool(no_cache),
         timeout=timeout,
+        shm=bool(shm),
     )
     return _current
 

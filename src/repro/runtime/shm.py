@@ -1,0 +1,299 @@
+"""Zero-copy shared-memory publication of (matrix, y) datasets.
+
+The parallel fold path used to ship the full dataset into every pool
+worker — pickled through process startup under ``spawn``, and silently
+re-copied page by page under ``fork`` as the workers' reference-count
+writes dirty their copy-on-write pages.  :class:`SharedArena` publishes
+the arrays once into ``multiprocessing.shared_memory`` segments instead:
+the parent copies each array into a segment a single time, workers attach
+**read-only NumPy views** over the very same physical pages, and the only
+thing that travels through pickle is a small :class:`ArenaHandle`
+describing the layout.
+
+Both dense ``np.ndarray`` matrices and
+:class:`~repro.sparse.CSRMatrix` triplets (``indptr``/``indices``/
+``data``) are supported; a dataset occupies exactly one segment, with
+every array placed at a 64-byte-aligned offset.
+
+Lifecycle (the memory model, also documented in DESIGN.md):
+
+* the **parent** owns segments — :meth:`SharedArena.publish` creates
+  them, :meth:`SharedArena.destroy` (or the context manager, or the
+  ``finally`` in :func:`repro.runtime.folds.run_parallel_folds`) closes
+  and unlinks them once the scheduler is done;
+* **workers** only ever attach; pool workers inherit the parent's
+  resource tracker, so a worker exiting never unlinks a segment the
+  parent still owns;
+* a module-level registry plus an ``atexit`` reaper guarantees that even
+  an abnormal exit leaves no ``/dev/shm`` segment behind
+  (:func:`live_segments` is the test hook).
+
+When shared memory is unavailable (no ``/dev/shm``, sandboxed,
+platform without POSIX shm) :meth:`SharedArena.publish` returns ``None``
+and callers fall back to the pickled-payload transport; when a *worker*
+cannot attach a published segment its initializer raises, the pool
+breaks, and the scheduler recomputes the affected jobs in the parent
+process where the dataset is still published in-process — shared memory
+is a performance tier, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs import span
+from repro.sparse import CSRMatrix, is_sparse
+
+#: Prefix of every segment this module creates (visible in /dev/shm).
+SEGMENT_PREFIX = "repro-arena"
+
+#: Segment offsets are aligned so attached views stay SIMD-friendly.
+_ALIGN = 64
+
+_COUNTER = itertools.count()
+
+#: Segments created by this process and not yet unlinked, by name.
+_LIVE: dict[str, object] = {}
+
+#: Segments this process attached to (worker side), kept referenced so
+#: the buffers backing the published arrays stay mapped.
+_ATTACHED: dict[str, object] = {}
+
+
+@dataclass(frozen=True)
+class ArrayField:
+    """Placement of one array inside a segment."""
+
+    name: str
+    dtype: str
+    shape: tuple
+    offset: int
+
+
+@dataclass(frozen=True)
+class ArenaHandle:
+    """Picklable descriptor of one published dataset.
+
+    This is all that crosses the process boundary: the segment name and
+    the byte layout of the arrays inside it (plus the dataset's content
+    token, so workers publish it under the same identity).
+    """
+
+    token: str
+    segment: str
+    fields: tuple
+    sparse: bool
+    matrix_shape: tuple
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes described by the handle."""
+        return sum(int(np.dtype(f.dtype).itemsize * np.prod(f.shape,
+                                                            dtype=np.int64))
+                   for f in self.fields)
+
+
+def _shared_memory():
+    """The stdlib module, imported lazily (may be missing or broken)."""
+    from multiprocessing import shared_memory
+    return shared_memory
+
+
+def shm_available() -> bool:
+    """True when POSIX shared memory can actually be used here."""
+    try:
+        probe = _shared_memory().SharedMemory(create=True, size=16)
+    except Exception:
+        return False
+    try:
+        probe.close()
+        probe.unlink()
+    except Exception:
+        pass
+    return True
+
+
+def _dataset_arrays(matrix, y: np.ndarray) -> tuple[list, bool, tuple]:
+    """The (name, array) list a dataset publishes, densified to buffers."""
+    arrays = [("y", np.ascontiguousarray(y))]
+    if is_sparse(matrix):
+        arrays += [("indptr", np.ascontiguousarray(matrix.indptr)),
+                   ("indices", np.ascontiguousarray(matrix.indices)),
+                   ("data", np.ascontiguousarray(matrix.data))]
+        return arrays, True, tuple(matrix.shape)
+    dense = np.ascontiguousarray(matrix)
+    arrays.append(("matrix", dense))
+    return arrays, False, tuple(dense.shape)
+
+
+class SharedArena:
+    """Owns the shared-memory segments of published datasets.
+
+    Use as a context manager (or call :meth:`destroy` in a ``finally``):
+    exiting closes this process's mappings and unlinks every segment the
+    arena created, normal path or not.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, object] = {}
+
+    # -- publication -----------------------------------------------------
+
+    def publish(self, token: str, matrix, y: np.ndarray):
+        """Copy a dataset into one shared segment; return its handle.
+
+        Returns ``None`` when shared memory is unavailable or creation
+        fails — callers then fall back to the pickled transport.  The
+        copy happens exactly once, here; workers attach views.
+        """
+        arrays, sparse, matrix_shape = _dataset_arrays(matrix, y)
+        fields = []
+        offset = 0
+        for name, arr in arrays:
+            offset = -(-offset // _ALIGN) * _ALIGN
+            fields.append(ArrayField(name=name, dtype=arr.dtype.str,
+                                     shape=tuple(arr.shape), offset=offset))
+            offset += arr.nbytes
+        segment_name = (f"{SEGMENT_PREFIX}-{os.getpid()}"
+                        f"-{next(_COUNTER)}-{token[:8]}")
+        with span("shm.publish", token=token) as publish_span:
+            try:
+                segment = _shared_memory().SharedMemory(
+                    create=True, size=max(offset, 1), name=segment_name)
+            except Exception:
+                return None
+            try:
+                for field, (_, arr) in zip(fields, arrays):
+                    view = np.ndarray(field.shape, dtype=field.dtype,
+                                      buffer=segment.buf,
+                                      offset=field.offset)
+                    view[...] = arr
+            except Exception:
+                segment.close()
+                try:
+                    segment.unlink()
+                except Exception:
+                    pass
+                return None
+            publish_span.inc("bytes", offset)
+        self._segments[segment_name] = segment
+        _LIVE[segment_name] = segment
+        return ArenaHandle(token=token, segment=segment_name,
+                           fields=tuple(fields), sparse=sparse,
+                           matrix_shape=matrix_shape)
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def segment_names(self) -> tuple:
+        return tuple(self._segments)
+
+    def destroy(self) -> None:
+        """Close and unlink every segment this arena created.
+
+        Safe to call more than once; a worker still attached keeps the
+        physical pages alive until it exits (POSIX semantics), so
+        unlinking from the parent can never invalidate an in-flight job.
+        """
+        while self._segments:
+            name, segment = self._segments.popitem()
+            try:
+                segment.close()
+            except Exception:
+                pass
+            try:
+                segment.unlink()
+            except Exception:
+                pass
+            _LIVE.pop(name, None)
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.destroy()
+
+
+# -- worker side ---------------------------------------------------------
+
+def attach_dataset(handle: ArenaHandle):
+    """Attach a published dataset; returns read-only ``(matrix, y)``.
+
+    The views are backed directly by the shared pages — nothing is
+    copied.  The segment mapping is kept alive in a module registry for
+    the life of this process (workers exit with the pool).  Attaching
+    re-registers the name with the resource tracker, which pool workers
+    share with the creating parent, so the registration is an idempotent
+    no-op and unlink responsibility stays with the parent's arena.
+    Raises when the segment cannot be attached; the caller's initializer
+    propagates that, which is the signal for the scheduler's in-parent
+    fallback.
+    """
+    with span("shm.attach", token=handle.token) as attach_span:
+        segment = _ATTACHED.get(handle.segment)
+        if segment is None:
+            segment = _shared_memory().SharedMemory(name=handle.segment)
+            _ATTACHED[handle.segment] = segment
+        views = {}
+        for field in handle.fields:
+            view = np.ndarray(field.shape, dtype=field.dtype,
+                              buffer=segment.buf, offset=field.offset)
+            view.flags.writeable = False
+            views[field.name] = view
+        attach_span.inc("bytes", handle.nbytes)
+    y = views["y"]
+    if handle.sparse:
+        matrix = CSRMatrix(indptr=views["indptr"], indices=views["indices"],
+                           data=views["data"], shape=handle.matrix_shape)
+    else:
+        matrix = views["matrix"]
+    return matrix, y
+
+
+def detach_all() -> int:
+    """Drop this process's attachments (mainly for tests); returns count."""
+    n = len(_ATTACHED)
+    while _ATTACHED:
+        _, segment = _ATTACHED.popitem()
+        try:
+            segment.close()
+        except Exception:
+            pass
+    return n
+
+
+# -- leak checking -------------------------------------------------------
+
+def live_segments() -> tuple:
+    """Names of segments created by this process and not yet unlinked."""
+    return tuple(_LIVE)
+
+
+def reap() -> int:
+    """Unlink every still-live segment; returns how many were reaped.
+
+    The safety net behind abnormal exits — registered with ``atexit``
+    and callable from tests.  Normal code paths unlink through the
+    owning arena instead.
+    """
+    n = 0
+    while _LIVE:
+        _, segment = _LIVE.popitem()
+        try:
+            segment.close()
+        except Exception:
+            pass
+        try:
+            segment.unlink()
+        except Exception:
+            pass
+        n += 1
+    return n
+
+
+atexit.register(reap)

@@ -117,6 +117,91 @@ class EIPVDataset:
             thread_ids=self.thread_ids,
         )
 
+    @classmethod
+    def from_store(cls, store,
+                   interval_instructions: int = DEFAULT_INTERVAL,
+                   sparse: bool = False,
+                   chunk_intervals: int = 256) -> "EIPVDataset":
+        """Build EIPVs by streaming a trace store, never loading it whole.
+
+        ``store`` is a :class:`~repro.trace.storage.TraceStore` (any
+        object with ``__len__``, ``sample_period``, ``workload_name``
+        and ``column(name)`` works).  The store's columns are consumed
+        in chunks of ``chunk_intervals`` whole intervals, so peak memory
+        is bounded by the chunk size while the resulting dataset is
+        bit-identical to ``build_eipvs(store.as_trace(), ...)`` — chunk
+        boundaries coincide with interval boundaries, which keeps every
+        per-interval float accumulation in the exact order the in-memory
+        bincount performs it.
+        """
+        n = len(store)
+        if n == 0:
+            raise ValueError("empty trace")
+        samples_per_interval = interval_instructions // store.sample_period
+        if samples_per_interval < 1:
+            raise ValueError("interval shorter than the sampling period")
+        n_intervals = n // samples_per_interval
+        if n_intervals < 1:
+            raise ValueError("trace too short for even one interval")
+        if chunk_intervals < 1:
+            raise ValueError("chunk_intervals must be positive")
+        used = n_intervals * samples_per_interval
+        step = chunk_intervals * samples_per_interval
+
+        eips_col = store.column("eips")
+        cycles_col = store.column("cycles")
+        instr_col = store.column("instructions")
+
+        with span("trace.build_eipvs") as build_span:
+            # Pass 1: the sorted unique-EIP vocabulary (the union of
+            # per-chunk uniques equals the whole-trace unique).
+            unique_eips = np.empty(0, dtype=np.int64)
+            for start in range(0, used, step):
+                chunk = np.asarray(eips_col[start:start + step])
+                unique_eips = np.union1d(unique_eips, chunk)
+            n_eips = len(unique_eips)
+
+            # Pass 2: interval-aligned aggregation, chunk by chunk.
+            cpis = np.empty(n_intervals, dtype=np.float64)
+            dense = (None if sparse
+                     else np.empty((n_intervals, n_eips), dtype=np.int32))
+            csr_parts = []
+            for start in range(0, used, step):
+                stop = min(start + step, used)
+                k = (stop - start) // samples_per_interval
+                first_row = start // samples_per_interval
+                rows = np.repeat(np.arange(k), samples_per_interval)
+                codes = np.searchsorted(
+                    unique_eips, np.asarray(eips_col[start:stop]))
+                if sparse:
+                    csr_parts.append(CSRMatrix.from_codes(
+                        rows, codes, shape=(k, n_eips)))
+                else:
+                    flat = np.bincount(rows * n_eips + codes,
+                                       minlength=k * n_eips)
+                    dense[first_row:first_row + k] = flat.reshape(
+                        k, n_eips).astype(np.int32)
+                cycles = np.bincount(
+                    rows, weights=np.asarray(cycles_col[start:stop]),
+                    minlength=k)
+                instructions = np.bincount(
+                    rows,
+                    weights=np.asarray(instr_col[start:stop]).astype(
+                        np.float64),
+                    minlength=k)
+                cpis[first_row:first_row + k] = (
+                    cycles / np.maximum(instructions, 1))
+            matrix = CSRMatrix.vstack(csr_parts) if sparse else dense
+            build_span.inc("intervals", n_intervals)
+            build_span.inc("eips", n_eips)
+        return cls(
+            matrix=matrix,
+            cpis=cpis,
+            eip_index=unique_eips,
+            interval_instructions=interval_instructions,
+            workload_name=store.workload_name,
+        )
+
     def to_sparse(self) -> "EIPVDataset":
         """The same dataset with a CSR-backed matrix (no-op if sparse)."""
         if self.is_sparse:

@@ -173,6 +173,165 @@ class SamplingDriver:
             processes=processes,
         )
 
+    def collect_to_store(self, store, total_instructions: int,
+                         chunk_samples: int = 8192) -> None:
+        """Stream a collection into a :class:`~repro.trace.storage.TraceStore`.
+
+        The out-of-core twin of :meth:`collect`: the execution is
+        consumed incrementally and samples leave for disk in chunks of
+        ``chunk_samples``, so peak memory is bounded by the chunk size
+        (plus the slices spanning it) regardless of run length.  The
+        stored columns are bit-identical to an in-memory
+        :meth:`collect` of the same system — chunk boundaries land
+        exactly on sample boundaries, per-slice counter rates are
+        computed once from the whole slice before it is split, and the
+        batched EIP draws consume the RNG stream in the same order.
+
+        ``store`` must be fresh from ``TraceStore.create``; this method
+        appends every chunk and finalizes it (or closes it unfinalized
+        on error).
+        """
+        if total_instructions < self.period:
+            raise ValueError(
+                "run too short: need at least one sampling period")
+        if chunk_samples < 1:
+            raise ValueError("chunk_samples must be positive")
+        proc_names: list[str] = []
+        try:
+            for chunk in self._stream(total_instructions, chunk_samples,
+                                      proc_names):
+                store.append(chunk)
+        except BaseException:
+            store.close()
+            raise
+        metadata = dict(self.system.workload.metadata)
+        metadata["nominal_overhead"] = (0.05 if self.period < 1_000_000
+                                        else 0.02)
+        store.finalize(
+            processes=tuple(proc_names),
+            sample_period=self.period,
+            frequency_mhz=self.system.machine.frequency_mhz,
+            workload_name=self.system.workload.name,
+            metadata=metadata,
+        )
+
+    def _stream(self, total_instructions: int, chunk_samples: int,
+                proc_names: list):
+        """Yield trace columns in chunks of ``chunk_samples`` samples.
+
+        Each yielded dict holds the same arrays :meth:`collect` would
+        produce for that sample range.  ``proc_names`` accumulates the
+        process table in first-appearance-among-samples order across all
+        chunks (the caller reads it after exhaustion).
+        """
+        period = self.period
+        n_samples = total_instructions // period
+        proc_index: dict[str, int] = {}
+
+        # Buffered slice records for the chunk under construction.  A
+        # slice spanning a chunk boundary is split, but its counter
+        # rates stay the ones computed from the full slice — the same
+        # floats collect() applies to the same segment lengths.
+        buf_instr: list[int] = []
+        buf_rates: dict[str, list[float]] = {n: [] for n in _COUNTERS}
+        buf_threads: list[int] = []
+        buf_procs: list[str] = []
+        buf_plans: list = []
+
+        emitted = 0
+        chunk_k = min(chunk_samples, n_samples)
+        buffered = 0  # instructions buffered toward the current chunk
+
+        def flush(k: int) -> dict:
+            instr = np.asarray(buf_instr, dtype=np.int64)
+            cum_end = np.cumsum(instr)
+            boundaries = period * np.arange(1, k + 1, dtype=np.int64)
+            fire = np.searchsorted(cum_end, boundaries, side="left")
+            cuts = np.union1d(cum_end, boundaries)
+            cuts = cuts[cuts <= boundaries[-1]]
+            seg_len = np.diff(np.concatenate(([0], cuts)))
+            seg_slice = np.searchsorted(cum_end, cuts, side="left")
+            seg_sample = np.searchsorted(boundaries, cuts, side="left")
+            starts = np.searchsorted(seg_sample, np.arange(k), side="left")
+
+            counters = {}
+            for name in _COUNTERS:
+                rate = np.asarray(buf_rates[name], dtype=np.float64)
+                counters[name] = _segmented_sequential_sum(
+                    rate[seg_slice] * seg_len, starts)
+
+            eips = self._draw_eips(buf_plans, fire)
+
+            # Register processes in first-appearance order among this
+            # chunk's samples; the rolling proc_index makes the global
+            # code assignment identical to collect()'s whole-run remap.
+            local = {}
+            local_codes = np.fromiter(
+                (local.setdefault(name, len(local)) for name in buf_procs),
+                dtype=np.int64, count=len(buf_procs))
+            local_names = list(local)
+            sample_local = local_codes[fire]
+            uniq, first_pos = np.unique(sample_local, return_index=True)
+            appearance = uniq[np.argsort(first_pos, kind="stable")]
+            remap = np.empty(len(local_names), dtype=np.int64)
+            for code in appearance:
+                name = local_names[code]
+                global_code = proc_index.get(name)
+                if global_code is None:
+                    global_code = proc_index[name] = len(proc_index)
+                    proc_names.append(name)
+                remap[code] = global_code
+            process_codes = remap[sample_local]
+
+            thread_ids = np.asarray(buf_threads, dtype=np.int32)[fire]
+            return {
+                "eips": eips,
+                "thread_ids": thread_ids,
+                "process_ids": process_codes.astype(np.int16),
+                "instructions": np.full(k, period, dtype=np.int64),
+                "cycles": counters["cycles"],
+                "work_cycles": counters["work"],
+                "fe_cycles": counters["fe"],
+                "exe_cycles": counters["exe"],
+                "other_cycles": counters["other"],
+            }
+
+        for piece in self.system.slices(total_instructions):
+            breakdown = piece.breakdown
+            rates = {
+                "cycles": breakdown.cycles / piece.instructions,
+                "work": breakdown.work / piece.instructions,
+                "fe": breakdown.fe / piece.instructions,
+                "exe": breakdown.exe / piece.instructions,
+                "other": breakdown.other / piece.instructions,
+            }
+            remaining = piece.instructions
+            while remaining > 0:
+                take = min(remaining, chunk_k * period - buffered)
+                buf_instr.append(take)
+                for name in _COUNTERS:
+                    buf_rates[name].append(rates[name])
+                buf_threads.append(piece.thread_id)
+                buf_procs.append(piece.process)
+                buf_plans.append(piece.plan)
+                buffered += take
+                remaining -= take
+                if buffered == chunk_k * period:
+                    yield flush(chunk_k)
+                    emitted += chunk_k
+                    buf_instr.clear()
+                    for name in _COUNTERS:
+                        buf_rates[name].clear()
+                    buf_threads.clear()
+                    buf_procs.clear()
+                    buf_plans.clear()
+                    buffered = 0
+                    if emitted == n_samples:
+                        # The trailing partial period (if any) is
+                        # discarded, exactly as collect() discards it.
+                        return
+                    chunk_k = min(chunk_samples, n_samples - emitted)
+
     def _draw_eips(self, plans: list, fire: np.ndarray) -> np.ndarray:
         """Vectorized EIP draws for every firing slice's plan.
 

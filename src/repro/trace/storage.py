@@ -3,22 +3,64 @@
 Collected traces are expensive relative to the analyses run on them, so
 both :class:`~repro.trace.events.SampleTrace` and
 :class:`~repro.trace.eipv.EIPVDataset` round-trip to ``.npz`` files (numpy
-archive + a JSON sidecar string for metadata).
+archive + a JSON sidecar string for metadata).  Sparse datasets persist
+their CSR triplets natively — nothing is pickled or densified on the way
+to disk.
+
+For runs too large to hold in memory there is a second tier:
+:class:`TraceStore`, a columnar on-disk layout (one ``.npy`` file per
+trace column plus a ``header.json``) written incrementally by
+:meth:`~repro.trace.sampler.SamplingDriver.collect_to_store` and read
+back as ``np.memmap`` views, so a multi-billion-instruction trace is
+consumed chunk-by-chunk without ever being resident.  The column files
+are plain ``.npy`` (readable by ``np.load``); the store reserves a
+fixed-size header in each so the final sample count can be patched in
+when the stream ends.
 """
 
 from __future__ import annotations
 
 import json
+import struct
 from pathlib import Path
 
 import numpy as np
 
+from repro.sparse import CSRMatrix, is_sparse
 from repro.trace.events import SampleTrace
 from repro.trace.eipv import EIPVDataset
 
 _TRACE_COLUMNS = ("eips", "thread_ids", "process_ids", "instructions",
                   "cycles", "work_cycles", "fe_cycles", "exe_cycles",
                   "other_cycles")
+
+#: On-disk dtypes of the trace columns (little-endian, matching what the
+#: sampling driver produces in memory).
+_COLUMN_DTYPES = {
+    "eips": "<i8",
+    "thread_ids": "<i4",
+    "process_ids": "<i2",
+    "instructions": "<i8",
+    "cycles": "<f8",
+    "work_cycles": "<f8",
+    "fe_cycles": "<f8",
+    "exe_cycles": "<f8",
+    "other_cycles": "<f8",
+}
+
+#: Version of the ``save_eipvs`` npz layout.  1 = dense-only (implicit,
+#: no field in the header); 2 = adds native CSR triplets + this field.
+EIPV_FORMAT = 2
+
+#: Version of the :class:`TraceStore` directory layout.
+STORE_FORMAT = 1
+
+_STORE_HEADER = "header.json"
+
+#: Every column file starts with exactly this many preamble bytes (magic
+#: + npy v1 header padded with spaces), so the shape can be rewritten in
+#: place once the final length is known.
+_NPY_PREAMBLE = 128
 
 
 def save_trace(trace: SampleTrace, path) -> Path:
@@ -53,33 +95,262 @@ def load_trace(path) -> SampleTrace:
 
 
 def save_eipvs(dataset: EIPVDataset, path) -> Path:
-    """Write an EIPV dataset to ``path``."""
+    """Write an EIPV dataset to ``path``.
+
+    CSR-backed datasets persist their ``indptr``/``indices``/``data``
+    triplets as first-class arrays — no object pickling, no densifying —
+    and round-trip back as CSR.
+    """
     path = Path(path)
     header = {
+        "format": EIPV_FORMAT,
         "interval_instructions": dataset.interval_instructions,
         "workload_name": dataset.workload_name,
+        "sparse": dataset.is_sparse,
+        "shape": [int(dim) for dim in dataset.matrix.shape],
     }
-    np.savez_compressed(
-        path,
-        header=np.bytes_(json.dumps(header)),
-        matrix=dataset.matrix,
-        cpis=dataset.cpis,
-        eip_index=dataset.eip_index,
-        thread_ids=dataset.thread_ids,
-    )
+    arrays = {
+        "cpis": dataset.cpis,
+        "eip_index": dataset.eip_index,
+        "thread_ids": dataset.thread_ids,
+    }
+    if dataset.is_sparse:
+        arrays["matrix_indptr"] = dataset.matrix.indptr
+        arrays["matrix_indices"] = dataset.matrix.indices
+        arrays["matrix_data"] = dataset.matrix.data
+    else:
+        arrays["matrix"] = dataset.matrix
+    np.savez_compressed(path, header=np.bytes_(json.dumps(header)), **arrays)
     return path if path.suffix == ".npz" else path.with_suffix(
         path.suffix + ".npz")
 
 
 def load_eipvs(path) -> EIPVDataset:
-    """Read an EIPV dataset written by :func:`save_eipvs`."""
+    """Read an EIPV dataset written by :func:`save_eipvs`.
+
+    Understands both the original dense-only layout (format 1, no
+    ``format`` field) and the CSR-native format 2.
+    """
     with np.load(path) as archive:
         header = json.loads(bytes(archive["header"]).decode())
+        version = int(header.get("format", 1))
+        if version > EIPV_FORMAT:
+            raise ValueError(
+                f"EIPV file {path} uses format {version}; this build "
+                f"reads up to format {EIPV_FORMAT}")
+        if header.get("sparse", False):
+            matrix = CSRMatrix(
+                indptr=archive["matrix_indptr"],
+                indices=archive["matrix_indices"],
+                data=archive["matrix_data"],
+                shape=tuple(header["shape"]),
+            )
+        else:
+            matrix = archive["matrix"]
         return EIPVDataset(
-            matrix=archive["matrix"],
+            matrix=matrix,
             cpis=archive["cpis"],
             eip_index=archive["eip_index"],
             thread_ids=archive["thread_ids"],
             interval_instructions=header["interval_instructions"],
             workload_name=header["workload_name"],
+        )
+
+
+def _npy_preamble(dtype: str, n: int) -> bytes:
+    """A fixed-width npy v1 preamble for a 1-D array of ``n`` items.
+
+    Standard ``np.save`` output, except the header dict is space-padded
+    to a constant :data:`_NPY_PREAMBLE` bytes so the shape written at
+    create time (0 items) can be overwritten in place at finalize.
+    """
+    body = ("{'descr': '%s', 'fortran_order': False, 'shape': (%d,), }"
+            % (dtype, n)).encode("latin1")
+    header_len = _NPY_PREAMBLE - 10  # magic (6) + version (2) + length (2)
+    if len(body) >= header_len:
+        raise ValueError("npy header does not fit the reserved preamble")
+    body += b" " * (header_len - len(body) - 1) + b"\n"
+    return b"\x93NUMPY\x01\x00" + struct.pack("<H", header_len) + body
+
+
+class TraceStore:
+    """Columnar, memmap-backed on-disk trace (one ``.npy`` per column).
+
+    Two lifecycles share the class:
+
+    * **writing** — :meth:`create` opens the column files with a
+      zero-length reserved header, :meth:`append` streams sample chunks
+      to the ends, :meth:`finalize` patches the true lengths in and
+      writes ``header.json``.  Until finalize the directory is not a
+      valid store (:meth:`open` refuses it), so a crashed collection can
+      never be mistaken for a complete one.
+    * **reading** — :meth:`open` parses ``header.json``;
+      :meth:`column` hands out read-only ``np.memmap`` views, so
+      consumers touch only the pages they slice.
+
+    The columns, dtypes and metadata mirror
+    :class:`~repro.trace.events.SampleTrace` exactly; :meth:`as_trace`
+    materializes one (small stores only) and :meth:`from_trace` spills
+    one to disk.
+    """
+
+    def __init__(self, root: Path, header: dict | None,
+                 n_samples: int) -> None:
+        self.root = Path(root)
+        self._header = header
+        self._n = n_samples
+        self._files: dict = {}
+
+    # -- writing ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, path) -> "TraceStore":
+        """Start a new (empty, unfinalized) store at ``path``."""
+        root = Path(path)
+        root.mkdir(parents=True, exist_ok=True)
+        store = cls(root, None, 0)
+        for name in _TRACE_COLUMNS:
+            handle = open(root / f"{name}.npy", "wb")
+            handle.write(_npy_preamble(_COLUMN_DTYPES[name], 0))
+            store._files[name] = handle
+        return store
+
+    def append(self, chunk: dict) -> None:
+        """Append one chunk of samples (a dict of equal-length columns)."""
+        if not self._files:
+            raise RuntimeError("store is not open for writing")
+        n = len(chunk["eips"])
+        for name in _TRACE_COLUMNS:
+            arr = np.ascontiguousarray(chunk[name],
+                                       dtype=_COLUMN_DTYPES[name])
+            if len(arr) != n:
+                raise ValueError(
+                    f"column {name!r} has {len(arr)} samples, expected {n}")
+            self._files[name].write(arr.data)
+        self._n += n
+
+    def finalize(self, *, processes, sample_period: int,
+                 frequency_mhz: float, workload_name: str,
+                 metadata: dict) -> "TraceStore":
+        """Patch final lengths into the column files; write the header."""
+        for name, handle in self._files.items():
+            handle.seek(0)
+            handle.write(_npy_preamble(_COLUMN_DTYPES[name], self._n))
+            handle.close()
+        self._files.clear()
+        self._header = {
+            "kind": "trace-store",
+            "format": STORE_FORMAT,
+            "n_samples": self._n,
+            "columns": dict(_COLUMN_DTYPES),
+            "processes": list(processes),
+            "sample_period": sample_period,
+            "frequency_mhz": frequency_mhz,
+            "workload_name": workload_name,
+            "metadata": metadata,
+        }
+        (self.root / _STORE_HEADER).write_text(
+            json.dumps(self._header, indent=2, sort_keys=True))
+        return self
+
+    def close(self) -> None:
+        """Abandon an unfinalized write (close file handles, keep files)."""
+        while self._files:
+            _, handle = self._files.popitem()
+            handle.close()
+
+    # -- reading ---------------------------------------------------------
+
+    @classmethod
+    def open(cls, path) -> "TraceStore":
+        """Open a finalized store for reading."""
+        root = Path(path)
+        header_path = root / _STORE_HEADER
+        if not header_path.is_file():
+            raise FileNotFoundError(
+                f"{root} is not a trace store (no {_STORE_HEADER})")
+        header = json.loads(header_path.read_text())
+        if header.get("kind") != "trace-store":
+            raise ValueError(f"{header_path} is not a trace-store header")
+        version = int(header.get("format", 0))
+        if version > STORE_FORMAT:
+            raise ValueError(
+                f"trace store {root} uses format {version}; this build "
+                f"reads up to format {STORE_FORMAT}")
+        return cls(root, header, int(header["n_samples"]))
+
+    @staticmethod
+    def is_store(path) -> bool:
+        """True when ``path`` holds a finalized trace store."""
+        return (Path(path) / _STORE_HEADER).is_file()
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def n_samples(self) -> int:
+        return self._n
+
+    def _meta(self, key: str):
+        if self._header is None:
+            raise RuntimeError("store is being written; finalize it first")
+        return self._header[key]
+
+    @property
+    def processes(self) -> tuple:
+        return tuple(self._meta("processes"))
+
+    @property
+    def sample_period(self) -> int:
+        return int(self._meta("sample_period"))
+
+    @property
+    def frequency_mhz(self) -> float:
+        return float(self._meta("frequency_mhz"))
+
+    @property
+    def workload_name(self) -> str:
+        return str(self._meta("workload_name"))
+
+    @property
+    def metadata(self) -> dict:
+        return dict(self._meta("metadata"))
+
+    def column(self, name: str) -> np.ndarray:
+        """A read-only memmap of one column (pages load on demand)."""
+        if name not in _TRACE_COLUMNS:
+            raise KeyError(f"unknown trace column {name!r}")
+        return np.load(self.root / f"{name}.npy", mmap_mode="r")
+
+    # -- conversions -----------------------------------------------------
+
+    def as_trace(self) -> SampleTrace:
+        """Materialize the whole store as an in-memory trace."""
+        columns = {name: np.array(self.column(name))
+                   for name in _TRACE_COLUMNS}
+        return SampleTrace(
+            processes=self.processes,
+            sample_period=self.sample_period,
+            frequency_mhz=self.frequency_mhz,
+            workload_name=self.workload_name,
+            metadata=self.metadata,
+            **columns,
+        )
+
+    @classmethod
+    def from_trace(cls, trace: SampleTrace, path) -> "TraceStore":
+        """Spill an in-memory trace to a store at ``path``."""
+        store = cls.create(path)
+        try:
+            store.append({name: getattr(trace, name)
+                          for name in _TRACE_COLUMNS})
+        except BaseException:
+            store.close()
+            raise
+        return store.finalize(
+            processes=trace.processes,
+            sample_period=trace.sample_period,
+            frequency_mhz=trace.frequency_mhz,
+            workload_name=trace.workload_name,
+            metadata=trace.metadata,
         )

@@ -1,7 +1,6 @@
 """Tests for the regression-tree vs k-means comparison (Section 4.6)."""
 
 import numpy as np
-import pytest
 
 from repro.core.comparison import compare_methods, kmeans_relative_errors
 from repro.trace.eipv import EIPVDataset

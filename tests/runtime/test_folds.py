@@ -15,7 +15,7 @@ from repro.runtime.folds import (
     publish_dataset,
     run_parallel_folds,
 )
-from repro.runtime.jobs import JOB_KINDS, JobSpec, resolve_kind
+from repro.runtime.jobs import JobSpec, resolve_kind
 from repro.sparse import CSRMatrix
 
 

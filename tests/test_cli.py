@@ -40,6 +40,19 @@ class TestParser:
         assert args.cache_dir is None
         assert args.no_cache is False
         assert args.timeout is None
+        assert args.shm is True
+        assert args.trace_store is None
+
+    def test_no_shm_flag(self):
+        args = build_parser().parse_args(["analyze", "odbc", "--no-shm"])
+        assert args.shm is False
+        args = build_parser().parse_args(["census", "odbc", "--shm"])
+        assert args.shm is True
+
+    def test_trace_store_flag(self):
+        args = build_parser().parse_args(
+            ["analyze", "odbc", "--trace-store", "/tmp/store"])
+        assert args.trace_store == "/tmp/store"
 
     def test_experiment_help_lists_registry_ids(self):
         from repro.experiments.runner import EXPERIMENTS, experiment_ids
@@ -133,6 +146,44 @@ class TestRuntimeCommands:
         assert serial == fanned
         # The CLI restores the process-wide fold-parallelism default.
         assert cross_validation._DEFAULT_CV_JOBS == 1
+
+    def test_analyze_shm_output_identical(self, capsys):
+        """The zero-copy shm transport changes no output byte at jobs=4."""
+        argv = ["analyze", "spec.gzip", "--intervals", "12", "--k-max", "5",
+                "--scale", "tiny", "--no-cache"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "4", "--shm"]) == 0
+        via_shm = capsys.readouterr().out
+        assert main(argv + ["--jobs", "4", "--no-shm"]) == 0
+        via_pickle = capsys.readouterr().out
+        assert serial == via_shm == via_pickle
+
+    def test_census_shm_output_identical(self, capsys):
+        argv = ["census", "spec.gzip", "spec.art", "--k-max", "5",
+                "--no-cache"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "4", "--shm"]) == 0
+        via_shm = capsys.readouterr().out
+        assert serial == via_shm
+
+    def test_analyze_trace_store_output_identical(self, capsys, tmp_path):
+        """--trace-store streams collection to disk; the analysis output
+        is byte-identical, both when collecting and when reusing."""
+        store = str(tmp_path / "store")
+        argv = ["analyze", "spec.gzip", "--intervals", "12", "--k-max", "5",
+                "--scale", "tiny", "--no-cache"]
+        assert main(argv) == 0
+        in_memory = capsys.readouterr().out
+        assert main(argv + ["--trace-store", store]) == 0
+        collected = capsys.readouterr()
+        assert "collected" in collected.err
+        assert main(argv + ["--trace-store", store, "--jobs", "4"]) == 0
+        reused = capsys.readouterr()
+        assert "reused" in reused.err
+        assert in_memory == collected.out == reused.out
+        assert (tmp_path / "store" / "header.json").is_file()
 
     def test_cache_stats_and_clear(self, capsys, tmp_path):
         argv = ["analyze", "spec.gzip", "--intervals", "12", "--k-max", "5",

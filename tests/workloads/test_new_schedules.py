@@ -67,6 +67,7 @@ class TestCyclicMixSchedule:
                        for _ in range(5)]
         # reset both to phase 0 between draws is unnecessary for spread
         assert np.std(tight_draws[:5]) < 0.05
+        assert np.std(loose_draws) > np.std(tight_draws[:5])
 
     def test_validation(self):
         regions = make_regions(2)
