@@ -16,6 +16,10 @@ Commands
     Run workloads with tracing on and print the per-stage breakdown.
 ``cache``
     Inspect (``stats``) or empty (``clear``) the on-disk result cache.
+``lint``
+    Run the repo-specific AST invariant checker (see :mod:`repro.lint`):
+    determinism, shared-memory write-safety and pool-hygiene rules that
+    generic linters cannot express.
 
 ``analyze``, ``census`` and ``experiment`` all accept ``--jobs N`` to
 fan work out across worker processes (census/experiment parallelize
@@ -278,6 +282,14 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import run_cli
+    return run_cli(paths=args.paths, format=args.format,
+                   baseline=args.baseline,
+                   write_baseline_flag=args.write_baseline,
+                   root=args.root, verbose=args.verbose)
+
+
 def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("runtime")
     group.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -374,6 +386,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache directory (default: $REPRO_CACHE_DIR "
                             "or ~/.cache/repro)")
     cache.set_defaults(func=_cmd_cache)
+
+    from repro.lint import add_arguments as add_lint_arguments
+    lint = sub.add_parser(
+        "lint", help="AST invariant lint (determinism, shm, pools)")
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -1,0 +1,135 @@
+"""The committed findings baseline.
+
+The baseline grandfathers *intentional* rule violations: each entry
+names a finding by ``(path, rule, line)`` and must carry a one-line
+``justification`` explaining why the code is exempt.  CI fails on any
+finding **not** in the baseline, so the file is the reviewed, auditable
+list of every place the repo knowingly departs from its own invariants.
+
+``--write-baseline`` regenerates the file deterministically — entries
+sorted by ``(path, rule, line)``, stable JSON encoding — so a baseline
+diff in review shows exactly the findings that appeared or went away,
+nothing else.  Justifications survive regeneration: an entry for the
+same ``(path, rule)`` keeps its text even when the line number moved.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Bump on incompatible baseline layout changes.
+BASELINE_VERSION = 1
+
+
+class BaselineError(Exception):
+    """Raised when the baseline file exists but cannot be used."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    path: str
+    rule: str
+    line: int
+    justification: str = ""
+
+    @property
+    def key(self) -> tuple:
+        return (self.path, self.rule, self.line)
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.rule, self.line)
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "rule": self.rule, "line": self.line,
+                "justification": self.justification}
+
+
+def load_baseline(path: Path) -> list:
+    """Entries from ``path``; a missing file is an empty baseline."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return []
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("baseline is not an object")
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(f"baseline version {data.get('version')!r} "
+                             f"!= {BASELINE_VERSION}")
+        entries = [BaselineEntry(path=e["path"], rule=e["rule"],
+                                 line=int(e["line"]),
+                                 justification=e.get("justification", ""))
+                   for e in data.get("entries", [])]
+    except (ValueError, KeyError, TypeError) as exc:
+        raise BaselineError(f"invalid baseline {path}: {exc}") from exc
+    return sorted(entries, key=lambda e: e.sort_key)
+
+
+def apply_baseline(findings, entries) -> tuple:
+    """Mark baselined findings; return ``(findings, stale_entries)``.
+
+    A baseline entry matches at most one finding (exact ``(path, rule,
+    line)``); entries that match nothing come back as stale so reports
+    can point at grandfather clauses that outlived their finding.
+    """
+    remaining = {entry.key: entry for entry in entries}
+    out = []
+    for finding in findings:
+        key = (finding.path, finding.rule, finding.line)
+        if not finding.suppressed and key in remaining:
+            del remaining[key]
+            from dataclasses import replace
+            finding = replace(finding, baselined=True)
+        out.append(finding)
+    stale = sorted(remaining.values(), key=lambda e: e.sort_key)
+    return out, stale
+
+
+def render_baseline(findings, previous=()) -> str:
+    """The baseline file content grandfathering ``findings``.
+
+    Deterministic: entries sorted by ``(path, rule, line)``, stable JSON.
+    Justifications are carried over from ``previous`` entries for the
+    same ``(path, rule)`` (exact line first, then unique rule-in-file
+    match); new entries get an empty justification for the author to
+    fill in.
+    """
+    by_key = {e.key: e for e in previous}
+    by_file_rule: dict = {}
+    for entry in previous:
+        by_file_rule.setdefault((entry.path, entry.rule), []).append(entry)
+
+    entries = []
+    for finding in sorted(findings, key=lambda f: f.sort_key):
+        if finding.suppressed:
+            continue  # an inline disable already covers it
+        justification = ""
+        exact = by_key.get((finding.path, finding.rule, finding.line))
+        if exact is not None:
+            justification = exact.justification
+        else:
+            candidates = by_file_rule.get((finding.path, finding.rule), [])
+            if len(candidates) == 1:
+                justification = candidates[0].justification
+        entries.append(BaselineEntry(path=finding.path, rule=finding.rule,
+                                     line=finding.line,
+                                     justification=justification))
+    entries = sorted(set(entries), key=lambda e: e.sort_key)
+    payload = {"version": BASELINE_VERSION,
+               "entries": [e.to_dict() for e in entries]}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(path: Path, findings, previous=()) -> int:
+    """Write the baseline for ``findings``; returns the entry count."""
+    text = render_baseline(findings, previous)
+    Path(path).write_text(text, encoding="utf-8")
+    return len(json.loads(text)["entries"])

@@ -1,0 +1,145 @@
+"""The lint engine: file walking, parsing, suppression, orchestration.
+
+:func:`run_lint` is the one entry point.  It walks every configured
+path (sorted — the determinism linter is itself deterministic), parses
+each file once into a :class:`FileContext` (AST, parent map, import
+aliases, suppression comments), runs every registered rule over it,
+then applies per-line suppressions and the committed baseline.
+
+Suppressions are per line, per rule::
+
+    entries = list(path.glob("*.json"))  # repro-lint: disable=RL001
+
+``disable=RL001,RL004`` silences several rules on one line;
+``disable=all`` silences the line entirely.  A file that fails to parse
+produces a single ``RL000`` finding rather than crashing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.lint.baseline import apply_baseline, load_baseline
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, LintResult
+from repro.lint.rules import all_rules, import_aliases
+
+#: Pseudo-rule for files the engine itself cannot analyze.
+ENGINE_ERROR_RULE = "RL000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)\s*(?:#|$)")
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: Path
+    relpath: str          # POSIX, relative to the lint root
+    source: str
+    tree: ast.AST
+    parents: dict         # ast node -> parent node
+    aliases: dict         # local name -> fully-qualified import
+    suppressions: dict    # line number -> set of rule IDs (or {"all"})
+
+
+def iter_source_files(config: LintConfig) -> list:
+    """Every ``.py`` file under the configured paths, sorted, deduped."""
+    seen = set()
+    files = []
+    for entry in config.paths:
+        target = config.root / entry
+        if target.is_file():
+            candidates = [target]
+        elif target.is_dir():
+            candidates = sorted(target.rglob("*.py"))
+        else:
+            continue
+        for path in candidates:
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(path)
+    files.sort(key=lambda p: p.relative_to(config.root).as_posix())
+    return files
+
+
+def parse_suppressions(source: str) -> dict:
+    suppressions: dict = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            rules = {token.strip() for token in match.group(1).split(",")
+                     if token.strip()}
+            suppressions[lineno] = rules
+    return suppressions
+
+
+def build_parents(tree: ast.AST) -> dict:
+    parents: dict = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def load_context(path: Path, config: LintConfig) -> FileContext | Finding:
+    """Parse one file; a syntax/read error becomes an RL000 finding."""
+    relpath = path.relative_to(config.root).as_posix()
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return Finding(path=relpath, line=1, col=1, rule=ENGINE_ERROR_RULE,
+                       message=f"cannot read file: {exc}")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(path=relpath, line=exc.lineno or 1,
+                       col=(exc.offset or 0) + 1, rule=ENGINE_ERROR_RULE,
+                       message=f"cannot parse file: {exc.msg}")
+    return FileContext(path=path, relpath=relpath, source=source,
+                       tree=tree, parents=build_parents(tree),
+                       aliases=import_aliases(tree),
+                       suppressions=parse_suppressions(source))
+
+
+def check_file(ctx: FileContext, config: LintConfig) -> list:
+    """All findings for one parsed file, suppressions applied, sorted."""
+    findings = []
+    for rule in all_rules():
+        for finding in rule.check(ctx, config):
+            rules_off = ctx.suppressions.get(finding.line, ())
+            if finding.rule in rules_off or "all" in rules_off:
+                finding = replace(finding, suppressed=True)
+            findings.append(finding)
+    # A rule may flag the same node twice through different walks.
+    return sorted(set(findings), key=lambda f: f.sort_key)
+
+
+def run_lint(config: LintConfig, baseline_path: Path | None = None,
+             use_baseline: bool = True) -> LintResult:
+    """Lint everything under ``config``; returns the sorted result.
+
+    ``baseline_path`` overrides the configured baseline location;
+    ``use_baseline=False`` reports raw findings (what
+    ``--write-baseline`` captures).
+    """
+    findings = []
+    files = iter_source_files(config)
+    for path in files:
+        ctx = load_context(path, config)
+        if isinstance(ctx, Finding):
+            findings.append(ctx)
+            continue
+        findings.extend(check_file(ctx, config))
+    findings.sort(key=lambda f: f.sort_key)
+    stale = []
+    if use_baseline:
+        entries = load_baseline(baseline_path or config.baseline_path)
+        findings, stale = apply_baseline(findings, entries)
+    return LintResult(findings=findings, stale_baseline=stale,
+                      files_checked=len(files))

@@ -1,0 +1,95 @@
+"""Finding and result types for :mod:`repro.lint`.
+
+A :class:`Finding` is one rule violation at one source location.  All
+ordering in the linter — text output, JSON output, the baseline file —
+derives from :meth:`Finding.sort_key`, which is ``(path, rule, line,
+col)``: the linter that checks determinism must itself be deterministic,
+so every collection of findings is sorted before it escapes this
+package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is always the POSIX-style path relative to the lint root
+    (the directory holding ``pyproject.toml``), so reports and baselines
+    are portable across machines and checkouts.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    suppressed: bool = False
+    baselined: bool = False
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.rule, self.line, self.col, self.message)
+
+    @property
+    def is_new(self) -> bool:
+        """True when nothing grandfathers this finding away."""
+        return not (self.suppressed or self.baselined)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(path=data["path"], line=int(data["line"]),
+                   col=int(data["col"]), rule=data["rule"],
+                   message=data["message"],
+                   suppressed=bool(data.get("suppressed", False)),
+                   baselined=bool(data.get("baselined", False)))
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced.
+
+    ``findings`` holds *all* findings (including suppressed and
+    baselined ones) in sorted order; the convenience views below slice
+    them by disposition.  ``stale_baseline`` lists baseline entries that
+    matched nothing — the finding they grandfathered has been fixed and
+    the entry can be removed (``--write-baseline`` drops them).
+    """
+
+    findings: list = field(default_factory=list)
+    stale_baseline: list = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def new(self) -> list:
+        return [f for f in self.findings if f.is_new]
+
+    @property
+    def suppressed(self) -> list:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def baselined(self) -> list:
+        return [f for f in self.findings if f.baselined]
+
+    @property
+    def ok(self) -> bool:
+        """True when the run should exit 0 (no new findings)."""
+        return not self.new

@@ -1,0 +1,73 @@
+"""Text and JSON reporters for lint results.
+
+Both formats are deterministic: findings arrive pre-sorted from the
+engine and the JSON encoder sorts keys, so two runs over the same tree
+produce identical bytes — diffs of CI artifacts show real changes only.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.findings import LintResult
+from repro.lint.rules import all_rules
+
+#: JSON report schema version; bump on incompatible changes.
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report: one line per new finding, then a summary."""
+    lines = []
+    for finding in result.new:
+        lines.append(f"{finding.location()}: {finding.rule} "
+                     f"{finding.message}")
+    if verbose:
+        for finding in result.baselined:
+            lines.append(f"{finding.location()}: {finding.rule} "
+                         f"[baselined] {finding.message}")
+        for finding in result.suppressed:
+            lines.append(f"{finding.location()}: {finding.rule} "
+                         f"[suppressed] {finding.message}")
+    for entry in result.stale_baseline:
+        lines.append(f"{entry.path}:{entry.line}: {entry.rule} "
+                     f"[stale baseline entry — fixed? run "
+                     f"--write-baseline to drop it]")
+    lines.append(_summary_line(result))
+    return "\n".join(lines)
+
+
+def _summary_line(result: LintResult) -> str:
+    parts = [f"{result.files_checked} file(s) checked",
+             f"{len(result.new)} finding(s)"]
+    if result.baselined:
+        parts.append(f"{len(result.baselined)} baselined")
+    if result.suppressed:
+        parts.append(f"{len(result.suppressed)} suppressed")
+    if result.stale_baseline:
+        parts.append(f"{len(result.stale_baseline)} stale baseline "
+                     f"entr(ies)")
+    return ", ".join(parts)
+
+
+def report_dict(result: LintResult) -> dict:
+    """The JSON report as a plain dict (stable ordering throughout)."""
+    return {
+        "version": REPORT_VERSION,
+        "files_checked": result.files_checked,
+        "counts": {
+            "new": len(result.new),
+            "baselined": len(result.baselined),
+            "suppressed": len(result.suppressed),
+            "stale_baseline": len(result.stale_baseline),
+        },
+        "rules": {rule.rule_id: rule.invariant for rule in all_rules()},
+        "findings": [f.to_dict()
+                     for f in sorted(result.findings,
+                                     key=lambda f: f.sort_key)],
+        "stale_baseline": [e.to_dict() for e in result.stale_baseline],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(report_dict(result), indent=2, sort_keys=True) + "\n"

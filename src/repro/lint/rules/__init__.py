@@ -1,0 +1,132 @@
+"""Rule registry and shared AST helpers for :mod:`repro.lint`.
+
+Every rule is a subclass of :class:`Rule` with a stable ``rule_id``
+(``RLxxx`` — IDs are append-only, never recycled) registered via the
+:func:`register` decorator.  Rules receive a fully-prepared
+:class:`~repro.lint.engine.FileContext` (source, AST, parent map,
+import-alias map) and yield :class:`~repro.lint.findings.Finding`
+objects; the engine owns suppression, baselining, and ordering.
+
+The helpers here resolve dotted names *through the file's imports*:
+``np.random.rand`` resolves to ``numpy.random.rand`` only when the file
+actually imported numpy under that alias, which is what lets the rules
+distinguish ``random.choice`` (stdlib module state — flagged) from
+``rng.choice`` (a local Generator — fine) without type inference.
+"""
+
+from __future__ import annotations
+
+import ast
+
+#: rule_id -> Rule instance, populated by @register at import time.
+REGISTRY: dict = {}
+
+
+class Rule:
+    """Base class: one invariant, one stable ID."""
+
+    rule_id: str = ""
+    title: str = ""
+    #: One line for docs/reports: the invariant this rule guards.
+    invariant: str = ""
+
+    def check(self, ctx, config):
+        """Yield findings for one file.  Override in subclasses."""
+        raise NotImplementedError
+
+    def finding(self, ctx, node, message):
+        from repro.lint.findings import Finding
+        return Finding(path=ctx.relpath, line=node.lineno,
+                       col=node.col_offset + 1, rule=self.rule_id,
+                       message=message)
+
+
+def register(cls):
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    instance = cls()
+    if not instance.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if instance.rule_id in REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.rule_id}")
+    REGISTRY[instance.rule_id] = instance
+    return cls
+
+
+def all_rules() -> list:
+    """Every registered rule, sorted by ID (stable report order)."""
+    return [REGISTRY[rule_id] for rule_id in sorted(REGISTRY)]
+
+
+# -- shared AST helpers ---------------------------------------------------
+
+def import_aliases(tree: ast.AST) -> dict:
+    """Local name -> fully-qualified imported name, for a module.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from concurrent.futures
+    import ProcessPoolExecutor`` maps ``ProcessPoolExecutor ->
+    concurrent.futures.ProcessPoolExecutor``.  Relative imports resolve
+    with a leading ``.`` so they never collide with absolute names.
+    """
+    aliases: dict = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                bound = name.asname or name.name.split(".")[0]
+                target = name.name if name.asname else name.name.split(".")[0]
+                aliases[bound] = target
+        elif isinstance(node, ast.ImportFrom):
+            module = ("." * node.level) + (node.module or "")
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                bound = name.asname or name.name
+                aliases[bound] = f"{module}.{name.name}" if module \
+                    else name.name
+    return aliases
+
+
+def qualified_name(node: ast.AST, aliases: dict) -> str | None:
+    """Dotted name of an expression, resolved through imports.
+
+    Returns ``None`` when the expression is not a plain ``Name`` /
+    ``Attribute`` chain (calls, subscripts, literals...).  An unresolved
+    base name is kept verbatim, so builtins come back as themselves
+    (``print``) and local variables as their bare name — rules that care
+    whether the base is really a module must check the alias map.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(aliases.get(node.id, node.id))
+    return ".".join(reversed(parts))
+
+
+def statement_ancestors(node: ast.AST, parents: dict):
+    """Yield ancestors of ``node`` up to (and excluding) its statement."""
+    current = parents.get(node)
+    while current is not None and not isinstance(current, ast.stmt):
+        yield current
+        current = parents.get(current)
+
+
+def call_args(node: ast.Call):
+    """All argument value expressions of a call, positional + keyword."""
+    yield from node.args
+    for keyword in node.keywords:
+        yield keyword.value
+
+
+def names_in(node: ast.AST):
+    """All bare names read anywhere inside ``node``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            yield child.id
+
+
+# Import the rule modules for their @register side effects.
+from repro.lint.rules import determinism as _determinism  # noqa: E402,F401
+from repro.lint.rules import memory as _memory            # noqa: E402,F401
+from repro.lint.rules import io as _io                    # noqa: E402,F401

@@ -1,0 +1,61 @@
+"""Hot-path I/O rule: RL006.
+
+The sampler inner loop, the regression-tree split search and the CSR
+kernels are the measured hot paths (see benchmarks/): an interleaved
+``print``, file write or logging call there is both a performance tax
+(syscalls inside vectorized loops) and a determinism hazard (stdout is
+part of the byte-identical contract).  Observability in those files
+goes through :mod:`repro.obs` spans, which are zero-overhead when
+tracing is off and never touch stdout.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules import Rule, qualified_name, register
+
+#: Ambient-I/O callables, resolved through imports where dotted.
+_IO_CALLS = {"print", "open", "sys.stdout.write", "sys.stderr.write",
+             "sys.stdout.flush", "sys.stderr.flush"}
+
+#: Method names that write files regardless of receiver type.
+_WRITE_METHODS = {"write_text", "write_bytes"}
+
+
+@register
+class HotPathIO(Rule):
+    """RL006: no ambient I/O in hot-path files; use repro.obs spans."""
+
+    rule_id = "RL006"
+    title = "I/O in a hot-path file"
+    invariant = ("no print/open/logging/file writes in trace/sampler.py, "
+                 "core/regression_tree.py or sparse.py — observability "
+                 "goes through repro.obs spans")
+
+    def check(self, ctx, config):
+        if not config.matches(ctx.relpath, config.rl006_hot_paths):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = qualified_name(node.func, ctx.aliases)
+            if name in _IO_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() in a hot-path file; route observability "
+                    f"through repro.obs spans (zero-overhead when "
+                    f"tracing is off, never touches stdout)")
+            elif name is not None and name.startswith("logging."):
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() in a hot-path file; logging handlers do "
+                    f"I/O and formatting per call — use repro.obs spans "
+                    f"instead")
+            elif isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _WRITE_METHODS:
+                yield self.finding(
+                    ctx, node,
+                    f".{node.func.attr}() writes a file from a hot-path "
+                    f"file; move persistence out of the kernel or go "
+                    f"through repro.obs")

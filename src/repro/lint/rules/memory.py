@@ -1,0 +1,195 @@
+"""Memory-safety rules: RL004 (shm write-safety), RL005 (pool hygiene).
+
+RL004 mirrors the discipline established in ``runtime/shm.py``: a NumPy
+array built over a ``SharedMemory`` buffer is a window onto pages other
+processes can see, so it must be frozen (``flags.writeable = False``)
+before it escapes the constructing function — an escaped writable view
+lets any caller silently corrupt every attached worker's data.
+
+RL005 keeps process-pool construction confined to the scheduler (the one
+place with the fallback/timeout/broken-pool machinery) and keeps big
+array payloads out of pool submissions: closures and lambdas pickle
+their captures into every job, which is exactly the copy-per-worker
+cost ``SharedArena``/``dataset_token`` publication exists to avoid.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules import (Rule, call_args, names_in, qualified_name,
+                              register)
+
+#: Last path segment of pool constructors, resolved through imports.
+_POOL_CONSTRUCTORS = {"ProcessPoolExecutor", "Pool", "ThreadPool"}
+
+#: Pool methods that ship work (and its pickled captures) to workers.
+_SUBMIT_METHODS = {"submit", "map", "imap", "imap_unordered", "apply",
+                   "apply_async", "starmap", "starmap_async"}
+
+
+def _function_nodes(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+@register
+class ShmWriteSafety(Rule):
+    """RL004: buffer-backed ndarray views must be frozen before escape."""
+
+    rule_id = "RL004"
+    title = "writable shared-memory view escapes"
+    invariant = ("np.ndarray(..., buffer=...) views set "
+                 "flags.writeable = False before being returned or "
+                 "stored (see runtime/shm.py attach_dataset)")
+
+    def check(self, ctx, config):
+        for function in _function_nodes(ctx.tree):
+            yield from self._check_function(ctx, function)
+
+    def _check_function(self, ctx, function):
+        views = {}  # local name -> ndarray(buffer=...) call node
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and self._is_buffer_ndarray(node.value, ctx.aliases):
+                views[node.targets[0].id] = node.value
+        for name, call in views.items():
+            frozen_line = self._freeze_line(function, name)
+            escape_line = self._escape_line(function, name)
+            if escape_line is None:
+                continue  # the view never leaves this function
+            if frozen_line is None:
+                yield self.finding(
+                    ctx, call,
+                    f"'{name}' is an ndarray view over a shared buffer "
+                    f"and escapes this function while writable; set "
+                    f"{name}.flags.writeable = False first")
+            elif frozen_line > escape_line:
+                yield self.finding(
+                    ctx, call,
+                    f"'{name}' escapes on line {escape_line} before "
+                    f"{name}.flags.writeable = False on line "
+                    f"{frozen_line}; freeze the view before it escapes")
+
+    def _is_buffer_ndarray(self, node, aliases) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        if qualified_name(node.func, aliases) != "numpy.ndarray":
+            return False
+        return any(keyword.arg == "buffer" for keyword in node.keywords)
+
+    def _freeze_line(self, function, name: str) -> int | None:
+        """Line of ``name.flags.writeable = False``, if present."""
+        for node in ast.walk(function):
+            if not (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Constant)
+                    and node.value.value is False):
+                continue
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and target.attr == "writeable"
+                        and isinstance(target.value, ast.Attribute)
+                        and target.value.attr == "flags"
+                        and isinstance(target.value.value, ast.Name)
+                        and target.value.value.id == name):
+                    return node.lineno
+        return None
+
+    def _escape_line(self, function, name: str) -> int | None:
+        """First line where the view leaves the function's locals.
+
+        Escapes are: appearing in a return/yield value, or being
+        assigned *into* a container or attribute (``views[k] = view``,
+        ``self.view = view``).  Writing into the view itself
+        (``view[...] = data`` — the publish path) is not an escape.
+        """
+        lines = []
+        for node in ast.walk(function):
+            if isinstance(node, ast.Return) and node.value is not None \
+                    and name in set(names_in(node.value)):
+                lines.append(node.lineno)
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)) \
+                    and node.value is not None \
+                    and name in set(names_in(node.value)):
+                lines.append(node.lineno)
+            elif isinstance(node, ast.Assign) \
+                    and name in set(names_in(node.value)) \
+                    and any(isinstance(t, (ast.Subscript, ast.Attribute))
+                            for t in node.targets):
+                lines.append(node.lineno)
+        return min(lines) if lines else None
+
+
+@register
+class PoolHygiene(Rule):
+    """RL005: pools are built in one place; submissions stay small."""
+
+    rule_id = "RL005"
+    title = "pool constructed or fed outside the scheduler"
+    invariant = ("process pools are constructed only in "
+                 "runtime/scheduler.py; submissions never pickle "
+                 "closures/lambdas (large payloads travel via "
+                 "SharedArena / dataset_token)")
+
+    def check(self, ctx, config):
+        allowed_here = config.matches(ctx.relpath, config.rl005_pool_sites)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = qualified_name(node.func, ctx.aliases)
+            if name is not None and not allowed_here \
+                    and name.split(".")[-1] in _POOL_CONSTRUCTORS \
+                    and self._is_pool_module(name):
+                yield self.finding(
+                    ctx, node,
+                    f"{name} constructed outside runtime/scheduler.py; "
+                    f"go through repro.runtime.run_jobs so fan-out "
+                    f"keeps its fallback, timeout and cache behavior")
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _SUBMIT_METHODS:
+                yield from self._check_submission(ctx, node)
+
+    def _is_pool_module(self, name: str) -> bool:
+        """Restrict to stdlib pool types so e.g. BufferPool stays fine."""
+        return name.startswith(("concurrent.futures.", "multiprocessing.")) \
+            or name in _POOL_CONSTRUCTORS and "." not in name
+
+    def _check_submission(self, ctx, node: ast.Call):
+        nested = self._enclosing_nested_defs(ctx, node)
+        for arg in call_args(node):
+            if isinstance(arg, ast.Lambda):
+                yield self.finding(
+                    ctx, arg,
+                    "lambda submitted to a pool pickles its captured "
+                    "environment into every job; submit a module-level "
+                    "function and ship arrays via SharedArena/"
+                    "dataset_token")
+            elif isinstance(arg, ast.Name) and arg.id in nested:
+                yield self.finding(
+                    ctx, arg,
+                    f"nested function '{arg.id}' submitted to a pool is "
+                    f"a closure — its captures (possibly whole arrays) "
+                    f"pickle into every job; hoist it to module level "
+                    f"and pass data via SharedArena/dataset_token")
+
+    def _enclosing_nested_defs(self, ctx, node) -> set:
+        """Names of functions defined inside the function containing
+        ``node`` (i.e. candidates for closure capture)."""
+        enclosing = None
+        current = ctx.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                enclosing = current
+                break
+            current = ctx.parents.get(current)
+        if enclosing is None:
+            return set()
+        nested = set()
+        for child in ast.walk(enclosing):
+            if child is not enclosing \
+                    and isinstance(child,
+                                   (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(child.name)
+        return nested

@@ -156,37 +156,53 @@ class ResultCache:
                 pass
 
     # -- maintenance ------------------------------------------------------
-    def stats(self) -> CacheStats:
-        entries = list(self.objects_dir.glob("*/*.json")) \
+    # Directory enumeration is always sorted (RL001): glob/iterdir yield
+    # filesystem order, which differs across machines and filesystems,
+    # and these listings drive stats output and eviction order.
+    def entries(self) -> list[Path]:
+        """Every cached object file, in sorted (deterministic) order."""
+        return sorted(self.objects_dir.glob("*/*.json")) \
             if self.objects_dir.is_dir() else []
-        quarantined = list(self.quarantine_dir.iterdir()) \
+
+    def quarantined(self) -> list[Path]:
+        """Every quarantined file, in sorted (deterministic) order."""
+        return sorted(self.quarantine_dir.iterdir()) \
             if self.quarantine_dir.is_dir() else []
-        manifests = list(self.manifest_dir.glob("*.json")) \
+
+    def manifests(self) -> list[Path]:
+        """Every saved manifest, in sorted (deterministic) order."""
+        return sorted(self.manifest_dir.glob("*.json")) \
             if self.manifest_dir.is_dir() else []
+
+    def stats(self) -> CacheStats:
+        entries = self.entries()
         return CacheStats(
             root=str(self.root),
             entries=len(entries),
             total_bytes=sum(p.stat().st_size for p in entries),
-            quarantined=len(quarantined),
-            manifests=len(manifests),
+            quarantined=len(self.quarantined()),
+            manifests=len(self.manifests()),
         )
 
     def clear(self) -> int:
-        """Delete all cached objects (not manifests); returns the count."""
+        """Delete all cached objects (not manifests); returns the count.
+
+        Removal happens in sorted path order, so a partial clear (e.g.
+        interrupted, or racing another process) leaves the same prefix
+        of entries behind on every machine.
+        """
         removed = 0
-        if self.objects_dir.is_dir():
-            for path in self.objects_dir.glob("*/*.json"):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
-        if self.quarantine_dir.is_dir():
-            for path in self.quarantine_dir.iterdir():
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for path in self.quarantined():
+            try:
+                path.unlink()
+            except OSError:
+                pass
         return removed
 
 

@@ -1,0 +1,152 @@
+"""Baseline semantics (grandfathering, staleness, deterministic
+regeneration) and the text/JSON reporters (round-trip, stable sort)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.baseline import (BaselineEntry, load_baseline,
+                                 render_baseline, write_baseline)
+from repro.lint.findings import Finding
+from repro.lint.reporters import render_json, render_text
+
+RNG_SNIPPET = """\
+    import numpy as np
+
+    def draw(n):
+        return np.random.rand(n)
+    """
+
+
+class TestBaseline:
+    def test_baselined_finding_passes(self, lint_project):
+        lint_project.write("pkg/mod.py", RNG_SNIPPET)
+        raw = lint_project.run(use_baseline=False)
+        assert not raw.ok
+        finding = raw.findings[0]
+        write_baseline(lint_project.root / "lint-baseline.json",
+                       raw.findings)
+        result = lint_project.run()
+        assert result.ok
+        assert [(f.rule, f.line) for f in result.baselined] \
+            == [(finding.rule, finding.line)]
+
+    def test_baseline_is_exact_on_line(self, lint_project):
+        lint_project.write("pkg/mod.py", RNG_SNIPPET)
+        write_baseline(
+            lint_project.root / "lint-baseline.json",
+            [Finding(path="pkg/mod.py", line=99, col=1, rule="RL002",
+                     message="moved")])
+        result = lint_project.run()
+        assert not result.ok                       # finding is at line 4
+        assert len(result.stale_baseline) == 1     # entry matches nothing
+
+    def test_stale_entries_reported(self, lint_project):
+        lint_project.write("pkg/mod.py", "x = 1\n")
+        write_baseline(
+            lint_project.root / "lint-baseline.json",
+            [Finding(path="pkg/gone.py", line=3, col=1, rule="RL001",
+                     message="fixed long ago")])
+        result = lint_project.run()
+        assert result.ok
+        assert [e.path for e in result.stale_baseline] == ["pkg/gone.py"]
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == []
+
+    def test_write_is_deterministic_and_sorted(self, tmp_path):
+        findings = [
+            Finding(path="b.py", line=9, col=1, rule="RL002", message="m"),
+            Finding(path="a.py", line=7, col=1, rule="RL003", message="m"),
+            Finding(path="a.py", line=2, col=1, rule="RL001", message="m"),
+            Finding(path="a.py", line=1, col=1, rule="RL003", message="m"),
+        ]
+        text = render_baseline(findings)
+        assert text == render_baseline(list(reversed(findings)))
+        entries = json.loads(text)["entries"]
+        keys = [(e["path"], e["rule"], e["line"]) for e in entries]
+        assert keys == sorted(keys)
+        path = tmp_path / "bl.json"
+        write_baseline(path, findings)
+        first = path.read_bytes()
+        write_baseline(path, findings, load_baseline(path))
+        assert path.read_bytes() == first
+
+    def test_justification_survives_line_shift(self, tmp_path):
+        previous = [BaselineEntry(path="a.py", rule="RL003", line=10,
+                                  justification="intentional timestamp")]
+        moved = [Finding(path="a.py", line=14, col=1, rule="RL003",
+                         message="m")]
+        entries = json.loads(render_baseline(moved, previous))["entries"]
+        assert entries[0]["justification"] == "intentional timestamp"
+        assert entries[0]["line"] == 14
+
+    def test_ambiguous_justification_not_guessed(self, tmp_path):
+        previous = [
+            BaselineEntry(path="a.py", rule="RL003", line=10,
+                          justification="first"),
+            BaselineEntry(path="a.py", rule="RL003", line=20,
+                          justification="second"),
+        ]
+        moved = [Finding(path="a.py", line=15, col=1, rule="RL003",
+                         message="m")]
+        entries = json.loads(render_baseline(moved, previous))["entries"]
+        assert entries[0]["justification"] == ""
+
+
+class TestReports:
+    def _result(self, lint_project):
+        lint_project.write("pkg/mod.py", RNG_SNIPPET)
+        lint_project.write("pkg/runtime/a.py", """\
+            import time
+
+            def stamp():
+                return time.time()
+            """)
+        return lint_project.run()
+
+    def test_json_round_trips_and_is_stable_sorted(self, lint_project):
+        result = self._result(lint_project)
+        text = render_json(result)
+        data = json.loads(text)
+        assert json.dumps(data, indent=2, sort_keys=True) + "\n" == text
+        keys = [(f["path"], f["rule"], f["line"], f["col"])
+                for f in data["findings"]]
+        assert keys == sorted(keys)
+        assert data["counts"]["new"] == 2
+        assert data["version"] == 1
+        # Rerunning the engine yields byte-identical JSON.
+        assert render_json(lint_project.run()) == text
+
+    def test_json_findings_reconstruct(self, lint_project):
+        result = self._result(lint_project)
+        data = json.loads(render_json(result))
+        rebuilt = [Finding.from_dict(f) for f in data["findings"]]
+        assert rebuilt == sorted(result.findings, key=lambda f: f.sort_key)
+
+    def test_text_lists_location_rule_and_summary(self, lint_project):
+        result = self._result(lint_project)
+        text = render_text(result)
+        assert "pkg/mod.py:4:12: RL002" in text
+        assert "pkg/runtime/a.py:4:12: RL003" in text
+        assert "2 finding(s)" in text
+
+    def test_text_mentions_stale_entries(self, lint_project):
+        lint_project.write("pkg/mod.py", "x = 1\n")
+        write_baseline(
+            lint_project.root / "lint-baseline.json",
+            [Finding(path="pkg/gone.py", line=3, col=1, rule="RL001",
+                     message="fixed")])
+        text = render_text(lint_project.run())
+        assert "stale baseline entry" in text
+
+    def test_verbose_text_shows_dispositions(self, lint_project):
+        lint_project.write("pkg/mod.py", """\
+            import numpy as np
+
+            def draw(n):
+                return np.random.rand(n)  # repro-lint: disable=RL002
+            """)
+        result = lint_project.run()
+        assert "[suppressed]" in render_text(result, verbose=True)
+        assert "[suppressed]" not in render_text(result)

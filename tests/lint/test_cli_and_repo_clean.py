@@ -1,0 +1,137 @@
+"""The two integration layers: the ``repro lint`` CLI (exit codes,
+JSON mode, --write-baseline) and the meta-test that the repository
+itself is lint-clean against its committed baseline."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.lint as lint_module
+from repro.cli import main as cli_main
+from repro.lint import load_config, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLEAN = """\
+import numpy as np
+
+
+def draw(n, seed):
+    return np.random.default_rng(seed).random(n)
+"""
+
+VIOLATION = """\
+import numpy as np
+
+
+def draw(n):
+    return np.random.rand(n)
+"""
+
+
+@pytest.fixture
+def in_project(lint_project, monkeypatch):
+    """Chdir into the fixture project so root discovery finds it."""
+    monkeypatch.chdir(lint_project.root)
+    return lint_project
+
+
+class TestLintCli:
+    def test_clean_tree_exits_zero(self, in_project, capsys):
+        in_project.write("pkg/mod.py", CLEAN)
+        assert cli_main(["lint"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero(self, in_project, capsys):
+        in_project.write("pkg/mod.py", VIOLATION)
+        assert cli_main(["lint"]) == 1
+        assert "RL002" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("rule,snippet", [
+        ("RL001", "from pathlib import Path\nxs = list(Path('.').glob('*'))\n"),
+        ("RL002", VIOLATION),
+        ("RL003", "import time\nT = time.time()\n"),
+        ("RL004", ("import numpy as np\n\n\ndef f(seg, shape):\n"
+                   "    v = np.ndarray(shape, buffer=seg.buf)\n"
+                   "    return v\n")),
+        ("RL005", ("from multiprocessing import Pool\np = Pool(2)\n")),
+        ("RL006", "def kernel(xs):\n    print(xs)\n"),
+    ])
+    def test_each_rule_fails_the_cli(self, in_project, capsys, rule,
+                                     snippet):
+        # RL003 needs a runtime/ path, RL006 the hot-path file.
+        relpath = {"RL003": "pkg/runtime/mod.py",
+                   "RL006": "pkg/hot.py"}.get(rule, "pkg/mod.py")
+        in_project.write(relpath, snippet)
+        assert cli_main(["lint"]) == 1
+        assert rule in capsys.readouterr().out
+
+    def test_json_format(self, in_project, capsys):
+        in_project.write("pkg/mod.py", VIOLATION)
+        assert cli_main(["lint", "--format", "json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["counts"]["new"] == 1
+        assert data["findings"][0]["rule"] == "RL002"
+
+    def test_write_baseline_then_clean(self, in_project, capsys):
+        in_project.write("pkg/mod.py", VIOLATION)
+        assert cli_main(["lint", "--write-baseline"]) == 0
+        assert (in_project.root / "lint-baseline.json").is_file()
+        assert cli_main(["lint"]) == 0
+
+    def test_explicit_paths_override_config(self, in_project, capsys):
+        in_project.write("pkg/mod.py", VIOLATION)
+        in_project.write("other/clean.py", CLEAN)
+        assert cli_main(["lint", "other"]) == 0
+        assert cli_main(["lint", "pkg"]) == 1
+
+    def test_baseline_flag_overrides_config(self, in_project, tmp_path):
+        in_project.write("pkg/mod.py", VIOLATION)
+        alt = in_project.root / "alt-baseline.json"
+        assert cli_main(["lint", "--write-baseline", "--baseline",
+                         str(alt)]) == 0
+        assert cli_main(["lint", "--baseline", str(alt)]) == 0
+        assert cli_main(["lint"]) == 1   # default baseline is empty
+
+    def test_module_main_matches_cli(self, in_project):
+        in_project.write("pkg/mod.py", VIOLATION)
+        assert lint_module.main(["--format", "json"]) == 1
+        assert lint_module.main(["--write-baseline"]) == 0
+        assert lint_module.main([]) == 0
+
+    def test_no_pyproject_is_usage_error(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert lint_module.main([]) == 2
+
+
+class TestRepoIsClean:
+    """src/repro must stay lint-clean against the committed baseline."""
+
+    def test_repo_lints_clean(self):
+        result = run_lint(load_config(root=REPO_ROOT))
+        assert result.ok, "\n".join(
+            f"{f.location()}: {f.rule} {f.message}" for f in result.new)
+
+    def test_no_stale_baseline_entries(self):
+        result = run_lint(load_config(root=REPO_ROOT))
+        assert result.stale_baseline == []
+
+    def test_baseline_entries_all_have_justifications(self):
+        data = json.loads(
+            (REPO_ROOT / "lint-baseline.json").read_text(encoding="utf-8"))
+        for entry in data["entries"]:
+            assert entry["justification"].strip(), entry
+
+    def test_committed_baseline_is_canonical(self):
+        """--write-baseline must be a no-op on a clean checkout (so
+        baseline diffs in review always reflect real finding changes)."""
+        from repro.lint.baseline import load_baseline, render_baseline
+        config = load_config(root=REPO_ROOT)
+        raw = run_lint(config, use_baseline=False)
+        previous = load_baseline(config.baseline_path)
+        regenerated = render_baseline(raw.findings, previous)
+        assert regenerated == config.baseline_path.read_text(
+            encoding="utf-8")

@@ -1,6 +1,7 @@
 """Job hashing, result serialization, and cache robustness."""
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -160,6 +161,59 @@ class TestResultCache:
         assert stats.total_bytes > 0
         assert cache.clear() == 3
         assert cache.stats().entries == 0
+
+    def test_enumeration_is_sorted_regardless_of_creation_order(
+            self, tmp_path):
+        # RL001 regression: glob()/iterdir() yield filesystem order,
+        # which tracks creation order on most filesystems — create
+        # entries shuffled and require sorted enumeration anyway.
+        cache = ResultCache(tmp_path)
+        keys = [f"{i:064x}" for i in (7, 1, 9, 3)]
+        for key in keys:
+            self.put_one(cache, key=key)
+        cache.quarantine_dir.mkdir(parents=True)
+        for name in ["zz.json", "aa.json", "mm.json"]:
+            (cache.quarantine_dir / name).write_text("x", encoding="utf-8")
+        cache.manifest_dir.mkdir(parents=True)
+        for name in ["run-b.json", "run-a.json"]:
+            (cache.manifest_dir / name).write_text("{}", encoding="utf-8")
+        assert cache.entries() == sorted(cache.entries())
+        assert [p.name for p in cache.entries()] \
+            == sorted(f"{key}.json" for key in keys)
+        assert [p.name for p in cache.quarantined()] \
+            == ["aa.json", "mm.json", "zz.json"]
+        assert [p.name for p in cache.manifests()] \
+            == ["run-a.json", "run-b.json"]
+
+    def test_clear_evicts_in_sorted_path_order(self, tmp_path,
+                                               monkeypatch):
+        cache = ResultCache(tmp_path)
+        for i in (5, 2, 8):
+            self.put_one(cache, key=f"{i:064x}")
+        removed_order = []
+        real_unlink = Path.unlink
+
+        def recording_unlink(self, *args, **kwargs):
+            removed_order.append(str(self))
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", recording_unlink)
+        assert cache.clear() == 3
+        assert removed_order == sorted(removed_order)
+
+    def test_cache_stats_cli_output_is_deterministic(self, tmp_path,
+                                                     capsys):
+        from repro.cli import main as cli_main
+        cache = ResultCache(tmp_path)
+        for i in (4, 0, 6):
+            self.put_one(cache, key=f"{i:064x}")
+        outputs = []
+        for _ in range(2):
+            assert cli_main(["cache", "stats", "--cache-dir",
+                             str(tmp_path)]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        assert "entries" in outputs[0]
 
     def test_stats_render_mentions_root(self, tmp_path):
         text = ResultCache(tmp_path).stats().render()
