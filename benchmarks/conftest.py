@@ -69,3 +69,9 @@ def bench_json():
 def bench_shm_json():
     """Record shm/out-of-core timings into ``BENCH_shm.json``."""
     return json_recorder(RESULTS_DIR / "BENCH_shm.json")
+
+
+@pytest.fixture(scope="session")
+def bench_serve_json():
+    """Record analysis-daemon timings into ``BENCH_serve.json``."""
+    return json_recorder(RESULTS_DIR / "BENCH_serve.json")

@@ -1,0 +1,114 @@
+"""Analysis daemon: cold, warm and coalesced request costs over HTTP.
+
+Benchmarks the ``repro serve`` stack end to end through real sockets:
+one cold analyze (computes through the scheduler), a warm batch (served
+straight from the result cache), and a thundering herd of identical
+concurrent requests (one leader computes, the rest coalesce).  The
+byte-identity contract is asserted every time — the timings vary, the
+response bodies may not.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.runtime.metrics import MetricsRegistry
+from repro.serve import ServeConfig, create_server
+
+BODY = {"workload": "spec.gzip", "intervals": 12, "seed": 7,
+        "scale": "tiny", "k_max": 5}
+WARM_REQUESTS = 50
+HERD = 12
+
+_timings: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    instance = create_server(
+        ServeConfig(host="127.0.0.1", port=0,
+                    cache_dir=tmp_path_factory.mktemp("serve-bench"),
+                    max_inflight=2, max_queue=64),
+        metrics=MetricsRegistry())
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+    thread.join(10)
+
+
+def _post(server, body):
+    request = urllib.request.Request(
+        server.address + "/analyze", data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=120) as resp:
+        assert resp.status == 200
+        return json.loads(resp.read())
+
+
+def test_bench_serve_cold(benchmark, server):
+    def cold():
+        start = time.perf_counter()
+        response = _post(server, BODY)
+        _timings["cold"] = time.perf_counter() - start
+        assert response["served"] == {"cache_hit": False,
+                                      "coalesced": False}
+        _timings["cold_report"] = response["report"]
+
+    benchmark.pedantic(cold, rounds=1, iterations=1)
+
+
+def test_bench_serve_warm(benchmark, server, bench_serve_json):
+    if "cold" not in _timings:
+        pytest.skip("needs the cold benchmark in the same run")
+
+    def warm():
+        start = time.perf_counter()
+        for _ in range(WARM_REQUESTS):
+            response = _post(server, BODY)
+            assert response["served"]["cache_hit"] is True
+            assert response["report"] == _timings["cold_report"]
+        _timings["warm"] = (time.perf_counter() - start) / WARM_REQUESTS
+
+    benchmark.pedantic(warm, rounds=1, iterations=1)
+    bench_serve_json("serve.cold_analyze", _timings["cold"])
+    bench_serve_json("serve.warm_analyze", _timings["warm"],
+                     requests=WARM_REQUESTS,
+                     speedup=round(_timings["cold"]
+                                   / max(_timings["warm"], 1e-9), 1))
+
+
+def test_bench_serve_herd(benchmark, server, bench_serve_json):
+    """HERD identical in-flight requests: one computation, HERD answers."""
+    body = dict(BODY, seed=99)  # fresh key: must compute, not warm-hit
+
+    def herd():
+        responses = [None] * HERD
+
+        def client(i):
+            responses[i] = _post(server, dict(body))
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(HERD)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+        _timings["herd"] = time.perf_counter() - start
+        reports = {r["report"] for r in responses}
+        assert len(reports) == 1  # byte-identical fan-out
+        coalesced = sum(r["served"]["coalesced"] for r in responses)
+        warm = sum(r["served"]["cache_hit"] for r in responses)
+        # Every response beyond the leader's was shared or warm-served.
+        assert coalesced + warm == HERD - 1
+        _timings["herd_coalesced"] = coalesced
+
+    benchmark.pedantic(herd, rounds=1, iterations=1)
+    bench_serve_json("serve.herd_analyze", _timings["herd"],
+                     clients=HERD,
+                     coalesced=_timings["herd_coalesced"])

@@ -14,6 +14,10 @@ Commands
     Regenerate one of the paper's tables/figures.
 ``profile WORKLOAD [WORKLOAD...]``
     Run workloads with tracing on and print the per-stage breakdown.
+``serve``
+    Long-lived HTTP/JSON analysis daemon: ``analyze``/``census``/
+    ``profile`` as endpoints, with request coalescing, admission
+    control and ``/healthz`` + ``/stats`` (see :mod:`repro.serve`).
 ``cache``
     Inspect (``stats``) or empty (``clear``) the on-disk result cache.
 ``lint``
@@ -114,6 +118,41 @@ def _report_manifest(manifest: RunManifest | None, cache) -> None:
         print(manifest.summary(), file=sys.stderr)
 
 
+def analyze_preamble(workload: str, n_intervals: int, scale: str,
+                     seed: int) -> str:
+    """The first stdout line of ``repro analyze`` (shared with the daemon,
+    which must produce byte-identical reports)."""
+    return (f"analyzing {workload} ({n_intervals} intervals, "
+            f"scale={scale}, seed={seed})...")
+
+
+def render_analysis(result) -> str:
+    """The analysis body ``repro analyze`` prints after the preamble:
+    RE curve, summary, and sampling recommendation.
+
+    One function renders for both the CLI and ``repro serve`` — the
+    daemon's byte-identical-to-CLI contract holds by construction, not
+    by keeping two format strings in sync.
+    """
+    recommendation = recommend_for(result)
+    return "\n".join([
+        format_curve(result.curve.k_values, result.curve.re,
+                     "relative error vs chambers", mark_k=result.k_opt),
+        "",
+        result.summary(),
+        f"recommended sampling: {recommendation.technique}",
+        f"  {recommendation.rationale}",
+    ])
+
+
+def analysis_report_text(result, *, workload: str, n_intervals: int,
+                         scale: str, seed: int) -> str:
+    """Exactly what ``repro analyze`` writes to stdout, sans trailing
+    newline — the daemon returns this as the ``report`` field."""
+    return "\n".join([analyze_preamble(workload, n_intervals, scale, seed),
+                      render_analysis(result)])
+
+
 def _cmd_list(_args) -> int:
     rows = []
     for name in workload_names():
@@ -133,8 +172,8 @@ def _cmd_analyze(args) -> int:
 def _run_analyze(args) -> int:
     opts = _configure_runtime(args)
     n_intervals = args.intervals or default_intervals(args.workload)
-    print(f"analyzing {args.workload} ({n_intervals} intervals, "
-          f"scale={args.scale}, seed={args.seed})...")
+    print(analyze_preamble(args.workload, n_intervals, args.scale,
+                           args.seed))
     if getattr(args, "trace_store", None):
         return _run_analyze_store(args, opts, n_intervals)
     spec = JobSpec(workload=args.workload, n_intervals=n_intervals,
@@ -152,14 +191,7 @@ def _run_analyze(args) -> int:
     if not outcome.ok:
         print(f"analysis failed:\n{outcome.error}", file=sys.stderr)
         return 1
-    result = outcome.result.to_result()
-    print(format_curve(result.curve.k_values, result.curve.re,
-                       "relative error vs chambers", mark_k=result.k_opt))
-    print()
-    print(result.summary())
-    recommendation = recommend_for(result)
-    print(f"recommended sampling: {recommendation.technique}")
-    print(f"  {recommendation.rationale}")
+    print(render_analysis(outcome.result.to_result()))
     _report_manifest(
         RunManifest.from_outcomes([outcome], command="analyze",
                                   jobs=opts.jobs,
@@ -198,13 +230,7 @@ def _run_analyze_store(args, opts, n_intervals: int) -> int:
                                    config=config)
     finally:
         set_default_cv_jobs(previous_cv_jobs)
-    print(format_curve(result.curve.k_values, result.curve.re,
-                       "relative error vs chambers", mark_k=result.k_opt))
-    print()
-    print(result.summary())
-    recommendation = recommend_for(result)
-    print(f"recommended sampling: {recommendation.technique}")
-    print(f"  {recommendation.rationale}")
+    print(render_analysis(result))
     return 0
 
 
@@ -270,6 +296,23 @@ def _cmd_profile(args) -> int:
     if args.trace_out:
         _write_trace(args.trace_out, list(result.spans), "profile")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from pathlib import Path
+
+    from repro.serve import ServeConfig, run_server
+    config = ServeConfig(
+        host=args.host, port=args.port,
+        max_inflight=args.max_inflight, max_queue=args.max_queue,
+        default_deadline_s=args.deadline,
+        job_timeout_s=args.timeout,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        no_cache=args.no_cache,
+        cache_max_entries=args.cache_max_entries,
+        census_jobs=args.census_jobs,
+    )
+    return run_server(config, verbose=args.verbose)
 
 
 def _cmd_cache(args) -> int:
@@ -379,6 +422,38 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--trace-out", default=None, metavar="PATH",
                          help="also write the JSONL span trace to PATH")
     profile.set_defaults(func=_cmd_profile, subparser=profile)
+
+    serve = sub.add_parser(
+        "serve", help="long-lived analysis daemon (HTTP/JSON)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8100,
+                       help="listen port (0 = ephemeral; default: 8100)")
+    serve.add_argument("--max-inflight", type=int, default=2, metavar="N",
+                       help="concurrent computations (default: 2)")
+    serve.add_argument("--max-queue", type=int, default=16, metavar="N",
+                       help="requests allowed to wait for a slot before "
+                            "load shedding begins (default: 16)")
+    serve.add_argument("--deadline", type=float, default=60.0, metavar="S",
+                       help="default per-request deadline in seconds "
+                            "(default: 60)")
+    serve.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-job timeout handed to the scheduler "
+                            "(default: none)")
+    serve.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="result cache directory "
+                            "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve without the on-disk result cache")
+    serve.add_argument("--cache-max-entries", type=int, default=4096,
+                       metavar="N",
+                       help="prune the cache beyond N entries "
+                            "(0 = unbounded; default: 4096)")
+    serve.add_argument("--census-jobs", type=int, default=1, metavar="N",
+                       help="worker processes for census requests "
+                            "(default: 1, in-process)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per HTTP request to stderr")
+    serve.set_defaults(func=_cmd_serve)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=["stats", "clear"])

@@ -94,6 +94,16 @@ def collect_cached(config: RunConfig) -> tuple[SampleTrace, EIPVDataset]:
     return _CACHE[config]
 
 
+def memo_size() -> int:
+    """Datasets currently held by the in-process collect memo.
+
+    The daemon watches this to keep a long-lived process's RSS flat: the
+    memo is a pure accelerator, so bounding it (via :func:`clear_memo`)
+    can never change a result, only recompute one.
+    """
+    return len(_CACHE)
+
+
 def clear_memo() -> int:
     """Drop the in-process collect memo; returns how many entries it held.
 

@@ -84,7 +84,7 @@ def apply_baseline(findings, entries) -> tuple:
     out = []
     for finding in findings:
         key = (finding.path, finding.rule, finding.line)
-        if not finding.suppressed and key in remaining:
+        if not (finding.suppressed or finding.scoped) and key in remaining:
             del remaining[key]
             from dataclasses import replace
             finding = replace(finding, baselined=True)
@@ -109,8 +109,8 @@ def render_baseline(findings, previous=()) -> str:
 
     entries = []
     for finding in sorted(findings, key=lambda f: f.sort_key):
-        if finding.suppressed:
-            continue  # an inline disable already covers it
+        if finding.suppressed or finding.scoped:
+            continue  # an inline disable / scoped-allow already covers it
         justification = ""
         exact = by_key.get((finding.path, finding.rule, finding.line))
         if exact is not None:

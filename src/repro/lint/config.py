@@ -9,6 +9,12 @@ The linter is configured in the repo's ``pyproject.toml`` under
     rl003-paths = ["src/repro/runtime/*.py"]
     rl005-pool-sites = ["src/repro/runtime/scheduler.py"]
     rl006-hot-paths = ["src/repro/trace/sampler.py"]
+    scoped-allow = ["RL003:src/repro/serve/server.py"]
+
+``scoped-allow`` entries are ``"RULE:glob"`` pairs: findings of RULE in
+files matching glob are *scoped-allowed* — reported but never failing —
+which exempts one reviewed file from a rule that is right for its
+directory, without baselining each occurrence line by line.
 
 All paths are relative to the **lint root**: the directory containing
 ``pyproject.toml``, found by walking up from the starting directory.
@@ -48,6 +54,14 @@ class LintConfig:
     rl006_hot_paths: tuple = ("src/repro/trace/sampler.py",
                               "src/repro/core/regression_tree.py",
                               "src/repro/sparse.py")
+    #: Per-path rule scoping: ``"RULE:glob"`` entries.  A finding whose
+    #: rule and file match an entry is *scoped-allowed* — reported (and
+    #: visible with ``--verbose``) but never failing, like a baseline
+    #: entry that covers a whole file instead of one line.  Use this when
+    #: a rule is right for a directory but one file in it has a reviewed,
+    #: structural exemption (e.g. the daemon's HTTP transport reading the
+    #: wall clock for operator timestamps under RL003).
+    scoped_allow: tuple = ()
 
     @property
     def baseline_path(self) -> Path:
@@ -56,6 +70,15 @@ class LintConfig:
     def matches(self, relpath: str, globs) -> bool:
         """True when ``relpath`` (POSIX, root-relative) matches a glob."""
         return any(fnmatch(relpath, pattern) for pattern in globs)
+
+    def scoped_rules(self, relpath: str) -> set:
+        """Rule IDs scope-allowed for ``relpath`` by ``scoped-allow``."""
+        allowed = set()
+        for entry in self.scoped_allow:
+            rule, _, pattern = entry.partition(":")
+            if fnmatch(relpath, pattern):
+                allowed.add(rule.strip().upper())
+        return allowed
 
 
 #: pyproject key -> LintConfig field (TOML uses dashes, Python can't).
@@ -66,6 +89,7 @@ _KEYS = {
     "rl003-paths": "rl003_paths",
     "rl005-pool-sites": "rl005_pool_sites",
     "rl006-hot-paths": "rl006_hot_paths",
+    "scoped-allow": "scoped_allow",
 }
 
 
@@ -101,6 +125,11 @@ def load_config(start: Path | str | None = None,
                     or not all(isinstance(v, str) for v in value)):
                 raise ConfigError(f"{key} must be a list of strings")
             updates[field_name] = tuple(value)
+    for entry in updates.get("scoped_allow", ()):
+        rule, sep, pattern = entry.partition(":")
+        if not sep or not rule.strip() or not pattern.strip():
+            raise ConfigError(
+                f"scoped-allow entries must be 'RULE:glob', got {entry!r}")
     return replace(config, **updates)
 
 

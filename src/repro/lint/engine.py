@@ -110,11 +110,14 @@ def load_context(path: Path, config: LintConfig) -> FileContext | Finding:
 def check_file(ctx: FileContext, config: LintConfig) -> list:
     """All findings for one parsed file, suppressions applied, sorted."""
     findings = []
+    scoped_here = config.scoped_rules(ctx.relpath)
     for rule in all_rules():
         for finding in rule.check(ctx, config):
             rules_off = ctx.suppressions.get(finding.line, ())
             if finding.rule in rules_off or "all" in rules_off:
                 finding = replace(finding, suppressed=True)
+            elif finding.rule in scoped_here:
+                finding = replace(finding, scoped=True)
             findings.append(finding)
     # A rule may flag the same node twice through different walks.
     return sorted(set(findings), key=lambda f: f.sort_key)

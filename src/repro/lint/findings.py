@@ -29,6 +29,9 @@ class Finding:
     message: str
     suppressed: bool = False
     baselined: bool = False
+    #: Covered by a ``scoped-allow`` config entry (rule scoped off for
+    #: this file) rather than a line suppression or baseline entry.
+    scoped: bool = False
 
     @property
     def sort_key(self) -> tuple:
@@ -37,7 +40,7 @@ class Finding:
     @property
     def is_new(self) -> bool:
         """True when nothing grandfathers this finding away."""
-        return not (self.suppressed or self.baselined)
+        return not (self.suppressed or self.baselined or self.scoped)
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
@@ -51,6 +54,7 @@ class Finding:
             "message": self.message,
             "suppressed": self.suppressed,
             "baselined": self.baselined,
+            "scoped": self.scoped,
         }
 
     @classmethod
@@ -59,7 +63,8 @@ class Finding:
                    col=int(data["col"]), rule=data["rule"],
                    message=data["message"],
                    suppressed=bool(data.get("suppressed", False)),
-                   baselined=bool(data.get("baselined", False)))
+                   baselined=bool(data.get("baselined", False)),
+                   scoped=bool(data.get("scoped", False)))
 
 
 @dataclass
@@ -88,6 +93,10 @@ class LintResult:
     @property
     def baselined(self) -> list:
         return [f for f in self.findings if f.baselined]
+
+    @property
+    def scoped(self) -> list:
+        return [f for f in self.findings if f.scoped]
 
     @property
     def ok(self) -> bool:

@@ -29,6 +29,9 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
         for finding in result.suppressed:
             lines.append(f"{finding.location()}: {finding.rule} "
                          f"[suppressed] {finding.message}")
+        for finding in result.scoped:
+            lines.append(f"{finding.location()}: {finding.rule} "
+                         f"[scoped-allow] {finding.message}")
     for entry in result.stale_baseline:
         lines.append(f"{entry.path}:{entry.line}: {entry.rule} "
                      f"[stale baseline entry — fixed? run "
@@ -44,6 +47,8 @@ def _summary_line(result: LintResult) -> str:
         parts.append(f"{len(result.baselined)} baselined")
     if result.suppressed:
         parts.append(f"{len(result.suppressed)} suppressed")
+    if result.scoped:
+        parts.append(f"{len(result.scoped)} scoped-allowed")
     if result.stale_baseline:
         parts.append(f"{len(result.stale_baseline)} stale baseline "
                      f"entr(ies)")
@@ -59,6 +64,7 @@ def report_dict(result: LintResult) -> dict:
             "new": len(result.new),
             "baselined": len(result.baselined),
             "suppressed": len(result.suppressed),
+            "scoped": len(result.scoped),
             "stale_baseline": len(result.stale_baseline),
         },
         "rules": {rule.rule_id: rule.invariant for rule in all_rules()},

@@ -17,13 +17,18 @@ a run manifest:
 - :mod:`repro.runtime.metrics` — lightweight counters/timers aggregated
   across workers;
 - :mod:`repro.runtime.options` — process-wide defaults the CLI
-  configures (``--jobs``, ``--cache-dir``, ``--no-cache``).
+  configures (``--jobs``, ``--cache-dir``, ``--no-cache``);
+- :mod:`repro.runtime.coalesce` — in-flight dedup of identical jobs
+  (a thundering herd of equal specs computes once), keyed by the same
+  ``spec.key`` the cache and manifests use.
 
 Determinism is the core contract: a job's result is identical whether it
 was computed serially, in a worker process, or loaded from a warm cache.
 """
 
 from repro.runtime.cache import CacheStats, NullCache, ResultCache
+from repro.runtime.coalesce import (CoalescedFailure, CoalesceTimeout,
+                                    JobCoalescer)
 from repro.runtime.jobs import CODE_VERSION, JobResult, JobSpec, execute_job
 from repro.runtime.manifest import JobRecord, RunManifest
 from repro.runtime.metrics import METRICS, MetricsRegistry
@@ -33,6 +38,9 @@ from repro.runtime.scheduler import JobOutcome, run_jobs
 __all__ = [
     "CODE_VERSION",
     "CacheStats",
+    "CoalesceTimeout",
+    "CoalescedFailure",
+    "JobCoalescer",
     "JobOutcome",
     "JobRecord",
     "JobResult",

@@ -184,6 +184,29 @@ class ResultCache:
             manifests=len(self.manifests()),
         )
 
+    def prune(self, max_entries: int) -> int:
+        """Evict entries until at most ``max_entries`` remain.
+
+        The daemon's bounded-growth knob: called after stores, it keeps
+        a long-lived process's cache directory from growing without
+        limit.  Eviction removes the *earliest* entries in sorted path
+        order — not LRU, but deterministic: two daemons serving the same
+        request stream keep the same entries.  Entries that vanish
+        underneath us (a concurrent prune) just don't count.
+        """
+        entries = self.entries()
+        removed = 0
+        excess = len(entries) - max(0, int(max_entries))
+        for path in entries[:max(0, excess)]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if removed:
+            self.metrics.inc("cache.pruned", removed)
+        return removed
+
     def clear(self) -> int:
         """Delete all cached objects (not manifests); returns the count.
 
@@ -220,6 +243,9 @@ class NullCache:
     def stats(self) -> CacheStats:
         return CacheStats(root="(disabled)", entries=0, total_bytes=0,
                           quarantined=0, manifests=0)
+
+    def prune(self, max_entries: int) -> int:
+        return 0
 
     def clear(self) -> int:
         return 0

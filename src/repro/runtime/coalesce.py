@@ -1,0 +1,137 @@
+"""In-flight request coalescing keyed by ``spec.key``.
+
+A long-lived service sees thundering herds: N clients ask for the same
+analysis at the same moment.  The result cache only helps *after* the
+first computation finishes; without coalescing, all N requests miss and
+compute the identical job N times.  :class:`JobCoalescer` closes that
+window — the first arrival for a key becomes the **leader** and runs the
+computation, every concurrent arrival for the same key becomes a
+**follower** that blocks on the leader's flight and receives the very
+same result object, so N identical in-flight requests cost exactly one
+execution.
+
+The coalescer is transport-agnostic and deliberately tiny: keys are
+opaque strings (the daemon passes ``JobSpec.key`` — the same dedup
+identity the cache and manifests use), computations are zero-argument
+callables, and everything is plain ``threading`` — no asyncio, no
+queues.  Determinism note: coalescing only ever *reuses* a result that
+one leader computed through the normal scheduler path, so a coalesced
+response is byte-identical to an uncoalesced one by construction.
+
+Failure semantics: a leader's exception is propagated to every follower
+as a :class:`CoalescedFailure` carrying the leader's formatted traceback
+(never the live exception object — followers must not mutate a shared
+traceback), and the flight is cleared so the next arrival retries
+fresh.  A follower whose wait exceeds its deadline raises
+:class:`CoalesceTimeout` without disturbing the flight.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Callable
+
+from repro.runtime.metrics import METRICS
+
+
+class CoalesceTimeout(Exception):
+    """A follower's deadline expired before the leader finished."""
+
+
+class CoalescedFailure(Exception):
+    """The leader's computation failed; carries its traceback text."""
+
+
+class _Flight:
+    """One in-progress computation and its rendezvous point."""
+
+    __slots__ = ("done", "payload", "error", "followers")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.payload = None
+        self.error: str | None = None
+        self.followers = 0
+
+
+class JobCoalescer:
+    """Deduplicate identical in-flight computations by key.
+
+    Thread-safe; one instance serves the whole daemon.  ``metrics``
+    receives ``coalesce.leader`` / ``coalesce.follower`` /
+    ``coalesce.failed`` counters so ``/stats`` can prove the dedup is
+    working (the burn-in harness asserts on them).
+    """
+
+    def __init__(self, metrics=METRICS) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self._metrics = metrics
+
+    # -- introspection ----------------------------------------------------
+    def in_flight(self) -> int:
+        """How many distinct keys are currently being computed."""
+        with self._lock:
+            return len(self._flights)
+
+    def waiters(self) -> int:
+        """How many followers are currently blocked on a flight."""
+        with self._lock:
+            return sum(f.followers for f in self._flights.values())
+
+    # -- the one entry point ----------------------------------------------
+    def run(self, key: str, compute: Callable[[], object],
+            wait_timeout: float | None = None) -> tuple[object, bool]:
+        """Compute (or wait for) the value for ``key``.
+
+        Returns ``(payload, was_leader)``.  The leader executes
+        ``compute()`` and fans its return value out; followers block
+        until the leader finishes (at most ``wait_timeout`` seconds,
+        ``None`` = forever) and receive the same payload object.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader = True
+                self._metrics.inc("coalesce.leader")
+            else:
+                flight.followers += 1
+                leader = False
+                self._metrics.inc("coalesce.follower")
+
+        if leader:
+            try:
+                payload = compute()
+            except BaseException:
+                self._finish(key, flight, error=traceback.format_exc())
+                raise
+            self._finish(key, flight, payload=payload)
+            return payload, True
+
+        if not flight.done.wait(wait_timeout):
+            self._metrics.inc("coalesce.wait_timeout")
+            raise CoalesceTimeout(
+                f"coalesced wait for {key[:12]}… exceeded "
+                f"{wait_timeout}s (leader still running)")
+        if flight.error is not None:
+            raise CoalescedFailure(
+                f"the coalesced leader for {key[:12]}… failed:\n"
+                f"{flight.error}")
+        return flight.payload, False
+
+    def _finish(self, key: str, flight: _Flight, payload=None,
+                error: str | None = None) -> None:
+        with self._lock:
+            # Remove before waking waiters: a request arriving after the
+            # flight completes must start a fresh computation (it will
+            # normally hit the result cache instead).
+            if self._flights.get(key) is flight:
+                del self._flights[key]
+            if error is not None:
+                self._metrics.inc("coalesce.failed")
+        flight.payload = payload
+        flight.error = error
+        flight.done.set()

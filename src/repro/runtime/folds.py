@@ -29,10 +29,10 @@ to its dataset hash and meaningless outside it.
 from __future__ import annotations
 
 import hashlib
-import json
 import time
 import weakref
 from dataclasses import asdict, dataclass, field
+from functools import cached_property
 from typing import ClassVar
 
 import numpy as np
@@ -40,7 +40,7 @@ import numpy as np
 from repro.core.regression_tree import RegressionTreeSequence
 from repro.obs import span
 from repro.runtime.cache import NullCache
-from repro.runtime.jobs import CODE_VERSION, register_job_kind
+from repro.runtime.jobs import CODE_VERSION, register_job_kind, spec_key
 from repro.sparse import is_sparse
 
 #: Datasets available to fold jobs in this process, keyed by token.
@@ -131,10 +131,10 @@ class FoldSpec:
     def canonical(self) -> dict:
         return asdict(self)
 
+    @cached_property
     def key(self) -> str:
-        payload = json.dumps(self.canonical(), sort_keys=True,
-                             separators=(",", ":"))
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        """Stable dedup identity (same construction as ``JobSpec.key``)."""
+        return spec_key(self.canonical())
 
     @classmethod
     def from_dict(cls, data: dict) -> "FoldSpec":
@@ -196,7 +196,7 @@ def execute_fold(spec: FoldSpec) -> FoldResult:
         fold_span.inc("held_out", len(held_out))
     snapshot = fold_span.snapshot()
     return FoldResult(
-        key=spec.key(),
+        key=spec.key,
         errors=tuple(float(v) for v in errors),
         reached=tree.max_k(),
         timings={"fold_s": time.perf_counter() - start},

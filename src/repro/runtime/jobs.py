@@ -2,10 +2,13 @@
 
 A :class:`JobSpec` freezes every knob that can change the outcome of one
 predictability analysis — workload, run length, seed, machine, scale,
-tree parameters, and the pipeline code version.  Its :meth:`JobSpec.key`
-is a content hash over the canonical JSON form, so equal inputs always
-address the same cache entry and any change (including a pipeline code
-bump) addresses a fresh one.
+tree parameters, and the pipeline code version.  Its :attr:`JobSpec.key`
+property is a content hash over the canonical JSON form, so equal inputs
+always address the same cache entry and any change (including a pipeline
+code bump) addresses a fresh one.  The same key is the in-flight dedup
+identity everywhere a spec travels: the result cache, the run manifest,
+and the daemon's request coalescer all use ``spec.key`` rather than
+recomputing ad-hoc tokens.
 
 :func:`execute_job` is the pure worker function: spec in, JSON-ready
 :class:`JobResult` out.  A result round-trips through
@@ -21,6 +24,7 @@ import importlib
 import json
 import time
 from dataclasses import asdict, dataclass, field
+from functools import cached_property
 from typing import Callable, ClassVar
 
 import numpy as np
@@ -145,15 +149,31 @@ class JobSpec:
         """JSON-safe dict with a stable field set — the hashed identity."""
         return asdict(self)
 
+    @cached_property
     def key(self) -> str:
-        """Deterministic content hash (sha256 hex) of the spec."""
-        payload = json.dumps(self.canonical(), sort_keys=True,
-                             separators=(",", ":"))
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        """Deterministic content hash (sha256 hex) of the spec.
+
+        The one dedup identity for a spec: cache entries, run-manifest
+        records and in-flight request coalescing all key on this.  Equal
+        specs (dataclass equality) always share a key, and the hash is
+        computed at most once per instance (``cached_property`` stores
+        the digest in ``__dict__``, which frozen dataclasses permit).
+        """
+        return spec_key(self.canonical())
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobSpec":
         return cls(**data)
+
+
+def spec_key(canonical: dict) -> str:
+    """Content hash (sha256 hex) of one spec's canonical dict.
+
+    Shared by every spec kind so all dedup identities are computed the
+    same way: canonical JSON with sorted keys, UTF-8, SHA-256.
+    """
+    payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -233,7 +253,7 @@ def execute_job(spec: JobSpec) -> JobResult:
         done = time.perf_counter()
     snapshot = job_span.snapshot()
     return JobResult(
-        key=spec.key(),
+        key=spec.key,
         workload=analysis.workload,
         re=tuple(float(v) for v in analysis.curve.re),
         k_opt=int(analysis.curve.k_opt),

@@ -62,7 +62,16 @@ def _worker_execute(kind_name: str, spec_dict: dict,
     return result.to_dict(), os.getpid(), time.perf_counter() - start
 
 
-def _run_serial(spec: JobSpec, key: str) -> JobOutcome:
+def _run_serial(spec: JobSpec, key: str,
+                pool_error: str | None = None) -> JobOutcome:
+    """Execute one spec in-process.
+
+    ``pool_error`` carries the traceback of the pool failure that forced
+    this fallback (a broken pool, a pool that could not be built).  If
+    the in-process execution *also* fails, both tracebacks travel in the
+    outcome — the original worker failure is usually the real diagnosis
+    and must never be swallowed by the retry.
+    """
     start = time.perf_counter()
     try:
         result = resolve_kind(spec.kind).execute(spec)
@@ -70,6 +79,10 @@ def _run_serial(spec: JobSpec, key: str) -> JobOutcome:
     except Exception:
         result = None
         error = traceback.format_exc()
+        if pool_error:
+            error = (f"{error}\n"
+                     f"The in-process run above was a fallback; the job "
+                     f"failed in the worker pool first:\n{pool_error}")
     return JobOutcome(spec=spec, key=key, result=result, cache_hit=False,
                       wall_time=time.perf_counter() - start,
                       worker=f"pid-{os.getpid()}", error=error)
@@ -77,8 +90,14 @@ def _run_serial(spec: JobSpec, key: str) -> JobOutcome:
 
 def _execute_parallel(specs: list[JobSpec], keys: list[str], jobs: int,
                       timeout: float | None, initializer=None,
-                      initargs=()) -> list[JobOutcome] | None:
-    """Pool fan-out; returns ``None`` if the pool cannot be used at all."""
+                      initargs=()) -> tuple[list[JobOutcome] | None, str]:
+    """Pool fan-out.
+
+    Returns ``(outcomes, "")`` on success, or ``(None, why)`` if the
+    pool cannot be used at all — ``why`` is the construction traceback,
+    which the caller chains into any serial-fallback failure so the
+    original error is never lost.
+    """
     tracing = obs.tracing_enabled()
     try:
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(specs)),
@@ -89,7 +108,7 @@ def _execute_parallel(specs: list[JobSpec], keys: list[str], jobs: int,
                    for spec in specs]
     except (OSError, PermissionError, ImportError, NotImplementedError,
             ValueError, RuntimeError):
-        return None
+        return None, traceback.format_exc()
     outcomes: list[JobOutcome] = []
     timed_out = False
     for spec, key, future in zip(specs, keys, futures):
@@ -112,9 +131,12 @@ def _execute_parallel(specs: list[JobSpec], keys: list[str], jobs: int,
                 wall_time=time.perf_counter() - start,
                 worker="pool", timed_out=True,
                 error=f"job exceeded the {timeout}s timeout"))
-        except BrokenProcessPool:
-            # The pool died under us; compute this job in-process instead.
-            outcomes.append(_run_serial(spec, key))
+        except BrokenProcessPool as exc:
+            # The pool died under us; compute this job in-process instead,
+            # carrying the pool failure along in case the retry fails too.
+            outcomes.append(_run_serial(
+                spec, key,
+                pool_error="".join(traceback.format_exception(exc))))
         except Exception as exc:
             outcomes.append(JobOutcome(
                 spec=spec, key=key, result=None, cache_hit=False,
@@ -123,7 +145,7 @@ def _execute_parallel(specs: list[JobSpec], keys: list[str], jobs: int,
                 error="".join(traceback.format_exception(exc))))
     # A timed-out job may still occupy its worker; don't block on it.
     pool.shutdown(wait=not timed_out, cancel_futures=True)
-    return outcomes
+    return outcomes, ""
 
 
 def run_jobs(specs, jobs: int = 1, cache=None, timeout: float | None = None,
@@ -141,7 +163,7 @@ def run_jobs(specs, jobs: int = 1, cache=None, timeout: float | None = None,
     outcomes: list[JobOutcome | None] = [None] * len(specs)
 
     pending: list[int] = []
-    keys = [spec.key() for spec in specs]
+    keys = [spec.key for spec in specs]
     for i, (spec, key) in enumerate(zip(specs, keys)):
         start = time.perf_counter()
         payload = cache.get(key)
@@ -167,13 +189,13 @@ def run_jobs(specs, jobs: int = 1, cache=None, timeout: float | None = None,
     if pending:
         todo = [specs[i] for i in pending]
         todo_keys = [keys[i] for i in pending]
-        executed = None
+        executed, pool_error = None, ""
         if jobs > 1 and len(todo) > 1:
-            executed = _execute_parallel(todo, todo_keys, jobs, timeout,
-                                         initializer=initializer,
-                                         initargs=initargs)
+            executed, pool_error = _execute_parallel(
+                todo, todo_keys, jobs, timeout,
+                initializer=initializer, initargs=initargs)
         if executed is None:
-            executed = [_run_serial(spec, key)
+            executed = [_run_serial(spec, key, pool_error=pool_error or None)
                         for spec, key in zip(todo, todo_keys)]
         for i, outcome in zip(pending, executed):
             outcomes[i] = outcome

@@ -1,0 +1,43 @@
+"""``repro.serve`` — the long-lived analysis daemon.
+
+Layering (each module only knows the one below it):
+
+* :mod:`repro.serve.protocol` — request parsing and content-hashed
+  request identities (pure; no clocks, no I/O);
+* :mod:`repro.serve.admission` — bounded in-flight + bounded queue +
+  immediate shed, with deadline-aware waiting;
+* :mod:`repro.serve.service` — request → spec → warm cache probe →
+  coalesce → admit → schedule, plus ``/healthz`` and ``/stats``;
+* :mod:`repro.serve.server` — stdlib HTTP framing over the service.
+
+The daemon adds **no new computation**: every result it serves comes
+from the same :func:`~repro.runtime.scheduler.run_jobs` path the CLI
+uses, rendered by the same report functions, which is what makes daemon
+responses byte-identical to one-shot CLI runs (``tools/burn_in.py``
+asserts exactly that).
+"""
+
+from repro.serve.admission import (AdmissionController, DeadlineExceeded,
+                                   ShedLoad)
+from repro.serve.protocol import (PROTOCOL_VERSION, AnalyzeRequest,
+                                  CensusRequest, ProfileRequest,
+                                  ProtocolError, parse_request)
+from repro.serve.server import ReproServer, create_server, run_server
+from repro.serve.service import AnalysisService, ServeConfig
+
+__all__ = [
+    "AdmissionController",
+    "AnalysisService",
+    "AnalyzeRequest",
+    "CensusRequest",
+    "DeadlineExceeded",
+    "PROTOCOL_VERSION",
+    "ProfileRequest",
+    "ProtocolError",
+    "ReproServer",
+    "ServeConfig",
+    "ShedLoad",
+    "create_server",
+    "parse_request",
+    "run_server",
+]

@@ -1,0 +1,99 @@
+"""Admission control: bounded in-flight work, bounded queue, load shed.
+
+The daemon's protection against overload is deliberately simple and
+fully observable:
+
+* at most ``max_inflight`` computations execute concurrently;
+* at most ``max_queue`` further requests wait for a slot;
+* everything beyond that is **shed immediately** with a 429-style
+  response — a saturated daemon answers "try later" in microseconds
+  instead of accumulating an unbounded backlog it can never drain.
+
+Waiting is deadline-aware: a queued request whose per-request deadline
+expires leaves the queue with :class:`DeadlineExceeded` (the server maps
+it to 504) rather than occupying a slot it can no longer use.
+
+Coalesced followers never pass through here — they consume no execution
+slot (they only block on the leader's flight), so a thundering herd of
+identical requests occupies exactly one unit of admission capacity.
+
+Clock discipline: only ``time.monotonic`` (never wall-clock time) is
+read here, and only to measure remaining deadline — nothing
+content-addressed ever sees it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.runtime.metrics import METRICS
+
+
+class ShedLoad(Exception):
+    """Queue full on arrival: the request is refused outright (429)."""
+
+
+class DeadlineExceeded(Exception):
+    """The request's deadline expired while it waited for a slot (504)."""
+
+
+class AdmissionController:
+    """Counting gate in front of the scheduler.
+
+    ``admit`` is a context manager: the body runs while holding one of
+    the ``max_inflight`` execution slots.  ``deadline`` is an absolute
+    ``time.monotonic()`` instant (``None`` = wait forever).
+    """
+
+    def __init__(self, max_inflight: int = 2, max_queue: int = 16,
+                 metrics=METRICS) -> None:
+        self.max_inflight = max(1, int(max_inflight))
+        self.max_queue = max(0, int(max_queue))
+        self._cond = threading.Condition()
+        self._running = 0
+        self._queued = 0
+        self._metrics = metrics
+
+    # -- introspection ----------------------------------------------------
+    def depth(self) -> dict:
+        """Current occupancy, for ``/stats``."""
+        with self._cond:
+            return {"running": self._running, "queued": self._queued,
+                    "max_inflight": self.max_inflight,
+                    "max_queue": self.max_queue}
+
+    # -- the gate ---------------------------------------------------------
+    @contextmanager
+    def admit(self, deadline: float | None = None):
+        with self._cond:
+            if self._running >= self.max_inflight:
+                if self._queued >= self.max_queue:
+                    self._metrics.inc("admission.shed")
+                    raise ShedLoad(
+                        f"at capacity: {self._running} running, "
+                        f"{self._queued} queued (max_queue="
+                        f"{self.max_queue})")
+                self._queued += 1
+                self._metrics.inc("admission.queued")
+                try:
+                    while self._running >= self.max_inflight:
+                        remaining = None if deadline is None \
+                            else deadline - time.monotonic()
+                        if remaining is not None and remaining <= 0:
+                            self._metrics.inc("admission.deadline_expired")
+                            raise DeadlineExceeded(
+                                "deadline expired while queued for an "
+                                "execution slot")
+                        self._cond.wait(remaining)
+                finally:
+                    self._queued -= 1
+            self._running += 1
+            self._metrics.inc("admission.admitted")
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._running -= 1
+                self._cond.notify()

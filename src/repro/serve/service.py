@@ -1,0 +1,399 @@
+"""The daemon's application layer: request → spec → coalesce → schedule.
+
+:class:`AnalysisService` is the HTTP-free heart of ``repro serve`` (the
+server in :mod:`repro.serve.server` is a thin transport over it, and the
+tests drive it directly with threads).  One request flows through four
+stages, each reusing an existing runtime piece rather than inventing a
+parallel one:
+
+1. **Normalize** — the body parses into a frozen request whose identity
+   is a content hash (:mod:`repro.serve.protocol`); for ``analyze`` that
+   identity *is* ``JobSpec.key``.
+2. **Warm probe** — the :class:`~repro.runtime.cache.ResultCache` is
+   consulted directly; a valid entry is rendered and returned without
+   touching admission or the scheduler at all.
+3. **Coalesce** — cold requests join the
+   :class:`~repro.runtime.coalesce.JobCoalescer`; concurrent identical
+   requests elect one leader, everyone else waits for its flight.
+4. **Admit + schedule** — the leader takes an admission slot (bounded
+   in-flight + bounded queue, shed beyond that) and runs the job through
+   the normal :func:`~repro.runtime.scheduler.run_jobs` path, so cache
+   stores, manifest records and metrics look exactly like a CLI run's.
+
+Determinism contract: every response carries a ``body`` whose fields
+are pure functions of the request parameters (the ``report`` field is
+rendered by the *same* functions the CLI prints through), plus a
+``served`` section (cache_hit / coalesced) that may differ between
+otherwise-identical requests.  Profile responses are the one documented
+exception: their stage *structure* is deterministic, the measured wall
+times under ``measured`` are not — a profile that always returned the
+same numbers would not be measuring anything.
+
+Deadlines are monotonic-clock arithmetic only and bound the *waiting*
+(admission queue, coalesced flight, pool timeout); an already-executing
+in-process job is never preempted, same as the CLI.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.common import clear_memo, memo_size
+from repro.runtime.cache import NullCache, ResultCache, default_cache_dir
+from repro.runtime.coalesce import (CoalescedFailure, CoalesceTimeout,
+                                    JobCoalescer)
+from repro.runtime.jobs import JobResult
+from repro.runtime.metrics import METRICS
+from repro.runtime.scheduler import run_jobs
+from repro.runtime.shm import live_segments
+from repro.serve.admission import (AdmissionController, DeadlineExceeded,
+                                   ShedLoad)
+from repro.serve.protocol import (PROTOCOL_VERSION, AnalyzeRequest,
+                                  CensusRequest, ProfileRequest,
+                                  ProtocolError, parse_request)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything ``repro serve`` can tune, resolved once at startup."""
+
+    host: str = "127.0.0.1"
+    port: int = 8100
+    #: Concurrent computations (admission slots).
+    max_inflight: int = 2
+    #: Requests allowed to wait for a slot before shedding starts.
+    max_queue: int = 16
+    #: Default per-request deadline in seconds (None = wait forever).
+    default_deadline_s: float | None = 60.0
+    #: Per-job timeout handed to the scheduler (pool path only).
+    job_timeout_s: float | None = None
+    #: Result cache location (None = $REPRO_CACHE_DIR or ~/.cache/repro).
+    cache_dir: Path | None = None
+    #: Disable the disk cache entirely (every request computes).
+    no_cache: bool = False
+    #: Bound on cache entries; pruned after each store (0 = unbounded).
+    cache_max_entries: int = 4096
+    #: Worker processes for census fan-out (1 = in-process).
+    census_jobs: int = 1
+    #: In-process collect memo bound: cleared once it exceeds this many
+    #: datasets, so a long-lived daemon's RSS stays flat under a diverse
+    #: request stream (the memo is a pure accelerator — results are
+    #: identical with or without it).
+    memo_max_entries: int = 32
+
+    def build_cache(self):
+        if self.no_cache:
+            return NullCache()
+        return ResultCache(self.cache_dir or default_cache_dir())
+
+
+class AnalysisService:
+    """One long-lived analysis daemon (transport-agnostic)."""
+
+    def __init__(self, config: ServeConfig | None = None,
+                 metrics=METRICS) -> None:
+        self.config = config or ServeConfig()
+        self.metrics = metrics
+        self.cache = self.config.build_cache()
+        if hasattr(self.cache, "metrics"):
+            self.cache.metrics = metrics
+        self.coalescer = JobCoalescer(metrics=metrics)
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            max_queue=self.config.max_queue, metrics=metrics)
+        self._started_monotonic = time.monotonic()
+        self._memo_lock = threading.Lock()
+
+    # -- GET endpoints ----------------------------------------------------
+    def healthz(self) -> dict:
+        """Cheap liveness probe (no locks beyond counters)."""
+        return {"protocol": PROTOCOL_VERSION, "status": "ok",
+                "uptime_s": round(self.uptime_s(), 3)}
+
+    def stats(self) -> dict:
+        """The daemon's runtime contract, observable.
+
+        Everything the burn-in harness asserts lives here: coalesce
+        counts prove the dedup, ``shm.live_segments`` proves the leak
+        discipline, ``cache.entries`` proves bounded growth.
+        """
+        snap = self.metrics.snapshot()["counters"]
+        cache_stats = self.cache.stats()
+        hits = snap.get("cache.hit", 0)
+        misses = snap.get("cache.miss", 0)
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": round(self.uptime_s(), 3),
+            "requests": {
+                "total": snap.get("serve.requests", 0),
+                "analyze": snap.get("serve.request.analyze", 0),
+                "census": snap.get("serve.request.census", 0),
+                "profile": snap.get("serve.request.profile", 0),
+                "errors": snap.get("serve.errors", 0),
+                "shed": snap.get("admission.shed", 0),
+                "deadline_expired":
+                    snap.get("admission.deadline_expired", 0)
+                    + snap.get("coalesce.wait_timeout", 0),
+            },
+            "cache": {
+                "hit": hits,
+                "miss": misses,
+                "hit_rate": round(hits / (hits + misses), 4)
+                    if hits + misses else 0.0,
+                "stores": snap.get("cache.store", 0),
+                "pruned": snap.get("cache.pruned", 0),
+                "warm_responses": snap.get("serve.warm_hit", 0),
+                "entries": cache_stats.entries,
+                "total_bytes": cache_stats.total_bytes,
+                "max_entries": self.config.cache_max_entries,
+            },
+            "coalesce": {
+                "leaders": snap.get("coalesce.leader", 0),
+                "followers": snap.get("coalesce.follower", 0),
+                "in_flight": self.coalescer.in_flight(),
+                "waiters": self.coalescer.waiters(),
+            },
+            "admission": self.admission.depth() | {
+                "admitted": snap.get("admission.admitted", 0),
+                "shed": snap.get("admission.shed", 0),
+            },
+            "jobs": {
+                "executed": snap.get("jobs.executed", 0),
+                "failed": snap.get("jobs.failed", 0),
+                "timeout": snap.get("jobs.timeout", 0),
+            },
+            "shm": {"live_segments": sorted(live_segments())},
+            "memo": {"entries": memo_size(),
+                     "max_entries": self.config.memo_max_entries},
+        }
+
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    # -- POST endpoints ---------------------------------------------------
+    def handle(self, path: str, body: dict) -> tuple[int, dict]:
+        """Route one POST request; returns ``(http_status, body)``."""
+        self.metrics.inc("serve.requests")
+        try:
+            request = parse_request(path, body)
+        except ProtocolError as exc:
+            self.metrics.inc("serve.errors")
+            return exc.status, self._error_body(path.lstrip("/"), str(exc))
+        self.metrics.inc(f"serve.request.{request.endpoint}")
+        deadline = self._deadline_for(request)
+        try:
+            if isinstance(request, AnalyzeRequest):
+                return self._handle_analyze(request, deadline)
+            if isinstance(request, CensusRequest):
+                return self._handle_census(request, deadline)
+            return self._handle_profile(request, deadline)
+        except ShedLoad as exc:
+            return 429, self._error_body(
+                request.endpoint, f"overloaded, retry later: {exc}")
+        except (DeadlineExceeded, CoalesceTimeout) as exc:
+            self.metrics.inc("serve.errors")
+            return 504, self._error_body(
+                request.endpoint, f"deadline exceeded: {exc}")
+        except CoalescedFailure as exc:
+            self.metrics.inc("serve.errors")
+            return 500, self._error_body(request.endpoint, str(exc))
+
+    # -- analyze ----------------------------------------------------------
+    def _handle_analyze(self, req: AnalyzeRequest,
+                        deadline: float | None) -> tuple[int, dict]:
+        spec = req.to_spec()
+        key = spec.key
+        warm = self._warm_analyze_body(req, key)
+        if warm is not None:
+            self.metrics.inc("serve.warm_hit")
+            return 200, self._respond(req, warm, cache_hit=True,
+                                      coalesced=False)
+
+        def compute() -> tuple[int, dict]:
+            with self.admission.admit(deadline):
+                outcome, = run_jobs([spec], jobs=1, cache=self.cache,
+                                    timeout=self._remaining(deadline),
+                                    metrics=self.metrics)
+            if not outcome.ok:
+                status = 504 if outcome.timed_out else 500
+                return status, self._error_body(
+                    "analyze", "analysis failed", key=key,
+                    traceback=outcome.error)
+            self._after_store()
+            return 200, self._analyze_body(req, key, outcome.result)
+
+        (status, body), leader = self.coalescer.run(
+            key, compute, wait_timeout=self._remaining(deadline))
+        if status != 200:
+            self.metrics.inc("serve.errors")
+            return status, body
+        return status, self._respond(req, body, cache_hit=False,
+                                     coalesced=not leader)
+
+    def _warm_analyze_body(self, req: AnalyzeRequest,
+                           key: str) -> dict | None:
+        """A response body straight from the cache, or None on miss.
+
+        Mirrors the scheduler's own validation (payload must round-trip
+        into a :class:`JobResult` whose key matches); anything less than
+        valid falls through to the computing path.
+        """
+        payload = self.cache.get(key)
+        if payload is None:
+            return None
+        try:
+            result = JobResult.from_dict(payload)
+        except (TypeError, ValueError, KeyError):
+            return None
+        if result.key != key:
+            return None
+        return self._analyze_body(req, key, result)
+
+    def _analyze_body(self, req: AnalyzeRequest, key: str,
+                      result: JobResult) -> dict:
+        """The deterministic analyze body (identical for every client)."""
+        from repro.cli import analysis_report_text
+        data = result.to_dict()
+        data.pop("spans", None)
+        data.pop("timings", None)  # wall seconds: measured, not derived
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "endpoint": "analyze",
+            "key": key,
+            "result": data,
+            "report": analysis_report_text(
+                result.to_result(), workload=req.workload,
+                n_intervals=req.n_intervals, scale=req.scale,
+                seed=req.seed),
+        }
+
+    # -- census -----------------------------------------------------------
+    def _handle_census(self, req: CensusRequest,
+                       deadline: float | None) -> tuple[int, dict]:
+        from repro.experiments import table2_quadrants
+
+        def compute() -> tuple[int, dict]:
+            with self.admission.admit(deadline):
+                try:
+                    result = table2_quadrants.run(
+                        workloads=list(req.workloads) or None,
+                        seed=req.seed, k_max=req.k_max,
+                        jobs=self.config.census_jobs, cache=self.cache,
+                        timeout=self._remaining(deadline))
+                except RuntimeError as exc:
+                    return 500, self._error_body(
+                        "census", f"census failed: {exc}", key=req.key)
+            self._after_store()
+            return 200, {
+                "protocol": PROTOCOL_VERSION,
+                "endpoint": "census",
+                "key": req.key,
+                "workloads": [e.workload for e in result.entries],
+                "counts": result.counts,
+                "match_count": result.match_count,
+                "total": result.total,
+                "report": table2_quadrants.render(result),
+            }
+
+        (status, body), leader = self.coalescer.run(
+            req.key, compute, wait_timeout=self._remaining(deadline))
+        if status != 200:
+            self.metrics.inc("serve.errors")
+            return status, body
+        return status, self._respond(req, body, cache_hit=False,
+                                     coalesced=not leader)
+
+    # -- profile ----------------------------------------------------------
+    def _handle_profile(self, req: ProfileRequest,
+                        deadline: float | None) -> tuple[int, dict]:
+        from repro import api
+
+        def compute() -> tuple[int, dict]:
+            with self.admission.admit(deadline):
+                try:
+                    result = api.profile(
+                        list(req.workloads),
+                        config=api.AnalysisConfig(k_max=req.k_max,
+                                                  seed=req.seed),
+                        n_intervals=req.n_intervals, machine=req.machine,
+                        scale=req.scale, jobs=1,
+                        timeout=self._remaining(deadline))
+                except RuntimeError as exc:
+                    return 500, self._error_body(
+                        "profile", f"profile failed: {exc}", key=req.key)
+            return 200, {
+                "protocol": PROTOCOL_VERSION,
+                "endpoint": "profile",
+                "key": req.key,
+                # Deterministic: the stage structure of the pipeline.
+                "stages": list(result.stage_names()),
+                # Measured: real wall time, different every run — the
+                # one documented exception to byte-identity.
+                "measured": {
+                    "total_wall_s": round(result.total_wall_s, 6),
+                    "report": result.report(top=req.top),
+                },
+            }
+
+        (status, body), leader = self.coalescer.run(
+            req.key, compute, wait_timeout=self._remaining(deadline))
+        if status != 200:
+            self.metrics.inc("serve.errors")
+            return status, body
+        return status, self._respond(req, body, cache_hit=False,
+                                     coalesced=not leader)
+
+    # -- shared plumbing --------------------------------------------------
+    def _respond(self, req, body: dict, *, cache_hit: bool,
+                 coalesced: bool) -> dict:
+        """Attach the per-request ``served`` section (copy, don't mutate:
+        the body object is shared by every coalesced waiter)."""
+        out = dict(body)
+        if getattr(req, "render", True) is False:
+            out.pop("report", None)
+        out["served"] = {"cache_hit": cache_hit, "coalesced": coalesced}
+        return out
+
+    def _error_body(self, endpoint: str, message: str, key: str = "",
+                    traceback: str | None = None) -> dict:
+        body = {"protocol": PROTOCOL_VERSION, "endpoint": endpoint,
+                "error": message}
+        if key:
+            body["key"] = key
+        if traceback:
+            body["traceback"] = traceback
+        return body
+
+    def _deadline_for(self, request) -> float | None:
+        seconds = request.deadline_s
+        if seconds is None:
+            seconds = self.config.default_deadline_s
+        if seconds is None:
+            return None
+        return time.monotonic() + seconds
+
+    def _remaining(self, deadline: float | None) -> float | None:
+        """Seconds left before ``deadline``, floored at ~0, capped by the
+        configured per-job timeout (the scheduler applies it on the pool
+        path; in-process execution is not preempted)."""
+        remaining = None
+        if deadline is not None:
+            remaining = max(0.001, deadline - time.monotonic())
+        timeout = self.config.job_timeout_s
+        if timeout is None:
+            return remaining
+        if remaining is None:
+            return timeout
+        return min(timeout, remaining)
+
+    def _after_store(self) -> None:
+        """Post-store housekeeping: bound disk cache and collect memo."""
+        if self.config.cache_max_entries:
+            self.cache.prune(self.config.cache_max_entries)
+        with self._memo_lock:
+            if memo_size() > self.config.memo_max_entries:
+                cleared = clear_memo()
+                self.metrics.inc("serve.memo_cleared", cleared)

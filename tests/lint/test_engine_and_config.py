@@ -203,6 +203,110 @@ paths = ["should-not-leak"]
         assert "rl006-hot-paths" in section
 
 
+class TestScopedAllow:
+    """Per-path rule scoping via ``scoped-allow = ["RULE:glob"]``."""
+
+    def test_scoped_rules_matches_rule_and_glob(self):
+        config = LintConfig(
+            root=None,
+            scoped_allow=("RL003:src/serve/*.py", "rl001:src/a.py"))
+        assert config.scoped_rules("src/serve/server.py") == {"RL003"}
+        # Rule IDs are normalized to upper case.
+        assert config.scoped_rules("src/a.py") == {"RL001"}
+        assert config.scoped_rules("src/other.py") == set()
+
+    def test_scoped_finding_reported_but_not_failing(self, lint_project):
+        from dataclasses import replace
+        lint_project.write("pkg/runtime/server.py", """\
+            import time
+
+            def started():
+                return time.time()
+            """)
+        config = replace(
+            lint_project.config(),
+            scoped_allow=("RL003:pkg/runtime/server.py",))
+        from repro.lint import run_lint
+        result = run_lint(config)
+        assert result.ok
+        assert result.new == []
+        assert [f.rule for f in result.scoped] == ["RL003"]
+        assert result.scoped[0].scoped is True
+
+    def test_unscoped_file_still_fails(self, lint_project):
+        from dataclasses import replace
+        lint_project.write("pkg/runtime/other.py", """\
+            import time
+
+            def started():
+                return time.time()
+            """)
+        config = replace(
+            lint_project.config(),
+            scoped_allow=("RL003:pkg/runtime/server.py",))
+        from repro.lint import run_lint
+        result = run_lint(config)
+        assert [f.rule for f in result.new] == ["RL003"]
+
+    def test_loads_from_pyproject(self, lint_project):
+        text = (lint_project.root / "pyproject.toml").read_text()
+        (lint_project.root / "pyproject.toml").write_text(
+            text + 'scoped-allow = ["RL003:pkg/runtime/server.py"]\n')
+        config = load_config(root=lint_project.root)
+        assert config.scoped_allow == ("RL003:pkg/runtime/server.py",)
+
+    def test_malformed_entry_rejected(self, lint_project):
+        text = (lint_project.root / "pyproject.toml").read_text()
+        (lint_project.root / "pyproject.toml").write_text(
+            text + 'scoped-allow = ["RL003-no-colon"]\n')
+        with pytest.raises(ConfigError, match="RULE:glob"):
+            load_config(root=lint_project.root)
+
+    def test_verbose_report_labels_scoped_findings(self, lint_project):
+        from dataclasses import replace
+
+        from repro.lint import run_lint
+        from repro.lint.reporters import render_text, report_dict
+        lint_project.write("pkg/runtime/server.py", """\
+            import time
+            t = time.time()
+            """)
+        config = replace(
+            lint_project.config(),
+            scoped_allow=("RL003:pkg/runtime/server.py",))
+        result = run_lint(config)
+        text = render_text(result, verbose=True)
+        assert "[scoped-allow]" in text
+        assert "scoped-allowed" in text
+        assert report_dict(result)["counts"]["scoped"] == 1
+
+    def test_write_baseline_skips_scoped_findings(self, lint_project,
+                                                  tmp_path):
+        from dataclasses import replace
+
+        from repro.lint import run_lint
+        from repro.lint.baseline import write_baseline
+        lint_project.write("pkg/runtime/server.py", """\
+            import time
+            t = time.time()
+            """)
+        config = replace(
+            lint_project.config(),
+            scoped_allow=("RL003:pkg/runtime/server.py",))
+        result = run_lint(config, use_baseline=False)
+        out = tmp_path / "baseline.json"
+        assert write_baseline(out, result.findings) == 0
+
+    def test_real_repo_scopes_the_daemon_transport(self):
+        from pathlib import Path
+        root = Path(__file__).resolve().parents[2]
+        config = load_config(root=root)
+        assert "src/repro/serve/*.py" in config.rl003_paths
+        assert config.scoped_rules("src/repro/serve/server.py") \
+            == {"RL003"}
+        assert config.scoped_rules("src/repro/serve/service.py") == set()
+
+
 class TestRegistry:
     def test_all_six_rules_registered_in_order(self):
         ids = [rule.rule_id for rule in all_rules()]

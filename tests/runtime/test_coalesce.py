@@ -1,0 +1,146 @@
+"""Tests for the in-flight request coalescer."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.coalesce import (CoalescedFailure, CoalesceTimeout,
+                                    JobCoalescer)
+from repro.runtime.metrics import MetricsRegistry
+
+
+def _wait_until(predicate, timeout_s: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestCoalescing:
+    def test_thundering_herd_computes_once(self):
+        metrics = MetricsRegistry()
+        coalescer = JobCoalescer(metrics=metrics)
+        calls = []
+        started = threading.Event()
+        release = threading.Event()
+
+        def compute():
+            calls.append(threading.get_ident())
+            started.set()
+            release.wait(10)
+            return {"value": 42}
+
+        n = 8
+        results = [None] * n
+
+        def worker(i):
+            results[i] = coalescer.run("k", compute, wait_timeout=10)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n)]
+        threads[0].start()
+        assert started.wait(5)
+        for thread in threads[1:]:
+            thread.start()
+        assert _wait_until(lambda: coalescer.waiters() == n - 1)
+        assert coalescer.in_flight() == 1
+        release.set()
+        for thread in threads:
+            thread.join(10)
+
+        assert len(calls) == 1
+        payloads = [payload for payload, _ in results]
+        # Followers receive the very same object the leader computed.
+        assert all(payload is payloads[0] for payload in payloads)
+        assert sum(leader for _, leader in results) == 1
+        assert metrics.count("coalesce.leader") == 1
+        assert metrics.count("coalesce.follower") == n - 1
+        assert coalescer.in_flight() == 0
+        assert coalescer.waiters() == 0
+
+    def test_distinct_keys_do_not_coalesce(self):
+        coalescer = JobCoalescer(metrics=MetricsRegistry())
+        assert coalescer.run("a", lambda: 1) == (1, True)
+        assert coalescer.run("b", lambda: 2) == (2, True)
+
+    def test_sequential_runs_each_lead(self):
+        metrics = MetricsRegistry()
+        coalescer = JobCoalescer(metrics=metrics)
+        coalescer.run("k", lambda: 1)
+        coalescer.run("k", lambda: 2)
+        assert metrics.count("coalesce.leader") == 2
+        assert metrics.count("coalesce.follower") == 0
+
+
+class TestFailures:
+    def test_leader_failure_reaches_followers_as_text(self):
+        metrics = MetricsRegistry()
+        coalescer = JobCoalescer(metrics=metrics)
+        started = threading.Event()
+        release = threading.Event()
+        outcome = {}
+
+        def compute():
+            started.set()
+            release.wait(10)
+            raise ValueError("boom from the leader")
+
+        def leader():
+            try:
+                coalescer.run("k", compute)
+            except ValueError as exc:
+                outcome["leader"] = str(exc)
+
+        def follower():
+            try:
+                coalescer.run("k", lambda: None, wait_timeout=10)
+            except CoalescedFailure as exc:
+                outcome["follower"] = str(exc)
+
+        leader_thread = threading.Thread(target=leader)
+        leader_thread.start()
+        assert started.wait(5)
+        follower_thread = threading.Thread(target=follower)
+        follower_thread.start()
+        assert _wait_until(lambda: coalescer.waiters() == 1)
+        release.set()
+        leader_thread.join(10)
+        follower_thread.join(10)
+
+        # The leader re-raises its own exception unchanged...
+        assert outcome["leader"] == "boom from the leader"
+        # ...while followers get the formatted traceback text.
+        assert "ValueError: boom from the leader" in outcome["follower"]
+        assert metrics.count("coalesce.failed") == 1
+
+    def test_failed_flight_is_cleared_for_retry(self):
+        coalescer = JobCoalescer(metrics=MetricsRegistry())
+        with pytest.raises(RuntimeError):
+            coalescer.run("k", lambda: (_ for _ in ()).throw(
+                RuntimeError("once")))
+        assert coalescer.in_flight() == 0
+        assert coalescer.run("k", lambda: "fine") == ("fine", True)
+
+    def test_follower_timeout(self):
+        metrics = MetricsRegistry()
+        coalescer = JobCoalescer(metrics=metrics)
+        started = threading.Event()
+        release = threading.Event()
+
+        def compute():
+            started.set()
+            release.wait(10)
+            return "late"
+
+        leader_thread = threading.Thread(
+            target=lambda: coalescer.run("k", compute))
+        leader_thread.start()
+        assert started.wait(5)
+        with pytest.raises(CoalesceTimeout):
+            coalescer.run("k", lambda: None, wait_timeout=0.05)
+        assert metrics.count("coalesce.wait_timeout") == 1
+        release.set()
+        leader_thread.join(10)

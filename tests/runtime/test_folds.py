@@ -37,14 +37,14 @@ class TestFoldSpec:
         a = make_spec("tok", np.zeros(40))
         b = make_spec("tok", np.zeros(40))
         c = make_spec("tok", np.zeros(40), fold_index=1)
-        assert a.key() == b.key()
-        assert a.key() != c.key()
+        assert a.key == b.key
+        assert a.key != c.key
 
     def test_round_trip(self):
         spec = make_spec("tok", np.zeros(40), fold_index=2)
         again = FoldSpec.from_dict(spec.canonical())
         assert again == spec
-        assert again.key() == spec.key()
+        assert again.key == spec.key
 
     def test_kind_not_part_of_identity(self):
         assert FoldSpec.kind == "cv_fold"
@@ -87,7 +87,7 @@ class TestExecuteFold:
         expected = ((predictions - y[held_out][:, None]) ** 2).sum(axis=0)
         np.testing.assert_array_equal(np.asarray(result.errors), expected)
         assert result.reached == tree.max_k()
-        assert result.key == spec.key()
+        assert result.key == spec.key
 
     def test_unpublished_dataset_raises(self):
         spec = make_spec("no-such-token", np.zeros(40))

@@ -27,11 +27,11 @@ class TestJobSpec:
         a = JobSpec(workload="odbc", n_intervals=60, seed=11)
         b = JobSpec(workload="odbc", n_intervals=60, seed=11)
         assert a is not b
-        assert a.key() == b.key()
-        assert a.key() == a.key()
+        assert a.key == b.key
+        assert a.key == a.key
 
     def test_key_is_sha256_hex(self):
-        key = TINY_SPEC.key()
+        key = TINY_SPEC.key
         assert len(key) == 64
         int(key, 16)  # hex-parseable
 
@@ -48,7 +48,7 @@ class TestJobSpec:
     ])
     def test_any_field_change_changes_the_key(self, change):
         changed = JobSpec(**{**TINY_SPEC.canonical(), **change})
-        assert changed.key() != TINY_SPEC.key()
+        assert changed.key != TINY_SPEC.key
 
     def test_dict_round_trip(self):
         assert JobSpec.from_dict(TINY_SPEC.canonical()) == TINY_SPEC
@@ -62,6 +62,28 @@ class TestJobSpec:
 
     def test_canonical_is_json_safe(self):
         json.dumps(TINY_SPEC.canonical())
+
+    def test_key_is_a_property_not_a_method(self):
+        # The public dedup identity: cache, coalescer and manifests all
+        # read `spec.key`; a stale call-style would hash the bound method.
+        assert isinstance(TINY_SPEC.key, str)
+
+    def test_equality_hash_key_round_trip(self):
+        # Equal specs are interchangeable everywhere a spec is a dict key
+        # or a dedup identity: ==, hash() and .key must all agree, and
+        # the dict round-trip must preserve all three.
+        twin = JobSpec.from_dict(TINY_SPEC.canonical())
+        assert twin == TINY_SPEC
+        assert hash(twin) == hash(TINY_SPEC)
+        assert twin.key == TINY_SPEC.key
+        assert len({twin, TINY_SPEC}) == 1
+        other = JobSpec(**{**TINY_SPEC.canonical(), "seed": 8})
+        assert other != TINY_SPEC
+        assert other.key != TINY_SPEC.key
+
+    def test_key_is_cached_per_instance(self):
+        spec = JobSpec(workload="odbc")
+        assert spec.key is spec.key  # cached_property: one digest, reused
 
 
 class TestJobResult:
@@ -225,6 +247,83 @@ class TestResultCache:
         assert default_cache_dir() == tmp_path / "alt"
         monkeypatch.delenv("REPRO_CACHE_DIR")
         assert default_cache_dir().name == "repro"
+
+
+def _race_writer(root: str, key: str, payload: dict, barrier,
+                 rounds: int) -> None:
+    """One racing process: rendezvous with its peer, then store ``key``
+    repeatedly so the two writers genuinely overlap."""
+    cache = ResultCache(Path(root))
+    for _ in range(rounds):
+        barrier.wait(timeout=30)
+        cache.put(key, payload, spec={"who": "race"})
+
+
+class TestConcurrentWriters:
+    def test_same_key_race_leaves_one_valid_entry(self, tmp_path):
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+            barrier = ctx.Barrier(3)
+        except (OSError, PermissionError, ValueError):
+            pytest.skip("multiprocessing unavailable in this environment")
+        key = "ab" * 32
+        payload = {"answer": 42, "curve": [0.5, 0.25]}
+        rounds = 25
+        workers = [ctx.Process(target=_race_writer,
+                               args=(str(tmp_path), key, payload, barrier,
+                                     rounds))
+                   for _ in range(2)]
+        for worker in workers:
+            worker.start()
+        cache = ResultCache(tmp_path)
+        for _ in range(rounds):
+            barrier.wait(timeout=30)
+            # Readers racing the writers must only ever see a complete
+            # envelope or a miss — never garbage, never a quarantine.
+            got = cache.get(key)
+            assert got is None or got == payload
+        for worker in workers:
+            worker.join(30)
+            assert worker.exitcode == 0
+
+        # Exactly one valid entry for the key...
+        assert cache.get(key) == payload
+        assert [p.name for p in cache.entries()] == [f"{key}.json"]
+        # ...no quarantine debris and no leaked temp files.
+        assert cache.quarantined() == []
+        leftovers = [p for p in tmp_path.rglob("*.tmp")]
+        assert leftovers == []
+
+
+class TestPrune:
+    def put_one(self, cache: ResultCache, key: str) -> None:
+        cache.put(key, {"k": key})
+
+    def test_prune_evicts_to_the_bound_in_sorted_order(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in (7, 1, 4, 9):
+            self.put_one(cache, f"{i:064x}")
+        assert cache.prune(max_entries=2) == 2
+        # Sorted-path eviction: the lexically-earliest entries go first.
+        assert [p.name for p in cache.entries()] \
+            == [f"{7:064x}.json", f"{9:064x}.json"]
+
+    def test_prune_within_bound_is_a_no_op(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self.put_one(cache, "aa" * 32)
+        assert cache.prune(max_entries=5) == 0
+        assert len(cache.entries()) == 1
+
+    def test_prune_counts_into_metrics(self, tmp_path):
+        from repro.runtime.metrics import MetricsRegistry
+        metrics = MetricsRegistry()
+        cache = ResultCache(tmp_path, metrics=metrics)
+        for i in range(3):
+            self.put_one(cache, f"{i:064x}")
+        cache.prune(max_entries=1)
+        assert metrics.count("cache.pruned") == 2
 
 
 class TestNullCache:

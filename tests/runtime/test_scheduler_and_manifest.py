@@ -123,6 +123,47 @@ class TestFailureHandling:
         assert all(o.ok for o in outcomes)
         assert all(o.worker.startswith("pid-") for o in outcomes)
 
+    def test_fallback_failure_chains_pool_construction_error(
+            self, monkeypatch):
+        # Pool can't be built AND the job itself is broken: the outcome
+        # must carry both tracebacks — the serial one and the pool
+        # failure that forced the fallback (regression: the pool error
+        # used to be silently discarded).
+        def broken_pool(*args, **kwargs):
+            raise OSError("sandbox forbids semaphores")
+        monkeypatch.setattr(scheduler, "ProcessPoolExecutor", broken_pool)
+        bad = [JobSpec(workload="no.such.workload", n_intervals=12,
+                       scale="tiny", k_max=5, seed=s) for s in (1, 2)]
+        outcomes = run_jobs(bad, jobs=2)
+        for outcome in outcomes:
+            assert not outcome.ok
+            assert "no.such.workload" in outcome.error
+            assert "fallback" in outcome.error
+            assert "sandbox forbids semaphores" in outcome.error
+
+    def test_fallback_failure_chains_broken_pool_error(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+        monkeypatch.setattr(scheduler, "ProcessPoolExecutor",
+                            _fake_pool(BrokenProcessPool))
+        bad = [JobSpec(workload="no.such.workload", n_intervals=12,
+                       scale="tiny", k_max=5, seed=s) for s in (1, 2)]
+        outcomes = run_jobs(bad, jobs=2)
+        for outcome in outcomes:
+            assert not outcome.ok
+            # Serial retry traceback first, then the original pool death.
+            assert "no.such.workload" in outcome.error
+            assert "BrokenProcessPool" in outcome.error
+            assert "simulated" in outcome.error
+
+    def test_fallback_success_has_no_pool_noise(self, monkeypatch):
+        # When the serial retry succeeds, the pool failure must not leak
+        # into the outcome: the run recovered, the error slot stays None.
+        def broken_pool(*args, **kwargs):
+            raise OSError("no semaphores here")
+        monkeypatch.setattr(scheduler, "ProcessPoolExecutor", broken_pool)
+        outcomes = run_jobs(SPECS, jobs=2)
+        assert all(o.ok and o.error is None for o in outcomes)
+
 
 def _fake_pool(exc_type):
     """A pool whose every future fails with ``exc_type`` on result()."""

@@ -1,0 +1,110 @@
+"""Tests for the admission controller (bounded in-flight, shed, deadlines)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.metrics import MetricsRegistry
+from repro.serve.admission import (AdmissionController, DeadlineExceeded,
+                                   ShedLoad)
+
+
+def _wait_until(predicate, timeout_s: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+def _occupy(controller):
+    """Hold one admission slot on a background thread until released."""
+    holding = threading.Event()
+    release = threading.Event()
+
+    def body():
+        with controller.admit():
+            holding.set()
+            release.wait(10)
+
+    thread = threading.Thread(target=body)
+    thread.start()
+    assert holding.wait(5)
+    return release, thread
+
+
+class TestGate:
+    def test_admits_up_to_max_inflight(self):
+        controller = AdmissionController(max_inflight=2, max_queue=0,
+                                         metrics=MetricsRegistry())
+        with controller.admit():
+            with controller.admit():
+                assert controller.depth()["running"] == 2
+        assert controller.depth()["running"] == 0
+
+    def test_sheds_immediately_beyond_queue(self):
+        metrics = MetricsRegistry()
+        controller = AdmissionController(max_inflight=1, max_queue=0,
+                                         metrics=metrics)
+        release, thread = _occupy(controller)
+        start = time.monotonic()
+        with pytest.raises(ShedLoad):
+            with controller.admit():
+                pass
+        # Shedding is a refusal, not a wait.
+        assert time.monotonic() - start < 1.0
+        assert metrics.count("admission.shed") == 1
+        release.set()
+        thread.join(10)
+
+    def test_queued_request_runs_when_slot_frees(self):
+        metrics = MetricsRegistry()
+        controller = AdmissionController(max_inflight=1, max_queue=1,
+                                         metrics=metrics)
+        release, thread = _occupy(controller)
+        ran = threading.Event()
+
+        def queued():
+            with controller.admit():
+                ran.set()
+
+        waiter = threading.Thread(target=queued)
+        waiter.start()
+        assert _wait_until(lambda: controller.depth()["queued"] == 1)
+        assert not ran.is_set()
+        release.set()
+        waiter.join(10)
+        thread.join(10)
+        assert ran.is_set()
+        assert metrics.count("admission.queued") == 1
+        assert metrics.count("admission.admitted") == 2
+        assert controller.depth() == {"running": 0, "queued": 0,
+                                      "max_inflight": 1, "max_queue": 1}
+
+    def test_deadline_expires_in_queue(self):
+        metrics = MetricsRegistry()
+        controller = AdmissionController(max_inflight=1, max_queue=1,
+                                         metrics=metrics)
+        release, thread = _occupy(controller)
+        with pytest.raises(DeadlineExceeded):
+            with controller.admit(deadline=time.monotonic() + 0.05):
+                pass
+        assert metrics.count("admission.deadline_expired") == 1
+        # The expired waiter left the queue; capacity is intact.
+        assert controller.depth()["queued"] == 0
+        release.set()
+        thread.join(10)
+        with controller.admit():
+            pass
+
+    def test_failure_inside_the_gate_releases_the_slot(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0,
+                                         metrics=MetricsRegistry())
+        with pytest.raises(RuntimeError):
+            with controller.admit():
+                raise RuntimeError("body failed")
+        assert controller.depth()["running"] == 0
+        with controller.admit():
+            pass

@@ -1,0 +1,318 @@
+#!/usr/bin/env python3
+"""Burn-in load harness for the ``repro serve`` daemon.
+
+Boots an in-process daemon on an ephemeral port, hammers it from
+concurrent client threads with a mixed request stream (hot repeats of
+one spec to provoke coalescing, a rotating tail of distinct specs to
+provoke cache churn), then asserts the daemon's long-run invariants:
+
+* **No leaked shared memory** — ``live_segments()`` is empty when the
+  load stops.
+* **Bounded cache growth** — the result cache holds at most the
+  configured ``cache_max_entries``.
+* **Flat RSS** — resident memory after the run is within a tolerance of
+  the post-warm-up baseline (the in-process collect memo is bounded by
+  the daemon, so a diverse request stream must not grow the process).
+* **Byte-identical responses** — for every request kind, the daemon's
+  rendered report equals the stdout of a one-shot CLI run of the same
+  parameters, byte for byte (profile asserts its deterministic stage
+  structure instead; its measured timings are real and therefore vary).
+* **Coalescing works** — with concurrent identical requests in flight,
+  ``coalesce.follower`` is non-zero while every response stays
+  identical.
+
+Exit status 0 = all invariants held.  ``--json PATH`` writes the
+collected metrics for CI artifacts.  ``--quick`` shrinks the run to
+~30 s for the CI smoke job; the default run is several minutes.
+
+This is a *tool*, not a test: it exercises the real HTTP stack with
+real sockets and a real subprocess CLI comparison, which would be too
+slow for the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.runtime.metrics import MetricsRegistry  # noqa: E402
+from repro.runtime.shm import live_segments  # noqa: E402
+from repro.serve import ServeConfig, create_server  # noqa: E402
+
+#: The hot spec: every thread repeats it, so identical requests overlap.
+HOT = {"workload": "spec.gzip", "intervals": 12, "seed": 7,
+       "scale": "tiny", "k_max": 5}
+#: Distinct-spec tail for cache churn (seed rotates per request).
+CHURN_WORKLOADS = ("spec.art", "spec.mcf", "spec.gcc", "odbc", "sjas")
+
+
+def rss_kib() -> int:
+    """Resident set size of this process, in KiB (Linux)."""
+    with open("/proc/self/status", encoding="ascii") as status:
+        for line in status:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    raise RuntimeError("no VmRSS in /proc/self/status")
+
+
+def post(base: str, path: str, body: dict, timeout: float = 120.0):
+    request = urllib.request.Request(
+        base + path, data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def get(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def cli_stdout(args: list) -> str:
+    """Stdout of one fresh ``repro`` CLI process (the identity oracle)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args], capture_output=True,
+        text=True, cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin",
+             "HOME": tempfile.gettempdir()})
+    if proc.returncode != 0:
+        raise RuntimeError(f"CLI failed: {args}\n{proc.stderr}")
+    return proc.stdout
+
+
+class BurnIn:
+    def __init__(self, seconds: float, threads: int,
+                 cache_max_entries: int) -> None:
+        self.seconds = seconds
+        self.threads = threads
+        self.cache_dir = Path(tempfile.mkdtemp(prefix="repro-burnin-"))
+        self.metrics = MetricsRegistry()
+        self.server = create_server(
+            ServeConfig(host="127.0.0.1", port=0, cache_dir=self.cache_dir,
+                        max_inflight=2, max_queue=64,
+                        default_deadline_s=120.0,
+                        cache_max_entries=cache_max_entries,
+                        memo_max_entries=8),
+            metrics=self.metrics)
+        self.cache_max_entries = cache_max_entries
+        self.base = self.server.address
+        self.failures: list = []
+        self.responses = 0
+        self.shed = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._hot_reports: set = set()
+
+    # -- load -------------------------------------------------------------
+    def client(self, client_id: int) -> None:
+        rounds = 0
+        while not self._stop.is_set():
+            rounds += 1
+            if rounds % 3 == 0:
+                # Churn: a distinct spec (rotating seed) to grow the cache
+                # past its bound and prove pruning holds the line.
+                body = dict(HOT, workload=CHURN_WORKLOADS[
+                    rounds % len(CHURN_WORKLOADS)],
+                    seed=100 + (client_id * 1000 + rounds) % 200)
+            else:
+                body = dict(HOT)
+            try:
+                status, payload = post(self.base, "/analyze", body)
+            except (OSError, ValueError) as exc:
+                self._record_failure(f"transport error: {exc}")
+                continue
+            with self._lock:
+                self.responses += 1
+                if status == 429:
+                    self.shed += 1
+                elif status != 200:
+                    self._record_failure(
+                        f"unexpected status {status}: {payload}",
+                        locked=True)
+                elif body == HOT:
+                    self._hot_reports.add(payload["report"])
+
+    def _record_failure(self, message: str, locked: bool = False) -> None:
+        if locked:
+            self.failures.append(message)
+            return
+        with self._lock:
+            self.failures.append(message)
+
+    def start(self) -> None:
+        self._server_thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True)
+        self._server_thread.start()
+
+    def stop(self) -> dict:
+        """Final /stats snapshot, then a clean shutdown."""
+        _, stats = get(self.base, "/stats")
+        self.server.shutdown()
+        self.server.server_close()
+        self._server_thread.join(10)
+        return stats
+
+    def run_load(self) -> dict:
+
+        # Warm-up: one of each request kind, then measure the RSS floor.
+        post(self.base, "/analyze", dict(HOT))
+        post(self.base, "/census",
+             {"workloads": ["spec.gzip", "spec.art"], "k_max": 5})
+        post(self.base, "/profile",
+             {"workloads": ["spec.gzip"], "intervals": 12, "seed": 7,
+              "scale": "tiny", "k_max": 5})
+        rss_baseline = rss_kib()
+
+        clients = [threading.Thread(target=self.client, args=(i,))
+                   for i in range(self.threads)]
+        started = time.monotonic()
+        for thread in clients:
+            thread.start()
+        time.sleep(self.seconds)
+        self._stop.set()
+        for thread in clients:
+            thread.join(60)
+        elapsed = time.monotonic() - started
+
+        rss_final = rss_kib()
+        return {"elapsed_s": round(elapsed, 1),
+                "responses": self.responses, "shed": self.shed,
+                "rss_baseline_kib": rss_baseline,
+                "rss_final_kib": rss_final}
+
+    # -- invariants -------------------------------------------------------
+    def check_invariants(self, report: dict) -> None:
+        stats = report["stats"]
+
+        leaked = live_segments()
+        self._check(not leaked, "shm", f"leaked segments: {leaked}")
+
+        entries = stats["cache"]["entries"]
+        self._check(entries <= self.cache_max_entries, "cache-bound",
+                    f"{entries} entries > bound {self.cache_max_entries}")
+        self._check(stats["cache"]["pruned"] > 0, "cache-pruned",
+                    "churn never triggered a prune — bound untested")
+
+        # Flat RSS: allow head-room for allocator slack and thread stacks,
+        # but catch anything resembling linear growth under load.
+        baseline = report["rss_baseline_kib"]
+        final = report["rss_final_kib"]
+        budget = max(96 * 1024, int(baseline * 0.35))
+        self._check(final - baseline <= budget, "rss",
+                    f"RSS grew {final - baseline} KiB "
+                    f"(baseline {baseline}, budget {budget})")
+
+        self._check(stats["coalesce"]["followers"] > 0, "coalesce",
+                    "no request ever coalesced — herd never overlapped")
+        self._check(len(self._hot_reports) == 1, "identity",
+                    f"hot spec produced {len(self._hot_reports)} distinct "
+                    f"reports (must be exactly 1)")
+        self._check(stats["coalesce"]["in_flight"] == 0
+                    and stats["admission"]["running"] == 0,
+                    "drained", "work still in flight after shutdown")
+        self._check(not self.failures, "requests",
+                    f"{len(self.failures)} failed requests; first: "
+                    f"{self.failures[:1]}")
+
+    def check_cli_identity(self) -> None:
+        """Every request kind answers byte-identically to a one-shot CLI."""
+        status, body = post(self.base, "/analyze", dict(HOT))
+        self._check(status == 200, "identity-analyze", f"status {status}")
+        expected = cli_stdout(["analyze", HOT["workload"],
+                               "--intervals", str(HOT["intervals"]),
+                               "--seed", str(HOT["seed"]),
+                               "--scale", HOT["scale"],
+                               "--k-max", str(HOT["k_max"]), "--no-cache"])
+        self._check(expected == body["report"] + "\n", "identity-analyze",
+                    "daemon analyze report != CLI stdout")
+
+        status, body = post(self.base, "/census",
+                            {"workloads": ["spec.gzip", "spec.art"],
+                             "k_max": 5})
+        self._check(status == 200, "identity-census", f"status {status}")
+        expected = cli_stdout(["census", "spec.gzip", "spec.art",
+                               "--k-max", "5", "--cache-dir",
+                               str(self.cache_dir / "cli")])
+        self._check(expected == body["report"] + "\n", "identity-census",
+                    "daemon census report != CLI stdout")
+
+        request = {"workloads": ["spec.gzip"], "intervals": 12, "seed": 7,
+                   "scale": "tiny", "k_max": 5}
+        status1, first = post(self.base, "/profile", dict(request))
+        status2, second = post(self.base, "/profile", dict(request))
+        self._check(status1 == 200 and status2 == 200, "identity-profile",
+                    f"statuses {status1}/{status2}")
+        self._check(first["stages"] == second["stages"] and first["stages"],
+                    "identity-profile",
+                    "profile stage structure not deterministic")
+
+    def _check(self, ok: bool, name: str, detail: str) -> None:
+        if ok:
+            print(f"  ok   {name}")
+        else:
+            print(f"  FAIL {name}: {detail}")
+            self.failed_checks.append(f"{name}: {detail}")
+
+    failed_checks: list
+
+    def main(self, json_path: str | None) -> int:
+        self.failed_checks = []
+        self.start()
+        print(f"burn-in: {self.threads} clients for {self.seconds:.0f}s "
+              f"against {self.base}")
+        report = self.run_load()
+        print(f"load done: {report['responses']} responses "
+              f"({report['shed']} shed) in {report['elapsed_s']}s")
+        print("invariants:")
+        self.check_cli_identity()
+        report["stats"] = self.stop()
+        self.check_invariants(report)
+        report["checks_failed"] = list(self.failed_checks)
+        if json_path:
+            Path(json_path).write_text(
+                json.dumps(report, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8")
+            print(f"metrics written to {json_path}")
+        if self.failed_checks:
+            print(f"burn-in FAILED ({len(self.failed_checks)} invariant(s))")
+            return 1
+        print("burn-in passed")
+        return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seconds", type=float, default=180.0,
+                        help="load duration (default: 180)")
+    parser.add_argument("--threads", type=int, default=8,
+                        help="client threads (default: 8)")
+    parser.add_argument("--cache-max-entries", type=int, default=32,
+                        help="daemon cache bound under churn (default: 32)")
+    parser.add_argument("--quick", action="store_true",
+                        help="~30s smoke run (CI)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the metrics report to PATH")
+    args = parser.parse_args(argv)
+    seconds = 30.0 if args.quick else args.seconds
+    threads = min(args.threads, 6) if args.quick else args.threads
+    burn = BurnIn(seconds=seconds, threads=threads,
+                  cache_max_entries=args.cache_max_entries)
+    return burn.main(args.json)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
