@@ -11,6 +11,8 @@ keep stable:
 * :func:`analyze_dataset` — the Section-4 analysis on an existing dataset;
 * :func:`analyze` — collect + analyze one workload by name;
 * :func:`census` — the Table 2 / Figure 13 quadrant census;
+* :func:`sweep` — a generated, sharded, resumable census over a
+  :class:`~repro.sweep.space.SweepSpace` of thousands of points;
 * :func:`profile` — run workloads with tracing on and return the
   per-stage timing breakdown;
 * :func:`collect_to_store` / :func:`analyze_store` — the out-of-core
@@ -43,9 +45,10 @@ from repro.experiments.common import (
 )
 from repro.obs.profile import StageStats, aggregate_spans, render_profile
 from repro.runtime.cache import NullCache
+from repro.runtime.graph import JobGraph, submit_graph
 from repro.runtime.jobs import JobSpec
-from repro.runtime.scheduler import run_jobs
 from repro.sampling.selector import SamplingRecommendation, recommend_for
+from repro.sweep import SweepOutcome, SweepSpace
 from repro.trace.eipv import EIPVDataset
 from repro.workloads.scale import get_scale
 
@@ -56,6 +59,8 @@ __all__ = [
     "RunConfig",
     "SamplingRecommendation",
     "StageStats",
+    "SweepOutcome",
+    "SweepSpace",
     "analyze",
     "analyze_dataset",
     "analyze_store",
@@ -67,6 +72,7 @@ __all__ = [
     "profile",
     "recommend_for",
     "sparkline",
+    "sweep",
 ]
 
 
@@ -238,23 +244,27 @@ def profile(workloads, *, config: AnalysisConfig | None = None,
             timeout: float | None = None) -> ProfileResult:
     """Run one or more workloads end to end with tracing enabled.
 
-    ``workloads`` may be one name or a sequence of names.  Jobs always
-    execute (never served from the result cache — a profile measures real
-    work), serially or fanned out across ``jobs`` worker processes; the
-    merged span forest has the same stage structure either way.  Tracing
-    state is restored on exit, so profiling never leaks into the caller.
+    ``workloads`` may be one name or a sequence of names (duplicates
+    coalesce to one job — they are the same content-hashed spec).  Jobs
+    always execute (never served from the result cache — a profile
+    measures real work), serially or fanned out across ``jobs`` worker
+    processes; the merged span forest has the same stage structure
+    either way.  Tracing state is restored on exit, so profiling never
+    leaks into the caller.
     """
     names = [workloads] if isinstance(workloads, str) else list(workloads)
     config = config or AnalysisConfig(seed=11)
-    specs = [JobSpec.from_configs(
-        _run_config(name, n_intervals, config.seed, machine, scale), config)
-        for name in names]
+    graph = JobGraph()
+    for name in names:
+        graph.add(JobSpec.from_configs(
+            _run_config(name, n_intervals, config.seed, machine, scale),
+            config))
     # Memoized datasets would skip the collect stage and under-report it;
     # a profile measures the real pipeline, so start cold.
     clear_memo()
     with obs.capture() as tracer:
-        outcomes = run_jobs(specs, jobs=jobs, cache=NullCache(),
-                            timeout=timeout)
+        outcomes = submit_graph(graph, jobs=jobs, cache=NullCache(),
+                                timeout=timeout)
         roots = tracer.snapshot()
     failed = [outcome for outcome in outcomes if not outcome.ok]
     if failed:
@@ -268,3 +278,36 @@ def profile(workloads, *, config: AnalysisConfig | None = None,
         spans=tuple(roots),
         stages=tuple(aggregate_spans(roots)),
     )
+
+
+def sweep(space: SweepSpace | None = None, sweep_dir=None, *,
+          jobs: int | None = None, shards: int | None = None,
+          cache=None, timeout: float | None = None,
+          stop_after: int | None = None) -> SweepOutcome:
+    """Run (or resume) a generated sweep; returns a
+    :class:`~repro.sweep.engine.SweepOutcome`.
+
+    ``space`` defaults to the stock space (every workload × every
+    machine × three interval sizes × three seeds at tiny scale);
+    ``sweep_dir`` is the sweep's durable state directory and defaults to
+    ``sweeps/<space-key-prefix>`` under the working directory.  ``jobs``
+    /``cache``/``timeout`` fall back to the process-wide runtime
+    options.  A killed sweep rerun with the same arguments resumes:
+    completed shards are skipped outright and completed points of
+    incomplete shards come back as cache hits.
+    """
+    from pathlib import Path
+
+    from repro.runtime import options as runtime_options
+    from repro.sweep import DEFAULT_SHARDS, default_space, run_sweep
+
+    space = space or default_space()
+    opts = runtime_options.current()
+    jobs = opts.jobs if jobs is None else jobs
+    cache = opts.build_cache() if cache is None else cache
+    timeout = opts.timeout if timeout is None else timeout
+    if sweep_dir is None:
+        sweep_dir = Path("sweeps") / space.key[:16]
+    return run_sweep(space, sweep_dir, jobs=jobs,
+                     shards=DEFAULT_SHARDS if shards is None else shards,
+                     cache=cache, timeout=timeout, stop_after=stop_after)

@@ -14,6 +14,12 @@ Commands
     Regenerate one of the paper's tables/figures.
 ``profile WORKLOAD [WORKLOAD...]``
     Run workloads with tracing on and print the per-stage breakdown.
+``sweep``
+    Generated census at fleet scale: a seeded workload-space sweep
+    (workloads × machines × interval sizes × seeds), sharded for
+    resumability, merged into a columnar table + deterministic report
+    (see :mod:`repro.sweep`).  A killed sweep rerun with the same
+    arguments resumes with zero recomputation of completed shards.
 ``serve``
     Long-lived HTTP/JSON analysis daemon: ``analyze``/``census``/
     ``profile`` as endpoints, with request coalescing, admission
@@ -25,10 +31,12 @@ Commands
     determinism, shared-memory write-safety and pool-hygiene rules that
     generic linters cannot express.
 
-``analyze``, ``census`` and ``experiment`` all accept ``--jobs N`` to
-fan work out across worker processes (census/experiment parallelize
-whole workloads; analyze parallelizes the cross-validation folds of its
-single run), ``--cache-dir PATH`` to
+``analyze``, ``census``, ``experiment``, ``profile`` and ``sweep`` all
+accept the same runtime flag set (one shared parent parser — the
+surfaces cannot drift): ``--jobs N`` to
+fan work out across worker processes (census/experiment/sweep
+parallelize whole workloads; analyze parallelizes the cross-validation
+folds of its single run), ``--cache-dir PATH`` to
 relocate the content-addressed result cache, and ``--no-cache`` to
 bypass it.  Results are deterministic: the same seed produces the same
 bytes on stdout whether computed serially, in parallel, or from a warm
@@ -55,9 +63,9 @@ from repro.experiments.common import default_intervals
 from repro.experiments.runner import experiment_ids, run_all
 from repro.runtime import options as runtime_options
 from repro.runtime.cache import ResultCache, default_cache_dir
+from repro.runtime.graph import JobGraph, submit_graph
 from repro.runtime.jobs import JobSpec
 from repro.runtime.manifest import RunManifest
-from repro.runtime.scheduler import run_jobs
 from repro.sampling.selector import recommend_for
 from repro.workloads.registry import get_workload, workload_names
 from repro.workloads.scale import DEFAULT
@@ -180,12 +188,14 @@ def _run_analyze(args) -> int:
                    seed=args.seed, machine=args.machine, scale=args.scale,
                    k_max=args.k_max)
     cache = opts.build_cache()
-    # One analyze is one job; --jobs N instead parallelizes its
+    # One analyze is a one-node graph; --jobs N instead parallelizes its
     # cross-validation folds (deterministic merge — same bytes out).
+    graph = JobGraph()
+    graph.add(spec)
     previous_cv_jobs = set_default_cv_jobs(opts.jobs)
     try:
-        outcome, = run_jobs([spec], jobs=1, cache=cache,
-                            timeout=opts.timeout)
+        outcome, = submit_graph(graph, jobs=1, cache=cache,
+                                timeout=opts.timeout)
     finally:
         set_default_cv_jobs(previous_cv_jobs)
     if not outcome.ok:
@@ -283,18 +293,79 @@ def _cmd_profile(args) -> int:
         args.subparser.error(
             f"unknown workload(s): {', '.join(unknown)} "
             f"(see 'repro list')")
+    opts = _configure_runtime(args)
     config = api.AnalysisConfig(k_max=args.k_max, seed=args.seed)
     try:
         result = api.profile(args.workloads, config=config,
                              n_intervals=args.intervals,
                              machine=args.machine, scale=args.scale,
-                             jobs=args.jobs, timeout=args.timeout)
+                             jobs=opts.jobs, timeout=opts.timeout)
     except RuntimeError as exc:
         print(f"profile failed: {exc}", file=sys.stderr)
         return 1
     print(result.report(top=args.top))
     if args.trace_out:
         _write_trace(args.trace_out, list(result.spans), "profile")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from pathlib import Path
+
+    from repro.sweep import (DEFAULT_INTERVALS, DEFAULT_SHARDS, SweepError,
+                             SweepInterrupted, SweepSpace, SweepStateError,
+                             run_sweep)
+    from repro.uarch.machine import MACHINES
+    known = set(workload_names())
+    unknown = [name for name in args.workloads if name not in known]
+    if unknown:
+        args.subparser.error(
+            f"unknown workload(s): {', '.join(unknown)} "
+            f"(see 'repro list')")
+    opts = _configure_runtime(args)
+    try:
+        space = SweepSpace(
+            workloads=tuple(args.workloads or workload_names()),
+            machines=tuple(args.machines or sorted(MACHINES)),
+            interval_instructions=tuple(args.interval_sizes
+                                        or DEFAULT_INTERVALS),
+            seeds=tuple(args.seeds),
+            scale=args.scale,
+            n_intervals=args.intervals,
+            k_max=args.k_max,
+            folds=args.folds,
+            limit=args.limit,
+        )
+    except ValueError as exc:
+        args.subparser.error(str(exc))
+    sweep_dir = Path(args.sweep_dir) if args.sweep_dir \
+        else Path("sweeps") / space.key[:16]
+    cache = opts.build_cache()
+    print(f"sweep {space.key[:16]}: {space.size} points -> {sweep_dir}",
+          file=sys.stderr)
+    with _maybe_trace(args, "sweep"):
+        try:
+            outcome = run_sweep(
+                space, sweep_dir, jobs=opts.jobs,
+                shards=DEFAULT_SHARDS if args.shards is None
+                else args.shards,
+                cache=cache, timeout=opts.timeout,
+                stop_after=args.stop_after)
+        except SweepInterrupted as exc:
+            print(f"sweep interrupted: {exc}", file=sys.stderr)
+            return 3
+        except (SweepError, SweepStateError) as exc:
+            print(f"sweep failed: {exc}", file=sys.stderr)
+            return 1
+    for note in outcome.notes:
+        print(f"note: {note}", file=sys.stderr)
+    sys.stdout.write(outcome.report)
+    print(f"sweep {outcome.space_key[:16]}: {outcome.n_points} points, "
+          f"{outcome.n_shards} shards ({outcome.n_shards_resumed} resumed), "
+          f"{outcome.n_cached} cached, {outcome.n_executed} executed\n"
+          f"  manifest: {outcome.manifest_path}\n"
+          f"  table:    {outcome.table_path}\n"
+          f"  report:   {outcome.report_path}", file=sys.stderr)
     return 0
 
 
@@ -311,6 +382,9 @@ def _cmd_serve(args) -> int:
         no_cache=args.no_cache,
         cache_max_entries=args.cache_max_entries,
         census_jobs=args.census_jobs,
+        sweep_jobs=args.sweep_jobs,
+        sweep_dir=Path(args.serve_sweep_dir) if args.serve_sweep_dir
+                  else None,
     )
     return run_server(config, verbose=args.verbose)
 
@@ -333,12 +407,22 @@ def _cmd_lint(args) -> int:
                    root=args.root, verbose=args.verbose)
 
 
-def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
-    group = parser.add_argument_group("runtime")
+def runtime_parent() -> argparse.ArgumentParser:
+    """The shared runtime-flag surface, as an argparse parent.
+
+    Every work-running subcommand (analyze, census, experiment, profile,
+    sweep) takes the identical flag set from this one parent, so the
+    surfaces cannot drift: one definition, one help text, one default
+    per flag.  ``tests/test_cli.py`` asserts the rendered help sections
+    match across subcommands.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("runtime")
     group.add_argument("--jobs", type=int, default=1, metavar="N",
-                       help="worker processes: census/experiment fan out "
-                            "whole workloads, analyze fans out its CV "
-                            "folds (default: 1, in-process)")
+                       help="worker processes the scheduler may fan jobs "
+                            "across: graph nodes (census/experiment/sweep "
+                            "points, profiles) or the CV folds of a "
+                            "single analyze (default: 1, in-process)")
     group.add_argument("--cache-dir", default=None, metavar="PATH",
                        help="result cache directory "
                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
@@ -354,6 +438,7 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
                             "default: --shm)")
     group.add_argument("--trace-out", default=None, metavar="PATH",
                        help="record a JSONL span trace of the run to PATH")
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -362,11 +447,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'The Fuzzy Correlation between Code "
                     "and Performance Predictability' (MICRO 2004)")
     sub = parser.add_subparsers(dest="command", required=True)
+    runtime = runtime_parent()
 
     sub.add_parser("list", help="list all workloads") \
         .set_defaults(func=_cmd_list)
 
-    analyze = sub.add_parser("analyze", help="analyze one workload")
+    analyze = sub.add_parser("analyze", help="analyze one workload",
+                             parents=[runtime])
     analyze.add_argument("workload")
     analyze.add_argument("--intervals", type=int, default=None)
     analyze.add_argument("--seed", type=int, default=11)
@@ -381,29 +468,29 @@ def build_parser() -> argparse.ArgumentParser:
                               "store already there) and stream EIPVs "
                               "from it in bounded memory; output is "
                               "byte-identical to the in-memory run")
-    _add_runtime_flags(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
-    census = sub.add_parser("census", help="Table 2 quadrant census")
+    census = sub.add_parser("census", help="Table 2 quadrant census",
+                            parents=[runtime])
     census.add_argument("workloads", nargs="*",
                         help="subset of workloads (default: all 50)")
     census.add_argument("--seed", type=int, default=11)
     census.add_argument("--k-max", type=int, default=50)
-    _add_runtime_flags(census)
     census.set_defaults(func=_cmd_census, subparser=census)
 
     known_ids = experiment_ids()
     experiment = sub.add_parser("experiment",
-                                help="regenerate paper tables/figures")
+                                help="regenerate paper tables/figures",
+                                parents=[runtime])
     experiment.add_argument("ids", nargs="*", metavar="ID",
                             type=str.lower,
                             help=f"ids: {', '.join(known_ids)} "
                                  f"(default: all)")
-    _add_runtime_flags(experiment)
     experiment.set_defaults(func=_cmd_experiment, subparser=experiment)
 
     profile = sub.add_parser(
-        "profile", help="per-stage timing breakdown of the pipeline")
+        "profile", help="per-stage timing breakdown of the pipeline",
+        parents=[runtime])
     profile.add_argument("workloads", nargs="+",
                          help="workload(s) to run with tracing enabled")
     profile.add_argument("--intervals", type=int, default=None)
@@ -413,15 +500,46 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["tiny", "default", "paper"])
     profile.add_argument("--machine", default="itanium2",
                          choices=["itanium2", "pentium4", "xeon"])
-    profile.add_argument("--jobs", type=int, default=1, metavar="N",
-                         help="worker processes (default: 1, in-process)")
-    profile.add_argument("--timeout", type=float, default=None, metavar="S")
     profile.add_argument("--top", type=int, default=5, metavar="K",
                          help="slowest individual spans to list "
                               "(default: 5)")
-    profile.add_argument("--trace-out", default=None, metavar="PATH",
-                         help="also write the JSONL span trace to PATH")
     profile.set_defaults(func=_cmd_profile, subparser=profile)
+
+    sweep = sub.add_parser(
+        "sweep", help="generated, sharded, resumable quadrant sweep",
+        parents=[runtime])
+    sweep.add_argument("workloads", nargs="*",
+                       help="subset of workloads (default: all 50)")
+    sweep.add_argument("--machines", nargs="+", default=None,
+                       choices=["itanium2", "pentium4", "xeon"],
+                       help="uarch configs to sweep (default: all)")
+    sweep.add_argument("--interval-sizes", nargs="+", type=int,
+                       default=None, metavar="INSNS",
+                       help="EIPV interval sizes in instructions "
+                            "(default: 2M 5M 10M)")
+    sweep.add_argument("--seeds", nargs="+", type=int,
+                       default=[11, 12, 13],
+                       help="simulation seeds (default: 11 12 13)")
+    sweep.add_argument("--scale", default="tiny",
+                       choices=["tiny", "default", "paper"])
+    sweep.add_argument("--intervals", type=int, default=12,
+                       help="EIPV intervals per point (default: 12)")
+    sweep.add_argument("--k-max", type=int, default=5)
+    sweep.add_argument("--folds", type=int, default=4)
+    sweep.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="deterministic subsample: keep N points of "
+                            "the full cross product")
+    sweep.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="resumability granularity (default: 8); a "
+                            "resumed sweep keeps its manifest's layout")
+    sweep.add_argument("--sweep-dir", default=None, metavar="DIR",
+                       help="durable sweep state: manifest, shard "
+                            "partials, merged table, report (default: "
+                            "sweeps/<space-key>)")
+    sweep.add_argument("--stop-after", type=int, default=None, metavar="N",
+                       help="abort after N computed points (crash drill "
+                            "for tests/CI; rerun to resume)")
+    sweep.set_defaults(func=_cmd_sweep, subparser=sweep)
 
     serve = sub.add_parser(
         "serve", help="long-lived analysis daemon (HTTP/JSON)")
@@ -448,6 +566,13 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="prune the cache beyond N entries "
                             "(0 = unbounded; default: 4096)")
+    serve.add_argument("--sweep-jobs", type=int, default=1, metavar="N",
+                       help="worker processes per served sweep "
+                            "(default: %(default)s, in-process)")
+    serve.add_argument("--sweep-dir", dest="serve_sweep_dir", default=None,
+                       metavar="PATH",
+                       help="root for served sweep state (default: "
+                            "sweeps/ beside the result cache)")
     serve.add_argument("--census-jobs", type=int, default=1, metavar="N",
                        help="worker processes for census requests "
                             "(default: 1, in-process)")

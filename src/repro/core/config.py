@@ -68,7 +68,8 @@ def resolve_config(config: AnalysisConfig | None,
     if legacy:
         warnings.warn(
             f"passing {', '.join(sorted(legacy))} to {caller} is "
-            f"deprecated; pass config=AnalysisConfig(...) instead",
+            f"deprecated and will be removed in repro 2.0.0; pass "
+            f"config=AnalysisConfig(...) instead",
             DeprecationWarning, stacklevel=stacklevel)
         return (config or AnalysisConfig()).replace(**legacy)
     return config or AnalysisConfig()

@@ -83,12 +83,38 @@ def collect(config: RunConfig) -> tuple[SampleTrace, EIPVDataset]:
 
 _CACHE: dict[RunConfig, tuple[SampleTrace, EIPVDataset]] = {}
 
+#: Collect-memo entry bound (None = unbounded, the library default).
+#: Sweeps over thousands of distinct configs set a small bound in every
+#: worker so a long run's RSS stays flat; the memo is a pure
+#: accelerator, so eviction can never change a result.
+_MEMO_LIMIT: int | None = None
+
+
+def set_memo_limit(limit: int | None) -> int | None:
+    """Bound the collect memo to ``limit`` entries; returns the old bound.
+
+    Enforced on insert: the *oldest* entries (dict insertion order, so
+    deterministic) are evicted until the memo fits.  ``None`` removes
+    the bound.
+    """
+    global _MEMO_LIMIT
+    previous = _MEMO_LIMIT
+    _MEMO_LIMIT = None if limit is None else max(1, int(limit))
+    if _MEMO_LIMIT is not None:
+        while len(_CACHE) > _MEMO_LIMIT:
+            _CACHE.pop(next(iter(_CACHE)))
+    return previous
+
 
 def collect_cached(config: RunConfig) -> tuple[SampleTrace, EIPVDataset]:
-    """Memoized :func:`collect` (per process)."""
+    """Memoized :func:`collect` (per process, optionally bounded)."""
     if config not in _CACHE:
         _metrics().inc("pipeline.memo_miss")
         _CACHE[config] = collect(config)
+        if _MEMO_LIMIT is not None:
+            while len(_CACHE) > _MEMO_LIMIT:
+                _CACHE.pop(next(iter(_CACHE)))
+                _metrics().inc("pipeline.memo_evicted")
     else:
         _metrics().inc("pipeline.memo_hit")
     return _CACHE[config]

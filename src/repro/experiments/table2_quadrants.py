@@ -25,9 +25,9 @@ from repro.core.quadrant import Quadrant
 from repro.experiments.base import Experiment
 from repro.experiments.common import default_intervals
 from repro.runtime import options as runtime_options
+from repro.runtime.graph import JobGraph, submit_graph
 from repro.runtime.jobs import JobSpec
 from repro.runtime.manifest import RunManifest
-from repro.runtime.scheduler import run_jobs
 from repro.workloads.registry import get_workload, workload_names
 from repro.workloads.scale import DEFAULT
 
@@ -82,7 +82,17 @@ def run(workloads=None, seed: int = 11, k_max: int = 50,
 
     specs = census_specs(workloads, seed=seed, k_max=k_max,
                          n_intervals=n_intervals)
-    outcomes = run_jobs(specs, jobs=jobs, cache=cache, timeout=timeout)
+    # One graph wave: the census has no inter-job dependencies, but it
+    # rides the same submit_graph surface sweeps and folds use.  The
+    # graph dedups identical specs, so a duplicated workload name is
+    # computed once and rendered per requested spec below.
+    graph = JobGraph()
+    for spec in specs:
+        graph.add(spec)
+    by_key = {outcome.key: outcome
+              for outcome in submit_graph(graph, jobs=jobs, cache=cache,
+                                          timeout=timeout)}
+    outcomes = [by_key[spec.key] for spec in specs]
     manifest = RunManifest.from_outcomes(
         outcomes, command="census", jobs=jobs,
         cache_root=getattr(cache, "root", None))

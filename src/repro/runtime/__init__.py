@@ -12,6 +12,10 @@ a run manifest:
   store with atomic writes and corrupted-entry quarantine;
 - :mod:`repro.runtime.scheduler` — process-pool fan-out with per-job
   timeout and graceful in-process fallback;
+- :mod:`repro.runtime.graph` — :class:`JobGraph`/:func:`submit_graph`,
+  the general job DAG every fan-out (census, cv folds, profile, sweeps)
+  dispatches through: ready sets run as scheduler waves, dependents of
+  failed nodes are skipped, outcomes stream back per node;
 - :mod:`repro.runtime.manifest` — structured per-run observability
   record (wall times, cache hits, worker ids, failure tracebacks);
 - :mod:`repro.runtime.metrics` — lightweight counters/timers aggregated
@@ -29,6 +33,7 @@ was computed serially, in a worker process, or loaded from a warm cache.
 from repro.runtime.cache import CacheStats, NullCache, ResultCache
 from repro.runtime.coalesce import (CoalescedFailure, CoalesceTimeout,
                                     JobCoalescer)
+from repro.runtime.graph import GraphError, JobGraph, JobNode, submit_graph
 from repro.runtime.jobs import CODE_VERSION, JobResult, JobSpec, execute_job
 from repro.runtime.manifest import JobRecord, RunManifest
 from repro.runtime.metrics import METRICS, MetricsRegistry
@@ -40,7 +45,10 @@ __all__ = [
     "CacheStats",
     "CoalesceTimeout",
     "CoalescedFailure",
+    "GraphError",
     "JobCoalescer",
+    "JobGraph",
+    "JobNode",
     "JobOutcome",
     "JobRecord",
     "JobResult",
@@ -55,4 +63,5 @@ __all__ = [
     "current",
     "execute_job",
     "run_jobs",
+    "submit_graph",
 ]

@@ -221,7 +221,7 @@ def run_parallel_folds(matrix, y: np.ndarray, config, jobs: int,
     either way the fold floats are the same.
     """
     from repro.runtime import options as runtime_options
-    from repro.runtime.scheduler import run_jobs
+    from repro.runtime.graph import JobGraph, submit_graph
     from repro.runtime.shm import SharedArena
 
     if shm is None:
@@ -235,14 +235,17 @@ def run_parallel_folds(matrix, y: np.ndarray, config, jobs: int,
             handle = arena.publish(token, matrix, y)
             if handle is not None:
                 initializer, initargs = _init_worker_shm, (handle,)
+        graph = JobGraph()
         specs = [FoldSpec(dataset_token=token, fold_index=i,
                           n_points=len(y), folds=config.folds,
                           seed=config.seed, k_max=config.k_max,
                           min_leaf=config.min_leaf)
                  for i in range(config.folds)]
-        outcomes = run_jobs(specs, jobs=jobs, cache=NullCache(),
-                            timeout=timeout, initializer=initializer,
-                            initargs=initargs)
+        for spec in specs:
+            graph.add(spec)
+        outcomes = submit_graph(graph, jobs=jobs, cache=NullCache(),
+                                timeout=timeout, initializer=initializer,
+                                initargs=initargs)
     finally:
         _DATASETS.pop(token, None)
         if arena is not None:

@@ -90,13 +90,16 @@ def _run_serial(spec: JobSpec, key: str,
 
 def _execute_parallel(specs: list[JobSpec], keys: list[str], jobs: int,
                       timeout: float | None, initializer=None,
-                      initargs=()) -> tuple[list[JobOutcome] | None, str]:
+                      initargs=(), on_ready=None,
+                      ) -> tuple[list[JobOutcome] | None, str]:
     """Pool fan-out.
 
     Returns ``(outcomes, "")`` on success, or ``(None, why)`` if the
     pool cannot be used at all — ``why`` is the construction traceback,
     which the caller chains into any serial-fallback failure so the
-    original error is never lost.
+    original error is never lost.  ``on_ready`` fires per outcome as it
+    is consumed (submission order), which is how the caller persists
+    results incrementally instead of after the whole wave.
     """
     tracing = obs.tracing_enabled()
     try:
@@ -111,56 +114,90 @@ def _execute_parallel(specs: list[JobSpec], keys: list[str], jobs: int,
         return None, traceback.format_exc()
     outcomes: list[JobOutcome] = []
     timed_out = False
-    for spec, key, future in zip(specs, keys, futures):
-        start = time.perf_counter()
-        try:
-            result_dict, pid, elapsed = future.result(timeout=timeout)
-            result = resolve_kind(spec.kind).result_from_dict(result_dict)
-            # Merge the worker's span subtree into this process's trace,
-            # in submission order — same shape as a serial run.
-            obs.graft(result.spans)
-            outcomes.append(JobOutcome(
-                spec=spec, key=key, result=result,
-                cache_hit=False, wall_time=elapsed,
-                worker=f"pid-{pid}"))
-        except FuturesTimeout:
-            future.cancel()
-            timed_out = True
-            outcomes.append(JobOutcome(
-                spec=spec, key=key, result=None, cache_hit=False,
-                wall_time=time.perf_counter() - start,
-                worker="pool", timed_out=True,
-                error=f"job exceeded the {timeout}s timeout"))
-        except BrokenProcessPool as exc:
-            # The pool died under us; compute this job in-process instead,
-            # carrying the pool failure along in case the retry fails too.
-            outcomes.append(_run_serial(
-                spec, key,
-                pool_error="".join(traceback.format_exception(exc))))
-        except Exception as exc:
-            outcomes.append(JobOutcome(
-                spec=spec, key=key, result=None, cache_hit=False,
-                wall_time=time.perf_counter() - start,
-                worker="pool",
-                error="".join(traceback.format_exception(exc))))
+    try:
+        for spec, key, future in zip(specs, keys, futures):
+            start = time.perf_counter()
+            try:
+                result_dict, pid, elapsed = future.result(timeout=timeout)
+                result = resolve_kind(spec.kind).result_from_dict(result_dict)
+                # Merge the worker's span subtree into this process's
+                # trace, in submission order — same shape as a serial run.
+                obs.graft(result.spans)
+                outcome = JobOutcome(
+                    spec=spec, key=key, result=result,
+                    cache_hit=False, wall_time=elapsed,
+                    worker=f"pid-{pid}")
+            except FuturesTimeout:
+                future.cancel()
+                timed_out = True
+                outcome = JobOutcome(
+                    spec=spec, key=key, result=None, cache_hit=False,
+                    wall_time=time.perf_counter() - start,
+                    worker="pool", timed_out=True,
+                    error=f"job exceeded the {timeout}s timeout")
+            except BrokenProcessPool as exc:
+                # The pool died under us; compute this job in-process
+                # instead, carrying the pool failure along in case the
+                # retry fails too.
+                outcome = _run_serial(
+                    spec, key,
+                    pool_error="".join(traceback.format_exception(exc)))
+            except Exception as exc:
+                outcome = JobOutcome(
+                    spec=spec, key=key, result=None, cache_hit=False,
+                    wall_time=time.perf_counter() - start,
+                    worker="pool",
+                    error="".join(traceback.format_exception(exc)))
+            outcomes.append(outcome)
+            if on_ready is not None:
+                on_ready(outcome)
+    except BaseException:
+        # on_ready raised (e.g. a crash-simulation abort): don't leak
+        # the pool's worker processes past the exception.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
     # A timed-out job may still occupy its worker; don't block on it.
     pool.shutdown(wait=not timed_out, cancel_futures=True)
     return outcomes, ""
 
 
 def run_jobs(specs, jobs: int = 1, cache=None, timeout: float | None = None,
-             metrics=METRICS, initializer=None,
-             initargs=()) -> list[JobOutcome]:
+             metrics=METRICS, initializer=None, initargs=(),
+             on_outcome=None) -> list[JobOutcome]:
     """Schedule every spec; return outcomes in submission order.
 
     ``initializer``/``initargs`` run once per pool worker (ignored on the
     serial path) — the hook job kinds use to ship shared read-only state
     to workers once instead of pickling it into every job.
+
+    Executed results are stored to ``cache`` *incrementally*, as each
+    outcome is consumed — a run killed mid-batch leaves every already
+    consumed job cached, which is what makes large sweeps resumable at
+    job granularity rather than batch granularity.  ``on_outcome`` fires
+    once per job at the same moment (cache hits first, during the probe
+    pass, then executed jobs in submission order).
     """
     specs = list(specs)
     cache = cache if cache is not None else NullCache()
     jobs = max(1, int(jobs or 1))
     outcomes: list[JobOutcome | None] = [None] * len(specs)
+
+    def store(outcome: JobOutcome) -> None:
+        """Persist one executed outcome, then stream it to the caller."""
+        if outcome.ok and not outcome.cache_hit:
+            # Spans are observability, not results: strip them so the
+            # cached bytes are identical with and without tracing.
+            payload = outcome.result.to_dict()
+            payload.pop("spans", None)
+            try:
+                cache.put(outcome.key, payload,
+                          spec=outcome.spec.canonical())
+            except OSError:
+                # A cache that can't be written must never sink the
+                # computation it was meant to save.
+                metrics.inc("cache.store_failed")
+        if on_outcome is not None:
+            on_outcome(outcome)
 
     pending: list[int] = []
     keys = [spec.key for spec in specs]
@@ -183,6 +220,8 @@ def run_jobs(specs, jobs: int = 1, cache=None, timeout: float | None = None,
             outcomes[i] = JobOutcome(
                 spec=spec, key=key, result=result, cache_hit=True,
                 wall_time=time.perf_counter() - start, worker="cache")
+            if on_outcome is not None:
+                on_outcome(outcomes[i])
         else:
             pending.append(i)
 
@@ -193,24 +232,17 @@ def run_jobs(specs, jobs: int = 1, cache=None, timeout: float | None = None,
         if jobs > 1 and len(todo) > 1:
             executed, pool_error = _execute_parallel(
                 todo, todo_keys, jobs, timeout,
-                initializer=initializer, initargs=initargs)
+                initializer=initializer, initargs=initargs,
+                on_ready=store)
         if executed is None:
-            executed = [_run_serial(spec, key, pool_error=pool_error or None)
-                        for spec, key in zip(todo, todo_keys)]
+            executed = []
+            for spec, key in zip(todo, todo_keys):
+                outcome = _run_serial(spec, key,
+                                      pool_error=pool_error or None)
+                executed.append(outcome)
+                store(outcome)
         for i, outcome in zip(pending, executed):
             outcomes[i] = outcome
-            if outcome.ok:
-                # Spans are observability, not results: strip them so the
-                # cached bytes are identical with and without tracing.
-                payload = outcome.result.to_dict()
-                payload.pop("spans", None)
-                try:
-                    cache.put(outcome.key, payload,
-                              spec=outcome.spec.canonical())
-                except OSError:
-                    # A cache that can't be written must never sink the
-                    # computation it was meant to save.
-                    metrics.inc("cache.store_failed")
 
     for outcome in outcomes:
         metrics.observe("job.wall_s", outcome.wall_time)

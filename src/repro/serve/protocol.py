@@ -38,8 +38,26 @@ from repro.workloads.registry import workload_names
 SCALES = ("tiny", "default", "paper")
 MACHINES = ("itanium2", "pentium4", "xeon")
 
-#: Protocol schema version, echoed in every response envelope.
+#: Protocol schema version, echoed in every response envelope (both as
+#: the legacy ``protocol`` field and the versioned ``schema`` field).
 PROTOCOL_VERSION = 1
+
+#: The versioned path prefix.  ``/v1/analyze`` is the supported spelling;
+#: bare ``/analyze`` keeps working but is answered with a ``Deprecation``
+#: header pointing at its successor.
+VERSION_PREFIX = "/v1"
+
+
+def normalize_endpoint(path: str) -> tuple[str, bool]:
+    """``(canonical_path, versioned)`` for one request path.
+
+    ``/v1/analyze`` → ``("/analyze", True)``; ``/analyze`` →
+    ``("/analyze", False)``.  Unknown paths pass through unchanged so
+    404 messages show what the client actually sent.
+    """
+    if path == VERSION_PREFIX or path.startswith(VERSION_PREFIX + "/"):
+        return path[len(VERSION_PREFIX):] or "/", True
+    return path, False
 
 
 class ProtocolError(Exception):
@@ -241,18 +259,119 @@ class ProfileRequest:
         return spec_key({"endpoint": self.endpoint, **data})
 
 
-#: endpoint path -> request parser, the daemon's POST routing table.
+@dataclass(frozen=True)
+class SweepRequest:
+    """One normalized ``POST /sweep`` body.
+
+    A sweep request describes a :class:`~repro.sweep.space.SweepSpace`;
+    the daemon owns the sweep directory (keyed by the space), so
+    repeating a request resumes rather than recomputes.  Defaults match
+    ``repro sweep``: tiny scale, short runs, every machine, the stock
+    interval sizes.
+    """
+
+    workloads: tuple = ()  # () = the full 50
+    machines: tuple = MACHINES
+    interval_sizes: tuple = ()  # () = the stock DEFAULT_INTERVALS
+    seeds: tuple = (11, 12, 13)
+    scale: str = "tiny"
+    n_intervals: int = 12
+    k_max: int = 5
+    folds: int = 4
+    limit: int | None = None
+    #: Resumability granularity (perf knob — excluded from the key).
+    shards: int | None = None
+    render: bool = True
+    deadline_s: float | None = None
+
+    endpoint = "sweep"
+
+    @classmethod
+    def from_body(cls, body: dict) -> "SweepRequest":
+        _require(isinstance(body, dict), "request body must be an object")
+        _check_keys(body, {"workloads", "machines", "interval_sizes",
+                           "seeds", "scale", "intervals", "k_max", "folds",
+                           "limit", "shards", "render", "deadline_s"})
+        raw = body.get("workloads", [])
+        _require(isinstance(raw, list), "'workloads' must be a list")
+        known = set(workload_names())
+        workloads = tuple(_workload_field(name, known) for name in raw)
+        machines = body.get("machines", list(MACHINES))
+        _require(isinstance(machines, list) and bool(machines),
+                 "'machines' must be a non-empty list")
+        for machine in machines:
+            _require(machine in MACHINES,
+                     f"'machines' entries must be one of {MACHINES}")
+        scale = body.get("scale", "tiny")
+        _require(scale in SCALES, f"'scale' must be one of {SCALES}")
+        for axis in ("interval_sizes", "seeds"):
+            values = body.get(axis, [])
+            _require(isinstance(values, list)
+                     and all(isinstance(v, int) and not isinstance(v, bool)
+                             and v >= (0 if axis == "seeds" else 1)
+                             for v in values),
+                     f"{axis!r} must be a list of integers")
+        render = body.get("render", True)
+        _require(isinstance(render, bool), "'render' must be a boolean")
+        n_intervals = _int_field(body, "intervals", 12)
+        folds = _int_field(body, "folds", 4)
+        _require(folds <= n_intervals,
+                 "'folds' cannot exceed 'intervals'")
+        return cls(workloads=workloads,
+                   machines=tuple(machines),
+                   interval_sizes=tuple(body.get("interval_sizes", [])),
+                   seeds=tuple(body.get("seeds", [11, 12, 13])) or (11,),
+                   scale=scale,
+                   n_intervals=n_intervals,
+                   k_max=_int_field(body, "k_max", 5),
+                   folds=folds,
+                   limit=_int_field(body, "limit", None),
+                   shards=_int_field(body, "shards", None),
+                   render=render,
+                   deadline_s=_deadline_field(body))
+
+    def to_space(self):
+        """The content-hashed sweep space this request denotes."""
+        from repro.sweep import DEFAULT_INTERVALS, SweepSpace
+        return SweepSpace(
+            workloads=self.workloads or tuple(workload_names()),
+            machines=self.machines,
+            interval_instructions=self.interval_sizes or DEFAULT_INTERVALS,
+            seeds=self.seeds,
+            scale=self.scale,
+            n_intervals=self.n_intervals,
+            k_max=self.k_max,
+            folds=self.folds,
+            limit=self.limit,
+        )
+
+    @property
+    def key(self) -> str:
+        """Coalesce/dedup identity — the space's own key, reused.
+
+        ``shards``, ``render`` and ``deadline_s`` shape persistence
+        granularity, the envelope and the wait — not the result — so
+        requests differing only there still coalesce.
+        """
+        return self.to_space().key
+
+
+#: endpoint path -> request parser, the daemon's POST routing table
+#: (canonical, unversioned paths; ``/v1/...`` normalizes onto these).
 REQUEST_PARSERS = {
     "/analyze": AnalyzeRequest.from_body,
     "/census": CensusRequest.from_body,
     "/profile": ProfileRequest.from_body,
+    "/sweep": SweepRequest.from_body,
 }
 
 
 def parse_request(path: str, body: dict):
-    """Parse one POST body for ``path``; 404s on unknown endpoints."""
+    """Parse one POST body for ``path`` (versioned or bare); 404s on
+    unknown endpoints."""
+    endpoint, _ = normalize_endpoint(path)
     try:
-        parser = REQUEST_PARSERS[path]
+        parser = REQUEST_PARSERS[endpoint]
     except KeyError:
         raise ProtocolError(f"no such endpoint: {path}",
                             status=404) from None

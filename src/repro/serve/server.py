@@ -27,6 +27,8 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.runtime.metrics import METRICS
+from repro.serve.protocol import (REQUEST_PARSERS, VERSION_PREFIX,
+                                  normalize_endpoint)
 from repro.serve.service import AnalysisService, ServeConfig
 
 #: Request bodies beyond this are refused with 413 before being read.
@@ -69,12 +71,14 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     # -- GET: observability ------------------------------------------------
     def do_GET(self) -> None:
-        if self.path == "/healthz":
+        path, versioned = normalize_endpoint(self.path)
+        if path == "/healthz":
             body = self.service.healthz()
             body["started_at_unix"] = round(self.server.started_at, 3)
-            self._send(200, body)
-        elif self.path == "/stats":
-            self._send(200, self.service.stats())
+            self._send(200, body, headers=self._deprecation(path, versioned))
+        elif path == "/stats":
+            self._send(200, self.service.stats(),
+                       headers=self._deprecation(path, versioned))
         else:
             self._send(404, {"error": f"no such endpoint: {self.path}"})
 
@@ -96,16 +100,37 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._send(400, {"error": f"body is not valid JSON: {exc}"})
             return
         status, payload = self.service.handle(self.path, body)
-        self._send(status, payload)
+        endpoint, versioned = normalize_endpoint(self.path)
+        self._send(status, payload,
+                   headers=self._deprecation(endpoint, versioned))
 
     # -- framing -----------------------------------------------------------
-    def _send(self, status: int, payload: dict) -> None:
+    @staticmethod
+    def _deprecation(endpoint: str, versioned: bool) -> dict | None:
+        """Headers for a known endpoint reached via an unversioned path.
+
+        The unversioned spellings keep working, but every response tells
+        the client where the stable surface lives (RFC 8594 sunset
+        pattern, minus the date — there is no removal schedule yet).
+        """
+        known = endpoint in REQUEST_PARSERS or endpoint in ("/healthz",
+                                                            "/stats")
+        if versioned or not known:
+            return None
+        return {"Deprecation": "true",
+                "Link": f'<{VERSION_PREFIX}{endpoint}>; '
+                        'rel="successor-version"'}
+
+    def _send(self, status: int, payload: dict,
+              headers: dict | None = None) -> None:
         # sort_keys: response bytes are a pure function of the payload,
         # never of dict insertion order in whoever built it.
         data = json.dumps(payload, sort_keys=True).encode("utf-8")
         try:
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.send_header("Content-Length", str(len(data)))
             self.end_headers()
             self.wfile.write(data)

@@ -53,7 +53,8 @@ from repro.serve.admission import (AdmissionController, DeadlineExceeded,
                                    ShedLoad)
 from repro.serve.protocol import (PROTOCOL_VERSION, AnalyzeRequest,
                                   CensusRequest, ProfileRequest,
-                                  ProtocolError, parse_request)
+                                  ProtocolError, SweepRequest,
+                                  normalize_endpoint, parse_request)
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,11 @@ class ServeConfig:
     cache_max_entries: int = 4096
     #: Worker processes for census fan-out (1 = in-process).
     census_jobs: int = 1
+    #: Worker processes for sweep fan-out (1 = in-process).
+    sweep_jobs: int = 1
+    #: Root for sweep state (manifest/partials/table per space); None =
+    #: ``sweeps/`` beside the result cache.
+    sweep_dir: Path | None = None
     #: In-process collect memo bound: cleared once it exceeds this many
     #: datasets, so a long-lived daemon's RSS stays flat under a diverse
     #: request stream (the memo is a pure accelerator — results are
@@ -88,6 +94,11 @@ class ServeConfig:
         if self.no_cache:
             return NullCache()
         return ResultCache(self.cache_dir or default_cache_dir())
+
+    def build_sweep_dir(self) -> Path:
+        if self.sweep_dir is not None:
+            return Path(self.sweep_dir)
+        return Path(self.cache_dir or default_cache_dir()) / "sweeps"
 
 
 class AnalysisService:
@@ -110,8 +121,8 @@ class AnalysisService:
     # -- GET endpoints ----------------------------------------------------
     def healthz(self) -> dict:
         """Cheap liveness probe (no locks beyond counters)."""
-        return {"protocol": PROTOCOL_VERSION, "status": "ok",
-                "uptime_s": round(self.uptime_s(), 3)}
+        return {"protocol": PROTOCOL_VERSION, "schema": PROTOCOL_VERSION,
+                "status": "ok", "uptime_s": round(self.uptime_s(), 3)}
 
     def stats(self) -> dict:
         """The daemon's runtime contract, observable.
@@ -126,12 +137,14 @@ class AnalysisService:
         misses = snap.get("cache.miss", 0)
         return {
             "protocol": PROTOCOL_VERSION,
+            "schema": PROTOCOL_VERSION,
             "uptime_s": round(self.uptime_s(), 3),
             "requests": {
                 "total": snap.get("serve.requests", 0),
                 "analyze": snap.get("serve.request.analyze", 0),
                 "census": snap.get("serve.request.census", 0),
                 "profile": snap.get("serve.request.profile", 0),
+                "sweep": snap.get("serve.request.sweep", 0),
                 "errors": snap.get("serve.errors", 0),
                 "shed": snap.get("admission.shed", 0),
                 "deadline_expired":
@@ -189,6 +202,8 @@ class AnalysisService:
                 return self._handle_analyze(request, deadline)
             if isinstance(request, CensusRequest):
                 return self._handle_census(request, deadline)
+            if isinstance(request, SweepRequest):
+                return self._handle_sweep(request, deadline)
             return self._handle_profile(request, deadline)
         except ShedLoad as exc:
             return 429, self._error_body(
@@ -261,6 +276,7 @@ class AnalysisService:
         data.pop("timings", None)  # wall seconds: measured, not derived
         return {
             "protocol": PROTOCOL_VERSION,
+            "schema": PROTOCOL_VERSION,
             "endpoint": "analyze",
             "key": key,
             "result": data,
@@ -289,6 +305,7 @@ class AnalysisService:
             self._after_store()
             return 200, {
                 "protocol": PROTOCOL_VERSION,
+                "schema": PROTOCOL_VERSION,
                 "endpoint": "census",
                 "key": req.key,
                 "workloads": [e.workload for e in result.entries],
@@ -296,6 +313,53 @@ class AnalysisService:
                 "match_count": result.match_count,
                 "total": result.total,
                 "report": table2_quadrants.render(result),
+            }
+
+        (status, body), leader = self.coalescer.run(
+            req.key, compute, wait_timeout=self._remaining(deadline))
+        if status != 200:
+            self.metrics.inc("serve.errors")
+            return status, body
+        return status, self._respond(req, body, cache_hit=False,
+                                     coalesced=not leader)
+
+    # -- sweep ------------------------------------------------------------
+    def _handle_sweep(self, req: SweepRequest,
+                      deadline: float | None) -> tuple[int, dict]:
+        """Run (or resume) a sweep; the daemon owns the sweep directory.
+
+        The directory is keyed by the space, so a repeated or previously
+        killed request resumes: completed shards are skipped and
+        completed points of incomplete shards come back as cache hits —
+        the same resumability contract ``repro sweep`` has.
+        """
+        from repro.sweep import (DEFAULT_SHARDS, SweepError, SweepStateError,
+                                 run_sweep)
+        space = req.to_space()
+
+        def compute() -> tuple[int, dict]:
+            with self.admission.admit(deadline):
+                sweep_dir = self.config.build_sweep_dir() / space.key[:16]
+                try:
+                    outcome = run_sweep(
+                        space, sweep_dir,
+                        jobs=self.config.sweep_jobs,
+                        shards=req.shards or DEFAULT_SHARDS,
+                        cache=self.cache,
+                        timeout=self._remaining(deadline))
+                except (SweepError, SweepStateError) as exc:
+                    return 500, self._error_body(
+                        "sweep", f"sweep failed: {exc}", key=req.key)
+            self._after_store()
+            return 200, {
+                "protocol": PROTOCOL_VERSION,
+                "schema": PROTOCOL_VERSION,
+                "endpoint": "sweep",
+                "key": req.key,
+                "space_key": outcome.space_key,
+                "n_points": outcome.n_points,
+                "n_shards": outcome.n_shards,
+                "report": outcome.report,
             }
 
         (status, body), leader = self.coalescer.run(
@@ -326,6 +390,7 @@ class AnalysisService:
                         "profile", f"profile failed: {exc}", key=req.key)
             return 200, {
                 "protocol": PROTOCOL_VERSION,
+                "schema": PROTOCOL_VERSION,
                 "endpoint": "profile",
                 "key": req.key,
                 # Deterministic: the stage structure of the pipeline.
@@ -359,8 +424,8 @@ class AnalysisService:
 
     def _error_body(self, endpoint: str, message: str, key: str = "",
                     traceback: str | None = None) -> dict:
-        body = {"protocol": PROTOCOL_VERSION, "endpoint": endpoint,
-                "error": message}
+        body = {"protocol": PROTOCOL_VERSION, "schema": PROTOCOL_VERSION,
+                "endpoint": endpoint, "error": message}
         if key:
             body["key"] = key
         if traceback:

@@ -1,0 +1,47 @@
+"""Fleet-scale sweeps: generated workload spaces, sharded and resumable.
+
+The census covers the paper's ~50 fixed workloads; :mod:`repro.sweep`
+generalizes it to *generated* spaces — uarch configs × workload mixes ×
+EIPV interval sizes × seeds, thousands of content-hashed points — run
+through the job DAG, sharded for resumability, and merged into one
+columnar table plus a deterministic quadrant report.
+
+Entry points: :class:`SweepSpace` (describe the space),
+:func:`run_sweep` (run or resume it), :class:`SweepTable` (read the
+merged results back).
+"""
+
+from repro.sweep.engine import (
+    DEFAULT_SHARDS,
+    SweepError,
+    SweepInterrupted,
+    SweepOutcome,
+    render_sweep_report,
+    run_sweep,
+)
+from repro.sweep.manifest import (
+    SweepManifest,
+    SweepStateError,
+    load_manifest,
+    shard_bounds,
+)
+from repro.sweep.space import DEFAULT_INTERVALS, SweepSpace, default_space
+from repro.sweep.table import QUADRANT_ORDER, SweepTable
+
+__all__ = [
+    "DEFAULT_INTERVALS",
+    "DEFAULT_SHARDS",
+    "QUADRANT_ORDER",
+    "SweepError",
+    "SweepInterrupted",
+    "SweepManifest",
+    "SweepOutcome",
+    "SweepSpace",
+    "SweepStateError",
+    "SweepTable",
+    "default_space",
+    "load_manifest",
+    "render_sweep_report",
+    "run_sweep",
+    "shard_bounds",
+]

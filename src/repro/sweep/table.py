@@ -1,0 +1,74 @@
+"""The merged sweep result table: a columnar on-disk store.
+
+One row per sweep point, in point-index order.  The table is a
+:class:`~repro.trace.storage.ColumnStore` — the same memmap-backed
+one-``.npy``-per-column layout traces use — so merging thousands of
+quadrant results streams through fixed-size chunks and reading back any
+column touches only the pages sliced.  RSS stays flat no matter how
+large the sweep.
+
+Quadrants are stored as small integers in the fixed order of
+:data:`QUADRANT_ORDER` (Q-I..Q-IV); :func:`quadrant_code` /
+:func:`quadrant_name` convert.  Everything else is the numeric core of a
+:class:`~repro.runtime.jobs.JobResult`, which is all the merged report
+needs — full RE curves stay in the result cache, addressed by each
+point's spec key.
+"""
+
+from __future__ import annotations
+
+from repro.core.quadrant import Quadrant, classify
+from repro.trace.storage import ColumnStore
+
+#: Fixed encoding order for the quadrant column (index = stored code).
+QUADRANT_ORDER = (Quadrant.Q1, Quadrant.Q2, Quadrant.Q3, Quadrant.Q4)
+
+
+def quadrant_code(cpi_variance: float, relative_error: float) -> int:
+    """The stored integer code for one point's quadrant."""
+    return QUADRANT_ORDER.index(classify(cpi_variance, relative_error))
+
+
+def quadrant_name(code: int) -> str:
+    """Display name (``Q-I``..``Q-IV``) for a stored quadrant code."""
+    return QUADRANT_ORDER[int(code)].value
+
+
+class SweepTable(ColumnStore):
+    """Columnar store holding one merged sweep's per-point results."""
+
+    KIND = "sweep-table"
+    FORMAT = 1
+    COLUMNS = ("point_index", "cpi_variance", "cpi_mean", "re_kopt",
+               "re_inf", "k_opt", "n_intervals", "n_eips", "quadrant")
+    DTYPES = {
+        "point_index": "<i8",
+        "cpi_variance": "<f8",
+        "cpi_mean": "<f8",
+        "re_kopt": "<f8",
+        "re_inf": "<f8",
+        "k_opt": "<i8",
+        "n_intervals": "<i8",
+        "n_eips": "<i8",
+        "quadrant": "<i8",
+    }
+
+    def finalize(self, *, space_key: str, n_points: int) -> "SweepTable":
+        """Patch final lengths in; write the header.
+
+        The header carries only the space identity — no timestamps, no
+        host details — so a merged table's bytes are a pure function of
+        the space and the pipeline code version.
+        """
+        return self._finalize({
+            "space_key": space_key,
+            "n_points": n_points,
+        })
+
+    @property
+    def space_key(self) -> str:
+        return str(self._meta("space_key"))
+
+    @property
+    def n_points(self) -> int:
+        return int(self._meta("n_points"))

@@ -173,26 +173,32 @@ def _npy_preamble(dtype: str, n: int) -> bytes:
     return b"\x93NUMPY\x01\x00" + struct.pack("<H", header_len) + body
 
 
-class TraceStore:
-    """Columnar, memmap-backed on-disk trace (one ``.npy`` per column).
+class ColumnStore:
+    """Columnar, memmap-backed on-disk table (one ``.npy`` per column).
+
+    The generic machinery under :class:`TraceStore`, reusable for any
+    fixed column schema (the sweep engine's merged result table is the
+    other instance).  Subclasses define ``KIND`` (the header tag that
+    keeps store types from being confused for one another), ``COLUMNS``
+    and ``DTYPES``.
 
     Two lifecycles share the class:
 
     * **writing** — :meth:`create` opens the column files with a
-      zero-length reserved header, :meth:`append` streams sample chunks
-      to the ends, :meth:`finalize` patches the true lengths in and
-      writes ``header.json``.  Until finalize the directory is not a
-      valid store (:meth:`open` refuses it), so a crashed collection can
-      never be mistaken for a complete one.
+      zero-length reserved header, :meth:`append` streams row chunks to
+      the ends, a finalize step patches the true lengths in and writes
+      ``header.json``.  Until finalize the directory is not a valid
+      store (:meth:`open` refuses it), so a crashed write can never be
+      mistaken for a complete one.
     * **reading** — :meth:`open` parses ``header.json``;
       :meth:`column` hands out read-only ``np.memmap`` views, so
       consumers touch only the pages they slice.
-
-    The columns, dtypes and metadata mirror
-    :class:`~repro.trace.events.SampleTrace` exactly; :meth:`as_trace`
-    materializes one (small stores only) and :meth:`from_trace` spills
-    one to disk.
     """
+
+    KIND = "column-store"
+    FORMAT = 1
+    COLUMNS: tuple = ()
+    DTYPES: dict = {}
 
     def __init__(self, root: Path, header: dict | None,
                  n_samples: int) -> None:
@@ -204,50 +210,44 @@ class TraceStore:
     # -- writing ---------------------------------------------------------
 
     @classmethod
-    def create(cls, path) -> "TraceStore":
+    def create(cls, path) -> "ColumnStore":
         """Start a new (empty, unfinalized) store at ``path``."""
         root = Path(path)
         root.mkdir(parents=True, exist_ok=True)
         store = cls(root, None, 0)
-        for name in _TRACE_COLUMNS:
+        for name in cls.COLUMNS:
             handle = open(root / f"{name}.npy", "wb")
-            handle.write(_npy_preamble(_COLUMN_DTYPES[name], 0))
+            handle.write(_npy_preamble(cls.DTYPES[name], 0))
             store._files[name] = handle
         return store
 
     def append(self, chunk: dict) -> None:
-        """Append one chunk of samples (a dict of equal-length columns)."""
+        """Append one chunk of rows (a dict of equal-length columns)."""
         if not self._files:
             raise RuntimeError("store is not open for writing")
-        n = len(chunk["eips"])
-        for name in _TRACE_COLUMNS:
+        n = len(chunk[self.COLUMNS[0]])
+        for name in self.COLUMNS:
             arr = np.ascontiguousarray(chunk[name],
-                                       dtype=_COLUMN_DTYPES[name])
+                                       dtype=self.DTYPES[name])
             if len(arr) != n:
                 raise ValueError(
                     f"column {name!r} has {len(arr)} samples, expected {n}")
             self._files[name].write(arr.data)
         self._n += n
 
-    def finalize(self, *, processes, sample_period: int,
-                 frequency_mhz: float, workload_name: str,
-                 metadata: dict) -> "TraceStore":
+    def _finalize(self, meta: dict) -> "ColumnStore":
         """Patch final lengths into the column files; write the header."""
         for name, handle in self._files.items():
             handle.seek(0)
-            handle.write(_npy_preamble(_COLUMN_DTYPES[name], self._n))
+            handle.write(_npy_preamble(self.DTYPES[name], self._n))
             handle.close()
         self._files.clear()
         self._header = {
-            "kind": "trace-store",
-            "format": STORE_FORMAT,
+            "kind": self.KIND,
+            "format": self.FORMAT,
             "n_samples": self._n,
-            "columns": dict(_COLUMN_DTYPES),
-            "processes": list(processes),
-            "sample_period": sample_period,
-            "frequency_mhz": frequency_mhz,
-            "workload_name": workload_name,
-            "metadata": metadata,
+            "columns": dict(self.DTYPES),
+            **meta,
         }
         (self.root / _STORE_HEADER).write_text(
             json.dumps(self._header, indent=2, sort_keys=True))
@@ -262,27 +262,35 @@ class TraceStore:
     # -- reading ---------------------------------------------------------
 
     @classmethod
-    def open(cls, path) -> "TraceStore":
+    def open(cls, path) -> "ColumnStore":
         """Open a finalized store for reading."""
         root = Path(path)
         header_path = root / _STORE_HEADER
+        label = cls.KIND.replace("-", " ")
         if not header_path.is_file():
             raise FileNotFoundError(
-                f"{root} is not a trace store (no {_STORE_HEADER})")
+                f"{root} is not a {label} (no {_STORE_HEADER})")
         header = json.loads(header_path.read_text())
-        if header.get("kind") != "trace-store":
-            raise ValueError(f"{header_path} is not a trace-store header")
+        if header.get("kind") != cls.KIND:
+            raise ValueError(f"{header_path} is not a {cls.KIND} header")
         version = int(header.get("format", 0))
-        if version > STORE_FORMAT:
+        if version > cls.FORMAT:
             raise ValueError(
-                f"trace store {root} uses format {version}; this build "
-                f"reads up to format {STORE_FORMAT}")
+                f"{label} {root} uses format {version}; this build "
+                f"reads up to format {cls.FORMAT}")
         return cls(root, header, int(header["n_samples"]))
 
-    @staticmethod
-    def is_store(path) -> bool:
-        """True when ``path`` holds a finalized trace store."""
-        return (Path(path) / _STORE_HEADER).is_file()
+    @classmethod
+    def is_store(cls, path) -> bool:
+        """True when ``path`` holds a finalized store of this kind."""
+        header_path = Path(path) / _STORE_HEADER
+        if not header_path.is_file():
+            return False
+        try:
+            header = json.loads(header_path.read_text())
+        except (OSError, ValueError):
+            return False
+        return header.get("kind") == cls.KIND
 
     def __len__(self) -> int:
         return self._n
@@ -295,6 +303,39 @@ class TraceStore:
         if self._header is None:
             raise RuntimeError("store is being written; finalize it first")
         return self._header[key]
+
+    def column(self, name: str) -> np.ndarray:
+        """A read-only memmap of one column (pages load on demand)."""
+        if name not in self.COLUMNS:
+            raise KeyError(f"unknown {self.KIND} column {name!r}")
+        return np.load(self.root / f"{name}.npy", mmap_mode="r")
+
+
+class TraceStore(ColumnStore):
+    """The trace instance of :class:`ColumnStore`.
+
+    The columns, dtypes and metadata mirror
+    :class:`~repro.trace.events.SampleTrace` exactly; :meth:`as_trace`
+    materializes one (small stores only) and :meth:`from_trace` spills
+    one to disk.
+    """
+
+    KIND = "trace-store"
+    FORMAT = STORE_FORMAT
+    COLUMNS = _TRACE_COLUMNS
+    DTYPES = _COLUMN_DTYPES
+
+    def finalize(self, *, processes, sample_period: int,
+                 frequency_mhz: float, workload_name: str,
+                 metadata: dict) -> "TraceStore":
+        """Patch final lengths into the column files; write the header."""
+        return self._finalize({
+            "processes": list(processes),
+            "sample_period": sample_period,
+            "frequency_mhz": frequency_mhz,
+            "workload_name": workload_name,
+            "metadata": metadata,
+        })
 
     @property
     def processes(self) -> tuple:
@@ -315,12 +356,6 @@ class TraceStore:
     @property
     def metadata(self) -> dict:
         return dict(self._meta("metadata"))
-
-    def column(self, name: str) -> np.ndarray:
-        """A read-only memmap of one column (pages load on demand)."""
-        if name not in _TRACE_COLUMNS:
-            raise KeyError(f"unknown trace column {name!r}")
-        return np.load(self.root / f"{name}.npy", mmap_mode="r")
 
     # -- conversions -----------------------------------------------------
 

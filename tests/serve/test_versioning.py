@@ -1,0 +1,136 @@
+"""The versioned protocol surface: /v1 paths, schema field, Deprecation."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.runtime.metrics import MetricsRegistry
+from repro.serve import ServeConfig, create_server
+from repro.serve.protocol import normalize_endpoint
+
+TINY_ARGS = {"workload": "spec.gzip", "intervals": 12, "seed": 7,
+             "scale": "tiny", "k_max": 5}
+SWEEP_ARGS = {"workloads": ["spec.gzip", "spec.art"], "seeds": [7],
+              "interval_sizes": [10_000_000], "machines": ["itanium2"]}
+
+
+@pytest.fixture()
+def server(tmp_path):
+    instance = create_server(
+        ServeConfig(host="127.0.0.1", port=0,
+                    cache_dir=tmp_path / "cache"),
+        metrics=MetricsRegistry())
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+    thread.join(10)
+
+
+def _get(server, path):
+    with urllib.request.urlopen(server.address + path, timeout=30) as resp:
+        return resp.status, json.loads(resp.read()), dict(resp.headers)
+
+
+def _post(server, path, body):
+    request = urllib.request.Request(
+        server.address + path, data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=120) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+class TestNormalizeEndpoint:
+    def test_strips_the_version_prefix(self):
+        assert normalize_endpoint("/v1/analyze") == ("/analyze", True)
+        assert normalize_endpoint("/analyze") == ("/analyze", False)
+        assert normalize_endpoint("/v1") == ("/", True)
+
+    def test_unknown_paths_pass_through(self):
+        assert normalize_endpoint("/v2/analyze") == ("/v2/analyze", False)
+        assert normalize_endpoint("/v1nope") == ("/v1nope", False)
+
+
+class TestVersionedPaths:
+    def test_versioned_post_serves_without_deprecation(self, server):
+        status, body, headers = _post(server, "/v1/analyze",
+                                      dict(TINY_ARGS))
+        assert status == 200
+        assert body["schema"] == 1
+        assert "Deprecation" not in headers
+
+    def test_unversioned_post_warns_but_works(self, server):
+        versioned = _post(server, "/v1/analyze", dict(TINY_ARGS))
+        legacy = _post(server, "/analyze", dict(TINY_ARGS))
+        assert legacy[0] == 200
+        assert legacy[2]["Deprecation"] == "true"
+        assert '</v1/analyze>; rel="successor-version"' in legacy[2]["Link"]
+        stable = {k: v for k, v in versioned[1].items() if k != "served"}
+        compat = {k: v for k, v in legacy[1].items() if k != "served"}
+        assert stable == compat
+
+    def test_versioned_get_endpoints(self, server):
+        status, body, headers = _get(server, "/v1/healthz")
+        assert status == 200 and body["schema"] == 1
+        assert "Deprecation" not in headers
+        status, body, headers = _get(server, "/v1/stats")
+        assert status == 200 and body["schema"] == 1
+        assert "sweep" in body["requests"]
+
+    def test_unversioned_get_warns(self, server):
+        status, body, headers = _get(server, "/healthz")
+        assert status == 200 and body["schema"] == 1
+        assert headers["Deprecation"] == "true"
+
+    def test_unknown_endpoint_is_404_under_either_prefix(self, server):
+        status, body, _ = _post(server, "/v1/nope", {})
+        assert status == 404
+        assert "Deprecation" not in _post(server, "/nope", {})[2]
+
+    def test_errors_carry_schema_too(self, server):
+        status, body, _ = _post(server, "/v1/analyze",
+                                {"workload": "nope"})
+        assert status == 400
+        assert body["schema"] == 1
+
+
+class TestSweepEndpoint:
+    def test_sweep_serves_a_merged_report(self, server):
+        status, body, _ = _post(server, "/v1/sweep", dict(SWEEP_ARGS))
+        assert status == 200
+        assert body["endpoint"] == "sweep"
+        assert body["schema"] == 1
+        assert body["n_points"] == 2
+        assert body["report"].startswith("sweep report")
+        assert body["space_key"] == body["key"]
+
+    def test_sweep_responses_coalesce_and_resume(self, server):
+        first = _post(server, "/v1/sweep", dict(SWEEP_ARGS))
+        second = _post(server, "/v1/sweep", dict(SWEEP_ARGS))
+        assert first[0] == second[0] == 200
+        # The second pass replays persisted shard partials; the body is a
+        # pure function of the request, so the bytes match exactly.
+        assert first[1] == second[1]
+
+    def test_render_false_strips_the_report(self, server):
+        status, body, _ = _post(server, "/v1/sweep",
+                                dict(SWEEP_ARGS, render=False))
+        assert status == 200
+        assert "report" not in body
+        assert body["n_points"] == 2
+
+    def test_invalid_sweep_request_is_400(self, server):
+        status, body, _ = _post(server, "/v1/sweep",
+                                dict(SWEEP_ARGS, folds=40))
+        assert status == 400
+        assert "folds" in body["error"]
+        status, body, _ = _post(server, "/v1/sweep",
+                                dict(SWEEP_ARGS, machines=["cray-1"]))
+        assert status == 400

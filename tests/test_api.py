@@ -115,6 +115,19 @@ class TestFacade:
         assert "per-stage breakdown" in report
         assert "top 3 slowest spans" in report
 
+    def test_sweep_defaults_to_the_generated_fleet_space(self, tmp_path):
+        space = api.SweepSpace(workloads=("spec.gzip", "spec.art"),
+                               interval_instructions=(10_000_000,),
+                               seeds=(7,))
+        outcome = api.sweep(space, sweep_dir=tmp_path / "sweep",
+                            shards=2)
+        assert isinstance(outcome, api.SweepOutcome)
+        assert outcome.n_points == 2
+        assert outcome.report.startswith("sweep report")
+        # Omitting the space means the full generated fleet space.
+        from repro.sweep import default_space
+        assert default_space().full_size == 1350
+
     def test_facade_exports_are_importable(self):
         for name in api.__all__:
             assert getattr(api, name) is not None

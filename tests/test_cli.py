@@ -271,3 +271,91 @@ class TestObservabilityCommands:
         # One merged job tree per workload, in submission order.
         assert [r["attrs"]["workload"] for r in roots] == \
             ["spec.gzip", "spec.art"]
+
+
+class TestSharedRuntimeSurface:
+    """One parent parser feeds every work-running subcommand."""
+
+    WORK_COMMANDS = ("analyze", "census", "experiment", "profile", "sweep")
+
+    @staticmethod
+    def _runtime_section(parser) -> str:
+        blocks = parser.format_help().split("\n\n")
+        sections = [b.strip() for b in blocks
+                    if b.lstrip().startswith("runtime:")]
+        assert len(sections) == 1
+        # argparse wraps columns per-subparser (the widest flag differs,
+        # and wrapping can split on hyphens), so compare the surface with
+        # all whitespace stripped.
+        return "".join(sections[0].split())
+
+    def _subparsers(self):
+        action = next(a for a in build_parser()._actions
+                      if getattr(a, "choices", None)
+                      and "analyze" in a.choices)
+        return action.choices
+
+    def test_runtime_help_identical_across_subcommands(self):
+        choices = self._subparsers()
+        sections = {name: self._runtime_section(choices[name])
+                    for name in self.WORK_COMMANDS}
+        reference = sections["analyze"]
+        for name, section in sections.items():
+            assert section == reference, f"{name} drifted from analyze"
+
+    def test_runtime_defaults_identical_across_subcommands(self):
+        flags = ("jobs", "cache_dir", "no_cache", "timeout", "shm",
+                 "trace_out")
+        positional = {"analyze": ["odbc"], "census": [],
+                      "experiment": ["e1"], "profile": ["odbc"],
+                      "sweep": []}
+        seen = {}
+        for name in self.WORK_COMMANDS:
+            args = build_parser().parse_args([name] + positional[name])
+            seen[name] = {flag: getattr(args, flag) for flag in flags}
+        assert all(values == seen["analyze"] for values in seen.values())
+
+
+class TestSweepCommand:
+    SWEEP_ARGS = ["sweep", "spec.gzip", "spec.art",
+                  "--seeds", "7", "--interval-sizes", "10000000",
+                  "--machines", "itanium2"]
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workloads == []
+        assert args.seeds == [11, 12, 13]
+        assert args.scale == "tiny"
+        assert args.jobs == 1  # shared runtime surface
+
+    def test_unknown_workload_is_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "no.such.workload"])
+        assert excinfo.value.code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_sweep_runs_and_resumes(self, capsys, tmp_path):
+        argv = self.SWEEP_ARGS + ["--shards", "2",
+                                  "--sweep-dir", str(tmp_path / "sweep"),
+                                  "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert first.out.startswith("sweep report\n")
+        assert "2 points" in first.err
+        # Rerun: both shards replay from their partials, same stdout.
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "2 shards (2 resumed), 0 cached, 0 executed" in second.err
+
+    def test_stop_after_exits_3_then_resumes(self, capsys, tmp_path):
+        argv = self.SWEEP_ARGS + ["--shards", "2",
+                                  "--sweep-dir", str(tmp_path / "sweep"),
+                                  "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv + ["--stop-after", "1"]) == 3
+        killed = capsys.readouterr()
+        assert killed.out == ""
+        assert "rerun to resume" in killed.err
+        assert main(argv) == 0
+        resumed = capsys.readouterr()
+        assert resumed.out.startswith("sweep report\n")

@@ -67,14 +67,17 @@ def rss_kib() -> int:
 
 
 def post(base: str, path: str, body: dict, timeout: float = 120.0):
+    """``(status, payload, headers)`` for one POST (headers lower-cased)."""
     request = urllib.request.Request(
         base + path, data=json.dumps(body).encode("utf-8"),
         headers={"Content-Type": "application/json"})
     try:
         with urllib.request.urlopen(request, timeout=timeout) as resp:
-            return resp.status, json.loads(resp.read())
+            headers = {k.lower(): v for k, v in resp.headers.items()}
+            return resp.status, json.loads(resp.read()), headers
     except urllib.error.HTTPError as exc:
-        return exc.code, json.loads(exc.read())
+        headers = {k.lower(): v for k, v in exc.headers.items()}
+        return exc.code, json.loads(exc.read()), headers
 
 
 def get(base: str, path: str):
@@ -130,8 +133,11 @@ class BurnIn:
                     seed=100 + (client_id * 1000 + rounds) % 200)
             else:
                 body = dict(HOT)
+            # Alternate the versioned and legacy spellings of the same
+            # endpoint: both must serve (and coalesce) identically.
+            path = "/v1/analyze" if rounds % 2 else "/analyze"
             try:
-                status, payload = post(self.base, "/analyze", body)
+                status, payload, _ = post(self.base, path, body)
             except (OSError, ValueError) as exc:
                 self._record_failure(f"transport error: {exc}")
                 continue
@@ -169,10 +175,10 @@ class BurnIn:
     def run_load(self) -> dict:
 
         # Warm-up: one of each request kind, then measure the RSS floor.
-        post(self.base, "/analyze", dict(HOT))
-        post(self.base, "/census",
+        post(self.base, "/v1/analyze", dict(HOT))
+        post(self.base, "/v1/census",
              {"workloads": ["spec.gzip", "spec.art"], "k_max": 5})
-        post(self.base, "/profile",
+        post(self.base, "/v1/profile",
              {"workloads": ["spec.gzip"], "intervals": 12, "seed": 7,
               "scale": "tiny", "k_max": 5})
         rss_baseline = rss_kib()
@@ -228,9 +234,44 @@ class BurnIn:
                     f"{len(self.failures)} failed requests; first: "
                     f"{self.failures[:1]}")
 
+    def check_versioning(self) -> None:
+        """Both endpoint spellings answer; only the legacy one deprecates.
+
+        The versioned path is the stable surface: its bodies carry
+        ``schema`` and it never sends a ``Deprecation`` header.  The bare
+        path keeps working (same bytes in the body) but advertises its
+        successor via ``Deprecation`` + ``Link``.
+        """
+        sv, versioned, vh = post(self.base, "/v1/analyze", dict(HOT))
+        sl, legacy, lh = post(self.base, "/analyze", dict(HOT))
+        self._check(sv == 200 and sl == 200, "versioned-paths",
+                    f"statuses {sv}/{sl}")
+        # ``served`` (cache_hit/coalesced) is the documented per-request
+        # section; everything else must match across spellings.
+        self._check({k: v for k, v in versioned.items() if k != "served"}
+                    == {k: v for k, v in legacy.items() if k != "served"},
+                    "versioned-paths",
+                    "versioned and legacy bodies differ")
+        self._check(versioned.get("schema") == 1, "schema-field",
+                    f"schema {versioned.get('schema')!r} != 1")
+        self._check("deprecation" not in vh, "deprecation-header",
+                    "versioned path sent a Deprecation header")
+        self._check(lh.get("deprecation") == "true"
+                    and "/v1/analyze" in lh.get("link", ""),
+                    "deprecation-header",
+                    f"legacy path headers missing Deprecation/Link: {lh}")
+
+        status, body, _ = post(
+            self.base, "/v1/sweep",
+            {"workloads": ["spec.gzip", "spec.art"], "seeds": [7],
+             "interval_sizes": [10_000_000], "machines": ["itanium2"]})
+        self._check(status == 200 and body.get("schema") == 1
+                    and body.get("n_points") == 2, "sweep-endpoint",
+                    f"status {status}, body keys {sorted(body)}")
+
     def check_cli_identity(self) -> None:
         """Every request kind answers byte-identically to a one-shot CLI."""
-        status, body = post(self.base, "/analyze", dict(HOT))
+        status, body, _ = post(self.base, "/analyze", dict(HOT))
         self._check(status == 200, "identity-analyze", f"status {status}")
         expected = cli_stdout(["analyze", HOT["workload"],
                                "--intervals", str(HOT["intervals"]),
@@ -240,9 +281,9 @@ class BurnIn:
         self._check(expected == body["report"] + "\n", "identity-analyze",
                     "daemon analyze report != CLI stdout")
 
-        status, body = post(self.base, "/census",
-                            {"workloads": ["spec.gzip", "spec.art"],
-                             "k_max": 5})
+        status, body, _ = post(self.base, "/census",
+                               {"workloads": ["spec.gzip", "spec.art"],
+                                "k_max": 5})
         self._check(status == 200, "identity-census", f"status {status}")
         expected = cli_stdout(["census", "spec.gzip", "spec.art",
                                "--k-max", "5", "--cache-dir",
@@ -252,8 +293,8 @@ class BurnIn:
 
         request = {"workloads": ["spec.gzip"], "intervals": 12, "seed": 7,
                    "scale": "tiny", "k_max": 5}
-        status1, first = post(self.base, "/profile", dict(request))
-        status2, second = post(self.base, "/profile", dict(request))
+        status1, first, _ = post(self.base, "/profile", dict(request))
+        status2, second, _ = post(self.base, "/profile", dict(request))
         self._check(status1 == 200 and status2 == 200, "identity-profile",
                     f"statuses {status1}/{status2}")
         self._check(first["stages"] == second["stages"] and first["stages"],
@@ -278,6 +319,7 @@ class BurnIn:
         print(f"load done: {report['responses']} responses "
               f"({report['shed']} shed) in {report['elapsed_s']}s")
         print("invariants:")
+        self.check_versioning()
         self.check_cli_identity()
         report["stats"] = self.stop()
         self.check_invariants(report)
