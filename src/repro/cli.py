@@ -42,9 +42,13 @@ bypass it.  Results are deterministic: the same seed produces the same
 bytes on stdout whether computed serially, in parallel, or from a warm
 cache (scheduling details go to stderr and the run manifest instead).
 They also accept ``--trace-out PATH`` to record a JSONL span trace of
-the run (observability never touches stdout) and ``--shm/--no-shm`` to
+the run (observability never touches stdout), ``--shm/--no-shm`` to
 choose how parallel-fold datasets reach workers (shared-memory views vs
-pickling — identical results either way).  ``analyze --trace-store DIR``
+pickling — identical results either way), and ``--dispatch
+adaptive|parallel|serial`` to pick the serial-vs-parallel policy —
+``adaptive`` (the default) consults the runtime's measured cost model
+and records its decisions in the run manifest; results are identical
+under every mode.  ``analyze --trace-store DIR``
 runs the out-of-core pipeline: the trace is collected into (or reused
 from) a columnar on-disk store and EIPVs stream from it in bounded
 memory, with byte-identical stdout.
@@ -79,6 +83,7 @@ def _configure_runtime(args) -> runtime_options.RuntimeOptions:
         no_cache=getattr(args, "no_cache", False),
         timeout=getattr(args, "timeout", None),
         shm=getattr(args, "shm", True),
+        dispatch=getattr(args, "dispatch", "adaptive"),
     )
 
 
@@ -192,6 +197,8 @@ def _run_analyze(args) -> int:
     # cross-validation folds (deterministic merge — same bytes out).
     graph = JobGraph()
     graph.add(spec)
+    from repro.runtime import pool as pool_mod
+    bookmark = pool_mod.dispatcher().seq
     previous_cv_jobs = set_default_cv_jobs(opts.jobs)
     try:
         outcome, = submit_graph(graph, jobs=1, cache=cache,
@@ -202,10 +209,13 @@ def _run_analyze(args) -> int:
         print(f"analysis failed:\n{outcome.error}", file=sys.stderr)
         return 1
     print(render_analysis(outcome.result.to_result()))
+    decisions = tuple(d.to_dict() for d in
+                      pool_mod.dispatcher().decisions(since=bookmark))
     _report_manifest(
         RunManifest.from_outcomes([outcome], command="analyze",
                                   jobs=opts.jobs,
-                                  cache_root=getattr(cache, "root", None)),
+                                  cache_root=getattr(cache, "root", None),
+                                  dispatch=decisions),
         cache)
     return 0
 
@@ -436,6 +446,15 @@ def runtime_parent() -> argparse.ArgumentParser:
                             "memory instead of pickling them into each "
                             "worker (results identical either way; "
                             "default: --shm)")
+    group.add_argument("--dispatch", default="adaptive",
+                       choices=list(runtime_options.DISPATCH_MODES),
+                       help="serial-vs-parallel policy for multi-job "
+                            "dispatches: 'adaptive' (default) consults a "
+                            "measured cost model per dataset/wave and "
+                            "refuses to parallelize when the pool could "
+                            "only add overhead (e.g. 1 usable CPU), "
+                            "'parallel' always trusts --jobs, 'serial' "
+                            "never forks; identical results either way")
     group.add_argument("--trace-out", default=None, metavar="PATH",
                        help="record a JSONL span trace of the run to PATH")
     return parent
@@ -598,7 +617,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    # Commands install process-wide runtime options (jobs, cache,
+    # dispatch policy); restore the caller's on the way out so an
+    # in-process invocation — tests, notebooks embedding the CLI —
+    # doesn't leak this command's policy into later library calls.
+    before = runtime_options.current()
+    try:
+        return args.func(args)
+    finally:
+        runtime_options.restore(before)
 
 
 if __name__ == "__main__":  # pragma: no cover

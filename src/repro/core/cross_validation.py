@@ -18,6 +18,7 @@ follow the paper in reporting ``k_opt``, the smallest k whose RE is within
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -99,7 +100,8 @@ def fold_indices(n: int, folds: int,
 def cross_validated_sse(matrix: np.ndarray, y: np.ndarray,
                         k_max=UNSET, folds=UNSET, seed=UNSET, min_leaf=UNSET,
                         *, config: AnalysisConfig | None = None,
-                        jobs: int | None = None) -> np.ndarray:
+                        jobs: int | None = None,
+                        dispatch: str | None = None) -> np.ndarray:
     """Summed held-out squared error E_k for k = 1..k_max.
 
     Builds one tree family per fold and evaluates every member tree on the
@@ -109,6 +111,14 @@ def cross_validated_sse(matrix: np.ndarray, y: np.ndarray,
     deterministic merge — the result is bit-identical to the serial loop
     (``jobs=None`` uses the process default, see
     :func:`set_default_cv_jobs`).
+
+    ``dispatch`` picks the serial-vs-parallel policy when ``jobs > 1``
+    (``None`` follows :func:`repro.runtime.options.current`):
+    ``"adaptive"`` asks the runtime's cost-model dispatcher whether this
+    dataset's measured per-fold cost justifies the worker pool, keyed by
+    the content-hashed dataset token — on a 1-core box, or for folds
+    cheaper than the dispatch overhead, it runs the serial loop instead.
+    Never a correctness knob: the fold floats are identical either way.
     """
     config = resolve_config(config, k_max, folds, seed, min_leaf,
                             caller="cross_validated_sse")
@@ -119,15 +129,38 @@ def cross_validated_sse(matrix: np.ndarray, y: np.ndarray,
     k_max = config.k_max
     effective_jobs = (_DEFAULT_CV_JOBS if jobs is None
                       else max(1, int(jobs)))
+    observe_keys: tuple[str, ...] = ()
+    if effective_jobs > 1:
+        from repro.runtime import options as runtime_options
+        mode = (dispatch if dispatch is not None
+                else runtime_options.current().dispatch)
+        if mode == "serial":
+            effective_jobs = 1
+        elif mode == "adaptive":
+            from repro.runtime import pool as pool_mod
+            from repro.runtime.folds import dataset_token
+            token = dataset_token(matrix, y)
+            observe_keys = (f"cv:{token}", "kind:cv_fold")
+            decision = pool_mod.dispatcher().decide(
+                key=f"cv:{token}", fallback_key="kind:cv_fold",
+                n_jobs=config.folds, jobs=effective_jobs)
+            if decision.mode == "serial":
+                # The serial loop below still times each fold so the
+                # model can revisit this choice as costs change.
+                effective_jobs = 1
     if effective_jobs > 1:
         from repro.runtime.folds import run_parallel_folds
         with span("cv", folds=config.folds, k_max=k_max) as cv_span:
             sse = run_parallel_folds(matrix, y, config, effective_jobs)
             cv_span.inc("points", len(y))
         return sse
+    if observe_keys:
+        from repro.runtime import pool as pool_mod
+        model = pool_mod.dispatcher()
     sse = np.zeros(k_max)
     with span("cv", folds=config.folds, k_max=k_max) as cv_span:
         for held_out in fold_indices(len(y), config.folds, rng):
+            fold_start = time.perf_counter() if observe_keys else 0.0
             with span("cv.fold") as fold_span:
                 train_mask = np.ones(len(y), dtype=bool)
                 train_mask[held_out] = False
@@ -146,6 +179,10 @@ def cross_validated_sse(matrix: np.ndarray, y: np.ndarray,
                 if reached < k_max:
                     sse[reached:] += errors[-1]
                 fold_span.inc("held_out", len(held_out))
+            if observe_keys:
+                elapsed = time.perf_counter() - fold_start
+                for observe_key in observe_keys:
+                    model.observe_job(observe_key, elapsed)
         cv_span.inc("points", len(y))
     return sse
 
@@ -153,11 +190,13 @@ def cross_validated_sse(matrix: np.ndarray, y: np.ndarray,
 def relative_error_curve(matrix: np.ndarray, y: np.ndarray,
                          k_max=UNSET, folds=UNSET, seed=UNSET, min_leaf=UNSET,
                          *, config: AnalysisConfig | None = None,
-                         jobs: int | None = None) -> RECurve:
+                         jobs: int | None = None,
+                         dispatch: str | None = None) -> RECurve:
     """The paper's RE_k curve with k_opt and RE_inf.
 
     Pass ``config=AnalysisConfig(...)``; loose kwargs are deprecated.
-    ``jobs`` parallelizes the folds (bit-identical merge).
+    ``jobs`` parallelizes the folds (bit-identical merge); ``dispatch``
+    is the serial-vs-parallel policy (see :func:`cross_validated_sse`).
     """
     config = resolve_config(config, k_max, folds, seed, min_leaf,
                             caller="relative_error_curve")
@@ -165,7 +204,8 @@ def relative_error_curve(matrix: np.ndarray, y: np.ndarray,
     total_variance = float(np.var(y))
     baseline = total_variance * len(y)
     k_max = config.k_max
-    sse = cross_validated_sse(matrix, y, config=config, jobs=jobs)
+    sse = cross_validated_sse(matrix, y, config=config, jobs=jobs,
+                              dispatch=dispatch)
     if baseline <= 0:
         # Constant CPI: any model is exact; RE is defined as 0.
         re = np.zeros(k_max)

@@ -25,6 +25,7 @@ from repro.core.quadrant import Quadrant
 from repro.experiments.base import Experiment
 from repro.experiments.common import default_intervals
 from repro.runtime import options as runtime_options
+from repro.runtime import pool as pool_mod
 from repro.runtime.graph import JobGraph, submit_graph
 from repro.runtime.jobs import JobSpec
 from repro.runtime.manifest import RunManifest
@@ -89,13 +90,16 @@ def run(workloads=None, seed: int = 11, k_max: int = 50,
     graph = JobGraph()
     for spec in specs:
         graph.add(spec)
+    bookmark = pool_mod.dispatcher().seq
     by_key = {outcome.key: outcome
               for outcome in submit_graph(graph, jobs=jobs, cache=cache,
                                           timeout=timeout)}
     outcomes = [by_key[spec.key] for spec in specs]
     manifest = RunManifest.from_outcomes(
         outcomes, command="census", jobs=jobs,
-        cache_root=getattr(cache, "root", None))
+        cache_root=getattr(cache, "root", None),
+        dispatch=tuple(d.to_dict() for d in
+                       pool_mod.dispatcher().decisions(since=bookmark)))
 
     failed = [outcome for outcome in outcomes if not outcome.ok]
     if failed:

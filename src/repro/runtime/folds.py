@@ -19,9 +19,12 @@ Three properties keep a parallel run bit-identical to the serial loop:
   fold submission order with the same ``sse[:reached] += errors`` /
   tail-extension operations the serial loop performs.
 
-The (matrix, y) dataset is published to each pool worker once via the
-pool initializer (:func:`publish_dataset` keyed by a content token)
-instead of being pickled into all ``folds`` job payloads.  Fold jobs are
+The (matrix, y) dataset is published to each pool worker once —
+through a cached :class:`~repro.runtime.pool.WorkerSetup` shm attach on
+the warm-pool path, or the legacy pool initializer on the pickled
+transport (:func:`publish_dataset` keyed by a content token either
+way) — instead of being pickled into all ``folds`` job payloads.  Fold
+jobs are
 never cached: a fold is an internal slice of one analysis, cheap relative
 to its dataset hash and meaningless outside it.
 """
@@ -219,22 +222,33 @@ def run_parallel_folds(matrix, y: np.ndarray, config, jobs: int,
     process-wide :func:`repro.runtime.options.current` default.  Shared
     memory silently degrades to the pickled transport when unavailable;
     either way the fold floats are the same.
+
+    The shm path rides the persistent warm pool: the published arena is
+    cached parent-side in :func:`repro.runtime.pool.arena_cache` keyed
+    by the dataset token (a k-sweep's repeated analyses publish once),
+    and workers attach through a :class:`~repro.runtime.pool.WorkerSetup`
+    cached by the same key (a warm worker re-attaches nothing).  The
+    pickled transport keeps the legacy per-call pool — its initializer
+    must run at worker spawn, so a persistent pool cannot serve it.
     """
     from repro.runtime import options as runtime_options
+    from repro.runtime import pool as pool_mod
     from repro.runtime.graph import JobGraph, submit_graph
-    from repro.runtime.shm import SharedArena
 
     if shm is None:
         shm = runtime_options.current().shm
     token = dataset_token(matrix, y)
     publish_dataset(token, matrix, y)
-    arena = SharedArena() if (shm and jobs > 1) else None
-    try:
+    initializer, initargs, setup = None, (), None
+    if shm and jobs > 1:
+        handle = pool_mod.arena_cache().handle_for(token, matrix, y)
+        if handle is not None:
+            setup = pool_mod.WorkerSetup(key=f"arena:{token}",
+                                         fn=_init_worker_shm,
+                                         args=(handle,))
+    if setup is None:
         initializer, initargs = _init_worker, (token, matrix, y)
-        if arena is not None:
-            handle = arena.publish(token, matrix, y)
-            if handle is not None:
-                initializer, initargs = _init_worker_shm, (handle,)
+    try:
         graph = JobGraph()
         specs = [FoldSpec(dataset_token=token, fold_index=i,
                           n_points=len(y), folds=config.folds,
@@ -243,20 +257,33 @@ def run_parallel_folds(matrix, y: np.ndarray, config, jobs: int,
                  for i in range(config.folds)]
         for spec in specs:
             graph.add(spec)
+        # The fold fan-out *is* the parallel path — the serial-vs-parallel
+        # decision was made by the caller (cross_validated_sse), so the
+        # waves must not second-guess it.
         outcomes = submit_graph(graph, jobs=jobs, cache=NullCache(),
                                 timeout=timeout, initializer=initializer,
-                                initargs=initargs)
+                                initargs=initargs, setup=setup,
+                                dispatch="parallel")
+    except BaseException:
+        # A crash mid-dispatch may implicate the published segment;
+        # evict it so nothing leaks past the failed analysis.
+        if setup is not None:
+            pool_mod.arena_cache().evict(token)
+        raise
     finally:
         _DATASETS.pop(token, None)
-        if arena is not None:
-            arena.destroy()
 
     sse = np.zeros(config.k_max)
+    model = pool_mod.dispatcher()
     for outcome in outcomes:
         if not outcome.ok:
             raise RuntimeError(
                 f"cross-validation fold {outcome.spec.fold_index} failed:\n"
                 f"{outcome.error}")
+        if not outcome.cache_hit:
+            # Feed the adaptive dispatcher's per-dataset cost model.
+            model.observe_job(f"cv:{token}", outcome.wall_time)
+            model.observe_job("kind:cv_fold", outcome.wall_time)
         errors = np.asarray(outcome.result.errors, dtype=np.float64)
         reached = outcome.result.reached
         sse[:reached] += errors

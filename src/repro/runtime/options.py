@@ -15,6 +15,15 @@ from pathlib import Path
 
 from repro.runtime.cache import NullCache, ResultCache, default_cache_dir
 
+#: Valid ``dispatch`` values: ``"parallel"`` trusts the caller's
+#: ``jobs`` (the historical behavior, and the library default so direct
+#: callers keep exact control), ``"serial"`` forces in-process runs, and
+#: ``"adaptive"`` lets :class:`repro.runtime.pool.AdaptiveDispatcher`
+#: pick per dataset / per wave from its measured cost model (the CLI
+#: default).  A dispatch mode never changes results, only where the
+#: floats get computed.
+DISPATCH_MODES = ("parallel", "serial", "adaptive")
+
 
 @dataclass(frozen=True)
 class RuntimeOptions:
@@ -29,6 +38,9 @@ class RuntimeOptions:
     #: choice — results are bit-identical either way — and it degrades
     #: to pickling when shared memory is unavailable.
     shm: bool = True
+    #: Serial-vs-parallel policy for multi-job dispatches (see
+    #: :data:`DISPATCH_MODES`).
+    dispatch: str = "parallel"
 
     def build_cache(self):
         """A :class:`ResultCache` per the options (or a null one)."""
@@ -42,21 +54,33 @@ _current = RuntimeOptions()
 
 def configure(jobs: int = 1, cache_dir=None, no_cache: bool = True,
               timeout: float | None = None,
-              shm: bool = True) -> RuntimeOptions:
+              shm: bool = True, dispatch: str = "parallel",
+              ) -> RuntimeOptions:
     """Install new process-wide defaults; returns them."""
     global _current
+    if dispatch not in DISPATCH_MODES:
+        raise ValueError(f"dispatch must be one of {DISPATCH_MODES}, "
+                         f"got {dispatch!r}")
     _current = RuntimeOptions(
         jobs=max(1, int(jobs or 1)),
         cache_dir=Path(cache_dir) if cache_dir else None,
         no_cache=bool(no_cache),
         timeout=timeout,
         shm=bool(shm),
+        dispatch=dispatch,
     )
     return _current
 
 
 def current() -> RuntimeOptions:
     """The active process-wide defaults."""
+    return _current
+
+
+def restore(options: RuntimeOptions) -> RuntimeOptions:
+    """Reinstall previously captured options (scoped overrides)."""
+    global _current
+    _current = options
     return _current
 
 

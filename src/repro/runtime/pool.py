@@ -1,0 +1,604 @@
+"""Persistent worker pool, shared-arena cache, and adaptive dispatch.
+
+Before this module every ``run_jobs`` call built a fresh
+:class:`~concurrent.futures.ProcessPoolExecutor`, forked workers, ran its
+batch, and tore everything down — and every parallel cross-validation
+re-published its dataset into a fresh shared-memory arena.  For the
+paper-scale fold fits that overhead *dominated*: ``BENCH_pipeline``
+recorded the 4-way parallel CV at 0.79× serial.  Three pieces close the
+gap:
+
+* :class:`WorkerPool` — one process pool that outlives individual
+  ``run_jobs``/``submit_graph`` calls.  Workers are forked once and
+  reused across batches (``pool.warm_hits``); the pool self-heals
+  (broken-pool respawn mid-batch, task-count recycling in lieu of
+  ``max_tasks_per_child`` — which needs 3.11+ and a non-fork start
+  method — an idle reaper, and an ``atexit`` shutdown that leaves zero
+  worker processes behind).
+
+* :class:`ArenaCache` — parent-side cache of published
+  :class:`~repro.runtime.shm.SharedArena` segments keyed by the
+  content-hashed ``dataset_token``, so a k-sweep's repeated analyses of
+  one dataset publish it **once** (``pool.arena_published`` vs
+  ``pool.arena_reused``).  Workers attach through a per-batch
+  :class:`WorkerSetup` hook that is cached worker-side by key, so a warm
+  worker re-attaches nothing either.
+
+* :class:`AdaptiveDispatcher` — an EWMA cost model of measured per-job
+  wall time vs. dispatch overhead that picks serial vs. parallel per
+  dataset (``cross_validated_sse``) and per wave (``submit_graph``)
+  instead of blindly trusting ``--jobs``.  On a 1-core box it refuses to
+  parallelize at all; decisions land in ``dispatch.*`` metrics and the
+  run manifest.
+
+Everything here is a performance tier, never a correctness one: results
+are byte-identical across serial, cold-pool, warm-pool and adaptive
+paths (the scheduler's outcome ordering and the folds' deterministic
+merge are unchanged), and a pool that cannot be built or breaks degrades
+to the scheduler's in-process fallback exactly as before.
+
+Lint: this file and ``scheduler.py`` are the only sanctioned pool
+construction sites (RL005); constructing executors anywhere else fails
+``repro.lint``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import time
+import traceback
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.runtime.metrics import METRICS
+from repro.runtime.shm import SharedArena
+
+#: Tasks a pool serves before its workers are recycled (``max_tasks ×
+#: workers`` pool-wide, a stand-in for ``max_tasks_per_child`` that
+#: works under fork and on 3.10).  Bounds any slow leak in worker-side
+#: caches (attached segments, published datasets, imported modules).
+DEFAULT_MAX_TASKS_PER_CHILD = 256
+
+#: Seconds of pool idleness before the reaper shuts the workers down.
+DEFAULT_IDLE_TTL_S = 120.0
+
+#: Published datasets kept warm (LRU); each entry is one shm segment.
+ARENA_CACHE_BOUND = 8
+
+#: Exceptions a pool build/submit can raise in restricted environments —
+#: the scheduler degrades to its in-process path on any of these.
+POOL_BUILD_ERRORS = (OSError, PermissionError, ImportError,
+                     NotImplementedError, ValueError, RuntimeError)
+
+
+class WorkerSetupError(RuntimeError):
+    """A worker's per-batch setup hook failed.
+
+    Raised *inside* the worker and pickled back; the scheduler treats it
+    like a broken pool for the affected job — recompute in the parent,
+    where the dataset is still published in-process — without actually
+    poisoning the (healthy) pool.
+    """
+
+
+@dataclass(frozen=True)
+class WorkerSetup:
+    """Idempotent per-batch worker initialization, cached by key.
+
+    The persistent pool cannot use executor initializers (those run only
+    at worker spawn, and a warm worker never re-spawns), so batches ship
+    this descriptor with every job instead: the first job of a batch to
+    reach a given worker runs ``fn(*args)``, and the key is remembered
+    so every later job — and every later *batch* with the same key —
+    skips it.  Keys must identify content (e.g. ``arena:<dataset
+    token>``), making re-runs no-ops by construction.
+    """
+
+    key: str
+    fn: Callable
+    args: tuple = ()
+
+
+#: Worker-side: setup keys already executed in this process.  Bounded by
+#: worker lifetime — task-count recycling replaces the workers long
+#: before this grows meaningfully.
+_SETUP_DONE: set[str] = set()
+
+
+def _run_setup(setup: WorkerSetup | None) -> None:
+    """Run one setup hook in this (worker) process, once per key."""
+    if setup is None or setup.key in _SETUP_DONE:
+        return
+    try:
+        setup.fn(*setup.args)
+    except BaseException:
+        raise WorkerSetupError(
+            f"worker setup {setup.key!r} failed in pid {os.getpid()}:\n"
+            f"{traceback.format_exc()}") from None
+    _SETUP_DONE.add(setup.key)
+
+
+def _pool_worker_execute(kind_name: str, spec_dict: dict, tracing: bool,
+                         setup: WorkerSetup | None) -> tuple[dict, int, float]:
+    """Worker body for the persistent pool: cached setup, then the job."""
+    _run_setup(setup)
+    from repro.runtime import scheduler
+    return scheduler._worker_execute(kind_name, spec_dict, tracing)
+
+
+class WorkerPool:
+    """A process pool that survives between scheduler batches.
+
+    ``acquire``/``release`` bracket one batch; the executor inside is
+    built lazily, reused while healthy (``pool.warm_hits``), rebuilt
+    after breakage (``pool.respawns``), recycled after serving
+    ``max_tasks_per_child × size`` tasks (``pool.recycled``), reaped
+    after ``idle_ttl_s`` of disuse (``pool.idle_reaped``), and shut down
+    at interpreter exit.  All entry points are thread-safe — the serve
+    daemon's request threads share one pool.
+    """
+
+    def __init__(self, max_workers: int | None = None,
+                 max_tasks_per_child: int = DEFAULT_MAX_TASKS_PER_CHILD,
+                 idle_ttl_s: float = DEFAULT_IDLE_TTL_S,
+                 metrics=METRICS) -> None:
+        self._lock = threading.RLock()
+        self._max_workers = max_workers
+        self._max_tasks_per_child = max(1, int(max_tasks_per_child))
+        self._idle_ttl_s = float(idle_ttl_s)
+        self._metrics = metrics
+        self._executor = None
+        self._size = 0
+        self._tasks_since_spawn = 0
+        self._broken = False
+        self._inflight = 0
+        self._last_used = time.monotonic()
+        self._reaper: threading.Timer | None = None
+        #: PIDs of workers retired by a non-blocking discard; probed (and
+        #: pruned) by :meth:`leaked_workers`.
+        self._retired_pids: set[int] = set()
+
+    # -- executor lifecycle ----------------------------------------------
+
+    def _build(self, workers: int):
+        # Resolved through the scheduler module so tests (and tools) that
+        # monkeypatch ``scheduler.ProcessPoolExecutor`` reach the warm
+        # pool's construction too.
+        from repro.runtime import scheduler
+        return scheduler.ProcessPoolExecutor(max_workers=workers)
+
+    def acquire(self, jobs: int):
+        """A ready executor sized for ``jobs``; returns ``(executor,
+        fresh)`` where ``fresh`` says the workers were just forked.
+
+        Raises one of :data:`POOL_BUILD_ERRORS` when a pool cannot be
+        built here; callers fall back to in-process execution.  Pair
+        every successful acquire with :meth:`release` in a ``finally``.
+        """
+        want = max(1, int(jobs))
+        if self._max_workers is not None:
+            want = min(want, self._max_workers)
+        with self._lock:
+            self._cancel_reaper()
+            if self._executor is not None:
+                if self._broken:
+                    self._discard_locked(wait=False)
+                elif self._size < want:
+                    # Grow by recycling: a bigger batch deserves the
+                    # workers it asked for.
+                    self._discard_locked(wait=True)
+                    self._metrics.inc("pool.recycled")
+                elif (self._tasks_since_spawn
+                        >= self._max_tasks_per_child * self._size):
+                    self._discard_locked(wait=True)
+                    self._metrics.inc("pool.recycled")
+            fresh = self._executor is None
+            if fresh:
+                self._executor = self._build(want)
+                self._size = want
+                self._tasks_since_spawn = 0
+                self._broken = False
+                self._metrics.inc("pool.spawns")
+            else:
+                self._metrics.inc("pool.warm_hits")
+            self._inflight += 1
+            self._last_used = time.monotonic()
+            return self._executor, fresh
+
+    def release(self) -> None:
+        """End one batch; arms the idle reaper when nothing is running."""
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+            self._last_used = time.monotonic()
+            if self._inflight == 0 and self._executor is not None:
+                self._arm_reaper()
+
+    def respawn_now(self, jobs: int):
+        """Replace a broken executor mid-batch; returns the new one.
+
+        The dead workers are discarded without waiting (they are gone or
+        wedged) and a fresh pool comes up for the batch's remaining
+        jobs.  Raises like :meth:`acquire` when the rebuild fails.
+        """
+        want = max(1, int(jobs))
+        if self._max_workers is not None:
+            want = min(want, self._max_workers)
+        with self._lock:
+            self._discard_locked(wait=False)
+            self._executor = self._build(want)
+            self._size = want
+            self._tasks_since_spawn = 0
+            self._broken = False
+            self._metrics.inc("pool.respawns")
+            return self._executor
+
+    def note_tasks(self, n: int) -> None:
+        """Account ``n`` submitted tasks toward the recycle threshold."""
+        with self._lock:
+            self._tasks_since_spawn += max(0, int(n))
+
+    def discard(self, wait: bool = False) -> None:
+        """Drop the current executor (timeout/poisoned-batch path)."""
+        with self._lock:
+            self._discard_locked(wait=wait)
+
+    def shutdown(self) -> None:
+        """Shut the pool down, waiting for workers to exit."""
+        with self._lock:
+            self._discard_locked(wait=True)
+
+    def _discard_locked(self, wait: bool) -> None:
+        executor, self._executor = self._executor, None
+        self._size = 0
+        self._tasks_since_spawn = 0
+        self._broken = False
+        self._cancel_reaper()
+        if executor is None:
+            return
+        procs = getattr(executor, "_processes", None) or {}
+        self._retired_pids.update(procs.keys())
+        try:
+            executor.shutdown(wait=wait, cancel_futures=True)
+        except Exception:
+            pass
+        if wait:
+            # A waited shutdown joins the workers; nothing can linger.
+            self._retired_pids.clear()
+
+    # -- idle reaper ------------------------------------------------------
+
+    def _arm_reaper(self) -> None:
+        self._cancel_reaper()
+        timer = threading.Timer(self._idle_ttl_s, self._reap_if_idle)
+        timer.daemon = True
+        self._reaper = timer
+        timer.start()
+
+    def _cancel_reaper(self) -> None:
+        if self._reaper is not None:
+            self._reaper.cancel()
+            self._reaper = None
+
+    def _reap_if_idle(self) -> None:
+        with self._lock:
+            idle_for = time.monotonic() - self._last_used
+            if (self._inflight == 0 and self._executor is not None
+                    and idle_for >= self._idle_ttl_s * 0.5):
+                self._discard_locked(wait=True)
+                self._metrics.inc("pool.idle_reaped")
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def is_warm(self) -> bool:
+        with self._lock:
+            return self._executor is not None and not self._broken
+
+    def worker_pids(self) -> tuple:
+        """PIDs of the current executor's workers (sorted)."""
+        with self._lock:
+            if self._executor is None:
+                return ()
+            procs = getattr(self._executor, "_processes", None) or {}
+            return tuple(sorted(procs.keys()))
+
+    def leaked_workers(self) -> list[int]:
+        """Previously-retired worker PIDs that are still alive.
+
+        Empty after any waited shutdown; a non-blocking discard may show
+        workers here briefly while they notice the broken pipe and exit.
+        Dead PIDs are pruned on every call so a recycled OS pid can never
+        be misreported later.
+        """
+        with self._lock:
+            alive = []
+            for pid in sorted(self._retired_pids):
+                try:
+                    os.kill(pid, 0)
+                except OSError:
+                    self._retired_pids.discard(pid)
+                else:
+                    alive.append(pid)
+            return alive
+
+
+class ArenaCache:
+    """Published shared-memory datasets kept warm across analyses.
+
+    Keyed by the content-hashed ``dataset_token`` — the same bytes hash
+    to the same token, so replaying a cached handle to a worker is
+    correct by construction.  LRU-bounded; evicted (and all) segments
+    are destroyed through their owning arena, and the whole cache is
+    torn down with the default pool at exit, so ``/dev/shm`` ends every
+    process empty.
+    """
+
+    def __init__(self, bound: int = ARENA_CACHE_BOUND,
+                 metrics=METRICS) -> None:
+        self._lock = threading.Lock()
+        self._bound = max(1, int(bound))
+        self._metrics = metrics
+        self._entries: OrderedDict[str, tuple] = OrderedDict()
+
+    def handle_for(self, token: str, matrix, y):
+        """The (possibly cached) handle of a published dataset.
+
+        Publishes at most once per token; returns ``None`` when shared
+        memory is unavailable (callers fall back to pickling).
+        """
+        with self._lock:
+            entry = self._entries.get(token)
+            if entry is not None:
+                self._entries.move_to_end(token)
+                self._metrics.inc("pool.arena_reused")
+                return entry[1]
+        arena = SharedArena()
+        handle = arena.publish(token, matrix, y)
+        if handle is None:
+            return None
+        with self._lock:
+            raced = self._entries.get(token)
+            if raced is not None:
+                # Another thread published the same bytes first; keep
+                # theirs, drop ours.
+                self._entries.move_to_end(token)
+                self._metrics.inc("pool.arena_reused")
+            else:
+                self._entries[token] = (arena, handle)
+                self._metrics.inc("pool.arena_published")
+                while len(self._entries) > self._bound:
+                    _, (old_arena, _) = self._entries.popitem(last=False)
+                    old_arena.destroy()
+                    self._metrics.inc("pool.arena_evicted")
+                return handle
+        arena.destroy()
+        return raced[1]
+
+    def evict(self, token: str) -> None:
+        """Destroy one dataset's segments (crash-path hygiene)."""
+        with self._lock:
+            entry = self._entries.pop(token, None)
+        if entry is not None:
+            entry[0].destroy()
+
+    def destroy_all(self) -> None:
+        with self._lock:
+            entries, self._entries = self._entries, OrderedDict()
+        for arena, _ in entries.values():
+            arena.destroy()
+
+    def tokens(self) -> tuple:
+        with self._lock:
+            return tuple(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+@dataclass(frozen=True)
+class DispatchDecision:
+    """One serial-vs-parallel call, with the estimates that made it."""
+
+    seq: int
+    key: str
+    mode: str  # "serial" | "parallel"
+    reason: str
+    n_jobs: int
+    jobs: int
+    cpus: int
+    est_job_s: float | None
+    est_overhead_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq, "key": self.key, "mode": self.mode,
+            "reason": self.reason, "n_jobs": self.n_jobs,
+            "jobs": self.jobs, "cpus": self.cpus,
+            "est_job_s": self.est_job_s,
+            "est_overhead_s": round(self.est_overhead_s, 6),
+        }
+
+
+class AdaptiveDispatcher:
+    """EWMA cost model choosing serial vs. parallel per dispatch.
+
+    Parallel wins only when the modeled pool run — per-job cost spread
+    over the usable workers, plus the measured dispatch overhead (cold
+    fork vs. warm reuse) — beats the modeled serial run by a margin.
+    With no cost data yet it trusts ``--jobs`` (the caller asked for
+    parallel; the first batch is also how costs get measured), except on
+    a box with fewer than two usable CPUs, where parallel process pools
+    can only lose.  Decisions are counted in ``dispatch.serial_chosen``
+    / ``dispatch.parallel_chosen`` and kept in a bounded log that the
+    CLI snapshots into the run manifest.
+    """
+
+    #: Parallel must beat serial by this factor to be chosen.
+    MARGIN = 0.9
+    #: EWMA smoothing for job-cost and overhead observations.
+    ALPHA = 0.3
+    #: Decision-log bound.
+    LOG_BOUND = 256
+
+    def __init__(self, metrics=METRICS, cpus: int | None = None) -> None:
+        self._lock = threading.Lock()
+        self._metrics = metrics
+        self._cpus = cpus
+        self._job_s: dict[str, float] = {}
+        #: Measured per-batch dispatch overhead, by pool temperature.
+        #: Priors: a fork is expensive, a warm hit nearly free.
+        self._overhead_s = {"cold": 0.25, "warm": 0.02}
+        self._log: deque = deque(maxlen=self.LOG_BOUND)
+        self._seq = 0
+
+    def usable_cpus(self) -> int:
+        """CPUs this process may actually run on (affinity-aware)."""
+        if self._cpus is not None:
+            return self._cpus
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except (AttributeError, OSError):
+            return os.cpu_count() or 1
+
+    # -- observation -------------------------------------------------------
+
+    def observe_job(self, key: str, seconds: float) -> None:
+        """Fold one measured per-job wall time into the model."""
+        seconds = max(0.0, float(seconds))
+        with self._lock:
+            prev = self._job_s.get(key)
+            self._job_s[key] = (seconds if prev is None
+                                else prev + self.ALPHA * (seconds - prev))
+
+    def observe_overhead(self, temperature: str, seconds: float) -> None:
+        """Fold one measured batch-dispatch overhead into the model."""
+        seconds = max(0.0, float(seconds))
+        with self._lock:
+            prev = self._overhead_s.get(temperature)
+            if prev is None:
+                self._overhead_s[temperature] = seconds
+            else:
+                self._overhead_s[temperature] = (
+                    prev + self.ALPHA * (seconds - prev))
+
+    def estimate_job_s(self, *keys: str | None) -> float | None:
+        """The first key with cost data (specific first, kind fallback)."""
+        with self._lock:
+            for key in keys:
+                if key is not None and key in self._job_s:
+                    return self._job_s[key]
+        return None
+
+    # -- decisions ---------------------------------------------------------
+
+    def decide(self, key: str, n_jobs: int, jobs: int,
+               fallback_key: str | None = None,
+               warm: bool | None = None) -> DispatchDecision:
+        """Choose how to run ``n_jobs`` jobs the caller wants at ``jobs``
+        parallelism; returns (and logs) the decision."""
+        cpus = self.usable_cpus()
+        if warm is None:
+            pool = _DEFAULT_POOL
+            warm = pool is not None and pool.is_warm
+        with self._lock:
+            overhead = self._overhead_s["warm" if warm else "cold"]
+        est = self.estimate_job_s(key, fallback_key)
+        workers = max(1, min(jobs, n_jobs, cpus))
+        if cpus < 2:
+            mode = "serial"
+            reason = (f"{cpus} usable cpu(s): a process pool can only "
+                      "add overhead")
+        elif est is None:
+            mode = "parallel"
+            reason = f"no cost data for {key!r} yet; trusting jobs={jobs}"
+        else:
+            serial_s = est * n_jobs
+            parallel_s = est * n_jobs / workers + overhead
+            if parallel_s < serial_s * self.MARGIN:
+                mode = "parallel"
+                reason = (f"est {parallel_s:.4f}s on {workers} workers "
+                          f"vs {serial_s:.4f}s serial")
+            else:
+                mode = "serial"
+                reason = (f"est {parallel_s:.4f}s on {workers} workers "
+                          f"≥ {self.MARGIN:.2f}×{serial_s:.4f}s serial")
+        with self._lock:
+            self._seq += 1
+            decision = DispatchDecision(
+                seq=self._seq, key=key, mode=mode, reason=reason,
+                n_jobs=n_jobs, jobs=jobs, cpus=cpus, est_job_s=est,
+                est_overhead_s=overhead)
+            self._log.append(decision)
+        self._metrics.inc(f"dispatch.{mode}_chosen")
+        return decision
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the latest decision (manifest bookmark)."""
+        with self._lock:
+            return self._seq
+
+    def decisions(self, since: int = 0) -> list[DispatchDecision]:
+        """Logged decisions with ``seq > since``, oldest first."""
+        with self._lock:
+            return [d for d in self._log if d.seq > since]
+
+
+# -- module singletons -----------------------------------------------------
+
+_DEFAULT_POOL: WorkerPool | None = None
+_DEFAULT_ARENAS: ArenaCache | None = None
+_DISPATCHER = AdaptiveDispatcher()
+_SINGLETON_LOCK = threading.Lock()
+
+
+def default_pool() -> WorkerPool:
+    """The process-wide warm pool (created on first use)."""
+    global _DEFAULT_POOL
+    with _SINGLETON_LOCK:
+        if _DEFAULT_POOL is None:
+            _DEFAULT_POOL = WorkerPool()
+        return _DEFAULT_POOL
+
+
+def arena_cache() -> ArenaCache:
+    """The process-wide published-dataset cache (created on first use)."""
+    global _DEFAULT_ARENAS
+    with _SINGLETON_LOCK:
+        if _DEFAULT_ARENAS is None:
+            _DEFAULT_ARENAS = ArenaCache()
+        return _DEFAULT_ARENAS
+
+
+def dispatcher() -> AdaptiveDispatcher:
+    """The process-wide adaptive dispatcher."""
+    return _DISPATCHER
+
+
+def shutdown_default() -> None:
+    """Shut down the warm pool and destroy cached arenas (atexit hook).
+
+    Safe to call repeatedly; the singletons rebuild lazily on next use.
+    """
+    global _DEFAULT_POOL, _DEFAULT_ARENAS
+    with _SINGLETON_LOCK:
+        pool, _DEFAULT_POOL = _DEFAULT_POOL, None
+        arenas, _DEFAULT_ARENAS = _DEFAULT_ARENAS, None
+    if pool is not None:
+        pool.shutdown()
+    if arenas is not None:
+        arenas.destroy_all()
+
+
+def reset_default() -> None:
+    """Shut everything down *and* forget learned costs (test hygiene)."""
+    global _DISPATCHER
+    shutdown_default()
+    _DISPATCHER = AdaptiveDispatcher()
+
+
+atexit.register(shutdown_default)

@@ -2,13 +2,20 @@
 
 :func:`run_jobs` is the one entry point.  For every spec it first
 consults the result cache; only misses are executed — serially in this
-process when ``jobs <= 1``, otherwise on a
-:class:`concurrent.futures.ProcessPoolExecutor`.  Pool construction or
+process when ``jobs <= 1``, otherwise on worker processes.  Parallel
+batches without a per-call ``initializer`` ride the **persistent warm
+pool** (:mod:`repro.runtime.pool`): workers forked once survive across
+batches, and per-batch worker state ships through the cached
+:class:`~repro.runtime.pool.WorkerSetup` hook instead.  Batches *with*
+an initializer still get a dedicated cold
+:class:`concurrent.futures.ProcessPoolExecutor` (initializers only run
+at spawn, which is exactly once for a warm pool).  Pool construction or
 submission failing (restricted environments, missing semaphores, broken
 workers) degrades gracefully to the in-process path, so ``--jobs`` is a
 performance knob, never a correctness one.  Outcomes come back in
 submission order regardless of completion order, which keeps downstream
-rendering byte-identical across serial, parallel and warm-cache runs.
+rendering byte-identical across serial, cold-pool, warm-pool and
+warm-cache runs.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro import obs
+from repro.runtime import pool as pool_mod
 from repro.runtime.cache import NullCache
 from repro.runtime.jobs import JobResult, JobSpec, resolve_kind
 from repro.runtime.metrics import METRICS
@@ -86,6 +94,137 @@ def _run_serial(spec: JobSpec, key: str,
     return JobOutcome(spec=spec, key=key, result=result, cache_hit=False,
                       wall_time=time.perf_counter() - start,
                       worker=f"pid-{os.getpid()}", error=error)
+
+
+def _execute_on_pool(specs: list[JobSpec], keys: list[str], jobs: int,
+                     timeout: float | None, setup, on_ready,
+                     worker_pool) -> tuple[list[JobOutcome] | None, str]:
+    """Fan one batch out over the persistent warm pool.
+
+    Same contract as :func:`_execute_parallel` — ``(outcomes, "")`` on
+    success, ``(None, why)`` when no pool can be used at all — plus the
+    warm-pool life cycle: the executor is acquired from (and released
+    back to) ``worker_pool``, a broken pool is respawned mid-batch and
+    the remaining jobs resubmitted, and a failed per-worker ``setup``
+    hook sends just the affected jobs to the in-process fallback without
+    tearing the healthy pool down.
+    """
+    tracing = obs.tracing_enabled()
+    batch_start = time.perf_counter()
+    try:
+        executor, fresh = worker_pool.acquire(min(jobs, len(specs)))
+    except pool_mod.POOL_BUILD_ERRORS:
+        return None, traceback.format_exc()
+    try:
+        try:
+            futures: list = [
+                executor.submit(pool_mod._pool_worker_execute, spec.kind,
+                                spec.canonical(), tracing, setup)
+                for spec in specs]
+        except pool_mod.POOL_BUILD_ERRORS:
+            worker_pool.discard(wait=False)
+            return None, traceback.format_exc()
+        worker_pool.note_tasks(len(specs))
+        outcomes: list[JobOutcome] = []
+        timed_out = False
+        busy_s = 0.0
+        executed = 0
+        respawns_left = 2
+        dead_pool_error = ""
+        try:
+            for i, (spec, key) in enumerate(zip(specs, keys)):
+                future = futures[i]
+                start = time.perf_counter()
+                if future is None:
+                    # The pool died and could not be respawned; finish
+                    # the batch in-process.
+                    outcome = _run_serial(spec, key,
+                                          pool_error=dead_pool_error or None)
+                    outcomes.append(outcome)
+                    if on_ready is not None:
+                        on_ready(outcome)
+                    continue
+                try:
+                    result_dict, pid, elapsed = future.result(timeout=timeout)
+                    result = resolve_kind(spec.kind).result_from_dict(
+                        result_dict)
+                    obs.graft(result.spans)
+                    outcome = JobOutcome(
+                        spec=spec, key=key, result=result,
+                        cache_hit=False, wall_time=elapsed,
+                        worker=f"pid-{pid}")
+                    busy_s += elapsed
+                    executed += 1
+                except FuturesTimeout:
+                    future.cancel()
+                    timed_out = True
+                    outcome = JobOutcome(
+                        spec=spec, key=key, result=None, cache_hit=False,
+                        wall_time=time.perf_counter() - start,
+                        worker="pool", timed_out=True,
+                        error=f"job exceeded the {timeout}s timeout")
+                except pool_mod.WorkerSetupError as exc:
+                    # Setup (e.g. an shm attach) failed in the worker;
+                    # the pool itself is fine.  Recompute here, where the
+                    # dataset is still published in-process.
+                    outcome = _run_serial(
+                        spec, key,
+                        pool_error="".join(traceback.format_exception(exc)))
+                except BrokenProcessPool as exc:
+                    pool_error = "".join(traceback.format_exception(exc))
+                    outcome = _run_serial(spec, key, pool_error=pool_error)
+                    rest = specs[i + 1:]
+                    if rest and futures[i + 1] is not None:
+                        # Self-heal: respawn the workers and resubmit the
+                        # rest of the batch (bounded, so a reliably
+                        # crashing workload degrades to in-process).
+                        if respawns_left > 0:
+                            respawns_left -= 1
+                            try:
+                                executor = worker_pool.respawn_now(
+                                    min(jobs, len(rest)))
+                                futures[i + 1:] = [
+                                    executor.submit(
+                                        pool_mod._pool_worker_execute,
+                                        s.kind, s.canonical(), tracing,
+                                        setup)
+                                    for s in rest]
+                                worker_pool.note_tasks(len(rest))
+                            except pool_mod.POOL_BUILD_ERRORS:
+                                dead_pool_error = traceback.format_exc()
+                                futures[i + 1:] = [None] * len(rest)
+                        else:
+                            dead_pool_error = pool_error
+                            futures[i + 1:] = [None] * len(rest)
+                except Exception as exc:
+                    outcome = JobOutcome(
+                        spec=spec, key=key, result=None, cache_hit=False,
+                        wall_time=time.perf_counter() - start,
+                        worker="pool",
+                        error="".join(traceback.format_exception(exc)))
+                outcomes.append(outcome)
+                if on_ready is not None:
+                    on_ready(outcome)
+        except BaseException:
+            # on_ready raised (e.g. a crash-simulation abort): don't let
+            # possibly-poisoned workers outlive the exception.
+            worker_pool.discard(wait=False)
+            raise
+        if timed_out:
+            # A timed-out job may still occupy its worker; hand the
+            # executor back to the OS rather than to the next batch.
+            worker_pool.discard(wait=False)
+        elif executed:
+            # Feed the dispatcher's cost model: what this batch paid
+            # beyond the workers' own compute is the dispatch overhead.
+            workers = max(1, min(jobs, len(specs)))
+            overhead = max(0.0, (time.perf_counter() - batch_start)
+                           - busy_s / workers)
+            pool_mod.dispatcher().observe_overhead(
+                "cold" if fresh else "warm", overhead)
+        return outcomes, ""
+    finally:
+        worker_pool.release()
 
 
 def _execute_parallel(specs: list[JobSpec], keys: list[str], jobs: int,
@@ -163,12 +302,22 @@ def _execute_parallel(specs: list[JobSpec], keys: list[str], jobs: int,
 
 def run_jobs(specs, jobs: int = 1, cache=None, timeout: float | None = None,
              metrics=METRICS, initializer=None, initargs=(),
-             on_outcome=None) -> list[JobOutcome]:
+             setup=None, worker_pool=None, on_outcome=None,
+             ) -> list[JobOutcome]:
     """Schedule every spec; return outcomes in submission order.
 
+    Parallel batches run on the persistent warm pool
+    (:func:`repro.runtime.pool.default_pool`, or ``worker_pool`` when
+    given); ``setup`` is an optional
+    :class:`~repro.runtime.pool.WorkerSetup` that ships per-batch worker
+    state (e.g. a shared-memory attach), cached worker-side by key so
+    warm workers skip it.
+
     ``initializer``/``initargs`` run once per pool worker (ignored on the
-    serial path) — the hook job kinds use to ship shared read-only state
-    to workers once instead of pickling it into every job.
+    serial path) — the legacy hook job kinds used to ship shared
+    read-only state to workers.  A batch with an initializer bypasses
+    the warm pool and gets a dedicated cold one, because initializers
+    only run at spawn time.
 
     Executed results are stored to ``cache`` *incrementally*, as each
     outcome is consumed — a run killed mid-batch leaves every already
@@ -230,10 +379,17 @@ def run_jobs(specs, jobs: int = 1, cache=None, timeout: float | None = None,
         todo_keys = [keys[i] for i in pending]
         executed, pool_error = None, ""
         if jobs > 1 and len(todo) > 1:
-            executed, pool_error = _execute_parallel(
-                todo, todo_keys, jobs, timeout,
-                initializer=initializer, initargs=initargs,
-                on_ready=store)
+            if initializer is None:
+                if worker_pool is None:
+                    worker_pool = pool_mod.default_pool()
+                executed, pool_error = _execute_on_pool(
+                    todo, todo_keys, jobs, timeout, setup,
+                    on_ready=store, worker_pool=worker_pool)
+            else:
+                executed, pool_error = _execute_parallel(
+                    todo, todo_keys, jobs, timeout,
+                    initializer=initializer, initargs=initargs,
+                    on_ready=store)
         if executed is None:
             executed = []
             for spec, key in zip(todo, todo_keys):

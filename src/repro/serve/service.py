@@ -45,6 +45,7 @@ from repro.experiments.common import clear_memo, memo_size
 from repro.runtime.cache import NullCache, ResultCache, default_cache_dir
 from repro.runtime.coalesce import (CoalescedFailure, CoalesceTimeout,
                                     JobCoalescer)
+from repro.runtime import pool as pool_mod
 from repro.runtime.jobs import JobResult
 from repro.runtime.metrics import METRICS
 from repro.runtime.scheduler import run_jobs
@@ -179,6 +180,21 @@ class AnalysisService:
                 "timeout": snap.get("jobs.timeout", 0),
             },
             "shm": {"live_segments": sorted(live_segments())},
+            "pool": {
+                "warm_hits": snap.get("pool.warm_hits", 0),
+                "spawns": snap.get("pool.spawns", 0),
+                "respawns": snap.get("pool.respawns", 0),
+                "recycled": snap.get("pool.recycled", 0),
+                "idle_reaped": snap.get("pool.idle_reaped", 0),
+                "arena_published": snap.get("pool.arena_published", 0),
+                "arena_reused": snap.get("pool.arena_reused", 0),
+                "arena_evicted": snap.get("pool.arena_evicted", 0),
+                "workers": list(pool_mod.default_pool().worker_pids()),
+            },
+            "dispatch": {
+                "serial_chosen": snap.get("dispatch.serial_chosen", 0),
+                "parallel_chosen": snap.get("dispatch.parallel_chosen", 0),
+            },
             "memo": {"entries": memo_size(),
                      "max_entries": self.config.memo_max_entries},
         }

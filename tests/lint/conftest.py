@@ -17,7 +17,8 @@ from repro.lint import load_config, run_lint
 
 #: Mirrors the real repo's section, scoped to the fixture tree. The
 #: fixture project puts "runtime" code under pkg/runtime/, hot-path
-#: code at pkg/hot.py, and allows pools only in pkg/runtime/sched.py.
+#: code at pkg/hot.py, and allows pools only in the two sanctioned
+#: sites (the scheduler and the persistent warm pool), like the repo.
 PYPROJECT = """\
 [project]
 name = "fixture"
@@ -28,7 +29,7 @@ paths = ["pkg"]
 baseline = "lint-baseline.json"
 rl002-allow = ["pkg/rng_ok.py"]
 rl003-paths = ["pkg/runtime/*.py"]
-rl005-pool-sites = ["pkg/runtime/sched.py"]
+rl005-pool-sites = ["pkg/runtime/sched.py", "pkg/runtime/pool.py"]
 rl006-hot-paths = ["pkg/hot.py"]
 """
 

@@ -306,6 +306,15 @@ class TestScopedAllow:
             == {"RL003"}
         assert config.scoped_rules("src/repro/serve/service.py") == set()
 
+    def test_real_repo_sanctions_exactly_two_pool_sites(self):
+        from pathlib import Path
+        root = Path(__file__).resolve().parents[2]
+        config = load_config(root=root)
+        assert sorted(config.rl005_pool_sites) == [
+            "src/repro/runtime/pool.py",
+            "src/repro/runtime/scheduler.py",
+        ]
+
 
 class TestRegistry:
     def test_all_six_rules_registered_in_order(self):

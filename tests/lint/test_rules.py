@@ -252,6 +252,27 @@ class TestRL005:
             """)
         assert lint_project.rules_hit() == []
 
+    def test_pool_in_warm_pool_module_ok(self, lint_project):
+        """The persistent warm pool is the second sanctioned site."""
+        lint_project.write("pkg/runtime/pool.py", """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def build(workers):
+                return ProcessPoolExecutor(max_workers=workers)
+            """)
+        assert lint_project.rules_hit() == []
+
+    def test_pool_in_other_runtime_module_flagged(self, lint_project):
+        """Being under runtime/ is not enough — only the listed sites
+        may construct executors."""
+        lint_project.write("pkg/runtime/folds.py", """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def sneak(n):
+                return ProcessPoolExecutor(max_workers=n)
+            """)
+        assert _lines(lint_project.run(), "RL005") == [4]
+
     def test_buffer_pool_not_confused(self, lint_project):
         lint_project.write("pkg/mod.py", """\
             from pkg.buffers import BufferPool

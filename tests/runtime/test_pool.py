@@ -1,0 +1,273 @@
+"""The persistent worker pool: warmth, self-healing, and clean exits.
+
+Everything the warm pool promises is covered here: workers forked once
+are reused across batches, a worker death mid-batch respawns the pool
+and finishes the batch, task-count recycling retires long-lived workers,
+the published-arena cache makes repeat analyses publish nothing, the
+idle reaper and ``shutdown_default`` leave zero worker processes and
+zero shm segments behind, and the adaptive dispatcher's cost model picks
+serial exactly when parallel could only lose.
+"""
+
+import os
+import time
+from dataclasses import asdict, dataclass
+from functools import cached_property
+from typing import ClassVar
+
+import numpy as np
+import pytest
+
+from repro.runtime import pool as pool_mod
+from repro.runtime import shm
+from repro.runtime.cache import NullCache
+from repro.runtime.folds import run_parallel_folds, dataset_token
+from repro.runtime.jobs import register_job_kind, spec_key
+from repro.runtime.metrics import METRICS, MetricsRegistry
+from repro.runtime.scheduler import run_jobs
+from tests.runtime.test_folds import small_dataset
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    """Each test forks its own workers (so they inherit this module's
+    job kind) and leaves nothing warm behind."""
+    pool_mod.reset_default()
+    yield
+    pool_mod.reset_default()
+
+
+# -- a minimal job kind whose workers can be told to die --------------------
+
+@dataclass(frozen=True)
+class ProbeSpec:
+    """Reports the executing pid; ``mode="die"`` kills any pool worker
+    it lands on (the parent, where ``parent_pid`` matches, survives)."""
+
+    kind: ClassVar[str] = "pool_probe"
+
+    tag: int
+    parent_pid: int
+    mode: str = "ok"
+
+    def canonical(self) -> dict:
+        return asdict(self)
+
+    @cached_property
+    def key(self) -> str:
+        return spec_key(self.canonical())
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    key: str
+    pid: int
+    timings: dict = None
+    spans: tuple = ()
+
+    def to_dict(self) -> dict:
+        return {"key": self.key, "pid": self.pid}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProbeResult":
+        return cls(key=data["key"], pid=data["pid"])
+
+
+def _execute_probe(spec: ProbeSpec) -> ProbeResult:
+    if spec.mode == "die" and os.getpid() != spec.parent_pid:
+        os._exit(1)
+    return ProbeResult(key=spec.key, pid=os.getpid())
+
+
+register_job_kind("pool_probe", execute=_execute_probe,
+                  spec_from_dict=lambda d: ProbeSpec(**d),
+                  result_from_dict=ProbeResult.from_dict)
+
+
+def probes(n, start=0, mode="ok"):
+    return [ProbeSpec(tag=start + i, parent_pid=os.getpid(), mode=mode)
+            for i in range(n)]
+
+
+def _counts(*names):
+    return {name: METRICS.count(name) for name in names}
+
+
+class TestWarmReuse:
+    def test_second_batch_reuses_forked_workers(self):
+        before = _counts("pool.spawns", "pool.warm_hits")
+        first = run_jobs(probes(4), jobs=2, cache=NullCache())
+        second = run_jobs(probes(4, start=10), jobs=2, cache=NullCache())
+        pids = {o.result.pid for batch in (first, second) for o in batch}
+        workers = {p for p in pids if p != os.getpid()}
+        assert workers, "jobs never reached a pool worker"
+        assert METRICS.count("pool.spawns") - before["pool.spawns"] == 1
+        assert METRICS.count("pool.warm_hits") - before["pool.warm_hits"] == 1
+        # Warm reuse means the second batch ran on the same forks.
+        first_pids = {o.result.pid for o in first} - {os.getpid()}
+        second_pids = {o.result.pid for o in second} - {os.getpid()}
+        assert second_pids <= first_pids
+
+    def test_arena_published_once_across_two_analyses(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        if not shm.shm_available():
+            pytest.skip("POSIX shared memory unavailable")
+        from repro.core.config import AnalysisConfig
+        matrix, y = small_dataset()
+        config = AnalysisConfig(k_max=5, folds=4, seed=3)
+        before = _counts("pool.arena_published", "pool.arena_reused")
+        first = run_parallel_folds(matrix, y, config, jobs=2, shm=True)
+        second = run_parallel_folds(matrix, y, config, jobs=2, shm=True)
+        np.testing.assert_array_equal(first, second)
+        assert (METRICS.count("pool.arena_published")
+                - before["pool.arena_published"]) == 1
+        assert (METRICS.count("pool.arena_reused")
+                - before["pool.arena_reused"]) >= 1
+
+
+class TestSelfHealing:
+    def test_worker_death_mid_batch_respawns_and_finishes(self):
+        specs = probes(2) + probes(1, start=50, mode="die") + \
+            probes(2, start=60)
+        before = _counts("pool.respawns")
+        outcomes = run_jobs(specs, jobs=2, cache=NullCache())
+        assert all(o.ok for o in outcomes)
+        # The kamikaze job was recomputed in the parent...
+        by_tag = {o.spec.tag: o for o in outcomes}
+        assert by_tag[50].result.pid == os.getpid()
+        assert METRICS.count("pool.respawns") - before["pool.respawns"] >= 1
+        # ...and the healed pool serves the next batch warm.
+        after = run_jobs(probes(3, start=70), jobs=2, cache=NullCache())
+        assert all(o.ok for o in after)
+
+    def test_recycle_after_max_tasks_replaces_workers(self):
+        metrics = MetricsRegistry()
+        pool = pool_mod.WorkerPool(max_workers=2, max_tasks_per_child=1,
+                                   metrics=metrics)
+        try:
+            first = run_jobs(probes(2), jobs=2, cache=NullCache(),
+                             worker_pool=pool)
+            second = run_jobs(probes(2, start=10), jobs=2,
+                              cache=NullCache(), worker_pool=pool)
+            first_pids = {o.result.pid for o in first} - {os.getpid()}
+            second_pids = {o.result.pid for o in second} - {os.getpid()}
+            assert first_pids and second_pids
+            assert first_pids.isdisjoint(second_pids)
+            assert metrics.count("pool.recycled") >= 1
+            assert metrics.count("pool.spawns") == 2
+        finally:
+            pool.shutdown()
+        assert pool.leaked_workers() == []
+
+    def test_idle_reaper_retires_an_unused_pool(self):
+        metrics = MetricsRegistry()
+        pool = pool_mod.WorkerPool(max_workers=2, idle_ttl_s=0.05,
+                                   metrics=metrics)
+        try:
+            run_jobs(probes(2), jobs=2, cache=NullCache(), worker_pool=pool)
+            deadline = time.monotonic() + 5.0
+            while pool.is_warm and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert not pool.is_warm
+            assert metrics.count("pool.idle_reaped") == 1
+        finally:
+            pool.shutdown()
+        assert pool.leaked_workers() == []
+
+
+class TestShutdown:
+    def test_shutdown_default_leaves_no_workers_or_segments(self):
+        run_jobs(probes(3), jobs=2, cache=NullCache())
+        pool = pool_mod.default_pool()
+        pids = pool.worker_pids()
+        assert pids
+        pool_mod.shutdown_default()
+        assert pool.worker_pids() == ()
+        assert pool.leaked_workers() == []
+        for pid in pids:
+            with pytest.raises(OSError):
+                os.kill(pid, 0)
+        assert shm.live_segments() == ()
+
+    def test_arena_cache_lru_evicts_and_destroys(self):
+        if not shm.shm_available():
+            pytest.skip("POSIX shared memory unavailable")
+        metrics = MetricsRegistry()
+        cache = pool_mod.ArenaCache(bound=2, metrics=metrics)
+        datasets = [small_dataset(seed=s) for s in (1, 2, 3)]
+        tokens = [dataset_token(m, y) for m, y in datasets]
+        try:
+            for (m, y), token in zip(datasets, tokens):
+                assert cache.handle_for(token, m, y) is not None
+            assert len(cache) == 2
+            assert tokens[0] not in cache.tokens()
+            assert metrics.count("pool.arena_evicted") == 1
+            assert len(shm.live_segments()) == 2
+        finally:
+            cache.destroy_all()
+        assert shm.live_segments() == ()
+
+
+class TestAdaptiveDispatcher:
+    def test_single_cpu_always_serial(self):
+        d = pool_mod.AdaptiveDispatcher(metrics=MetricsRegistry(), cpus=1)
+        decision = d.decide(key="cv:x", n_jobs=10, jobs=4)
+        assert decision.mode == "serial"
+        assert "1 usable cpu" in decision.reason
+
+    def test_no_cost_data_trusts_jobs(self):
+        d = pool_mod.AdaptiveDispatcher(metrics=MetricsRegistry(), cpus=4)
+        decision = d.decide(key="cv:x", n_jobs=10, jobs=4)
+        assert decision.mode == "parallel"
+        assert decision.est_job_s is None
+
+    def test_cheap_jobs_go_serial_expensive_parallel(self):
+        d = pool_mod.AdaptiveDispatcher(metrics=MetricsRegistry(), cpus=4)
+        d.observe_job("cv:cheap", 0.0005)
+        d.observe_job("cv:costly", 2.0)
+        assert d.decide(key="cv:cheap", n_jobs=10, jobs=4).mode == "serial"
+        assert d.decide(key="cv:costly", n_jobs=10, jobs=4).mode == "parallel"
+
+    def test_fallback_key_supplies_cost_data(self):
+        d = pool_mod.AdaptiveDispatcher(metrics=MetricsRegistry(), cpus=4)
+        d.observe_job("kind:cv_fold", 0.0005)
+        decision = d.decide(key="cv:unseen", n_jobs=10, jobs=4,
+                            fallback_key="kind:cv_fold")
+        assert decision.mode == "serial"
+        assert decision.est_job_s == pytest.approx(0.0005)
+
+    def test_counters_and_decision_log(self):
+        metrics = MetricsRegistry()
+        d = pool_mod.AdaptiveDispatcher(metrics=metrics, cpus=4)
+        bookmark = d.seq
+        d.observe_job("cv:cheap", 0.0005)
+        d.decide(key="cv:cheap", n_jobs=8, jobs=4, warm=True)
+        d.decide(key="cv:fresh", n_jobs=8, jobs=4, warm=True)
+        assert metrics.count("dispatch.serial_chosen") == 1
+        assert metrics.count("dispatch.parallel_chosen") == 1
+        logged = d.decisions(since=bookmark)
+        assert [entry.mode for entry in logged] == ["serial", "parallel"]
+        assert [entry.seq for entry in logged] == [bookmark + 1, bookmark + 2]
+        as_dict = logged[0].to_dict()
+        assert as_dict["key"] == "cv:cheap"
+        assert as_dict["cpus"] == 4
+        assert d.decisions(since=d.seq) == []
+
+    def test_ewma_converges_toward_new_costs(self):
+        d = pool_mod.AdaptiveDispatcher(metrics=MetricsRegistry(), cpus=4)
+        d.observe_job("k", 1.0)
+        for _ in range(30):
+            d.observe_job("k", 0.001)
+        assert d.estimate_job_s("k") < 0.01
+
+    def test_observed_overhead_tips_the_balance(self):
+        d = pool_mod.AdaptiveDispatcher(metrics=MetricsRegistry(), cpus=4)
+        d.observe_job("cv:mid", 0.05)
+        # With the warm prior (0.02s) 10×50ms folds parallelize...
+        assert d.decide(key="cv:mid", n_jobs=10, jobs=4,
+                        warm=True).mode == "parallel"
+        # ...but a measured dispatch overhead dwarfing the work flips it.
+        for _ in range(30):
+            d.observe_overhead("warm", 5.0)
+        assert d.decide(key="cv:mid", n_jobs=10, jobs=4,
+                        warm=True).mode == "serial"

@@ -4,6 +4,7 @@ import pytest
 
 from repro.experiments import table2_quadrants
 from repro.runtime import options as runtime_options
+from repro.runtime import pool as pool_mod
 from repro.runtime import scheduler
 from repro.runtime.cache import ResultCache
 from repro.runtime.jobs import JobSpec
@@ -87,6 +88,15 @@ class TestCacheIntegration:
 
 
 class TestFailureHandling:
+    @pytest.fixture(autouse=True)
+    def _cold_pool(self):
+        """Monkeypatched pool constructors only bite when no warm
+        executor survives from an earlier test (acquire would reuse it
+        and never call ``scheduler.ProcessPoolExecutor``)."""
+        pool_mod.reset_default()
+        yield
+        pool_mod.reset_default()
+
     def test_unknown_workload_yields_error_outcome(self):
         bad = JobSpec(workload="no.such.workload", n_intervals=12,
                       scale="tiny", k_max=5)

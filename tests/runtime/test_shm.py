@@ -12,6 +12,7 @@ import pytest
 
 from repro.core.config import AnalysisConfig
 from repro.core.cross_validation import cross_validated_sse
+from repro.runtime import pool as pool_mod
 from repro.runtime import shm
 from repro.runtime.cache import NullCache
 from repro.runtime.folds import (
@@ -29,9 +30,14 @@ pytestmark = pytest.mark.skipif(not shm.shm_available(),
 
 @pytest.fixture(autouse=True)
 def _no_leaks():
-    """Every test must end with zero live segments in this process."""
+    """Every test must end with zero live segments once the warm pool's
+    arena cache is torn down (the ``atexit`` contract, exercised per
+    test).  Segments held by the cache *during* a test are owned, not
+    leaked."""
+    pool_mod.reset_default()
     assert shm.live_segments() == ()
     yield
+    pool_mod.reset_default()
     leaked = shm.live_segments()
     shm.reap()
     shm.detach_all()
@@ -154,7 +160,9 @@ class TestTransportEquivalence:
                                         shm=False)
         np.testing.assert_array_equal(serial, via_shm)
         np.testing.assert_array_equal(serial, via_pickle)
-        assert shm.live_segments() == ()
+        # The published arena stays warm in the pool's cache (owned, not
+        # leaked — the fixture proves teardown clears it).
+        assert len(shm.live_segments()) == len(pool_mod.arena_cache()) == 1
 
     def test_csr_dataset_over_shm_identical(self):
         matrix, y = small_dataset()
@@ -163,7 +171,7 @@ class TestTransportEquivalence:
         serial = cross_validated_sse(sparse, y, config=config, jobs=1)
         parallel = run_parallel_folds(sparse, y, config, jobs=3, shm=True)
         np.testing.assert_array_equal(serial, parallel)
-        assert shm.live_segments() == ()
+        assert len(shm.live_segments()) == len(pool_mod.arena_cache()) == 1
 
     def test_publish_failure_degrades_to_pickle_transport(self,
                                                           monkeypatch):
@@ -211,8 +219,10 @@ class TestFailurePaths:
         assert shm.live_segments() == ()
 
     def test_attach_failure_falls_back_to_parent_serial(self, monkeypatch):
-        """A worker that cannot attach the segment breaks the pool; the
-        scheduler recomputes in the parent and results stay identical."""
+        """A worker that cannot attach the segment raises its setup hook
+        (WorkerSetupError); the scheduler recomputes those folds in the
+        parent — without poisoning the healthy pool — and results stay
+        identical."""
         def refuse(handle):
             raise OSError("segment vanished")
 
@@ -222,7 +232,7 @@ class TestFailurePaths:
         result = run_parallel_folds(matrix, y, config, jobs=2, shm=True)
         serial = cross_validated_sse(matrix, y, config=config, jobs=1)
         np.testing.assert_array_equal(serial, result)
-        assert shm.live_segments() == ()
+        assert len(shm.live_segments()) == len(pool_mod.arena_cache()) == 1
 
     def test_scheduler_crash_unlinks_arena(self, monkeypatch):
         """An abnormal scheduler exit still reaches the arena's finally."""
@@ -240,7 +250,8 @@ class TestFailurePaths:
         assert shm.live_segments() == ()
 
     def test_no_segment_files_left_in_dev_shm(self):
-        """Belt and braces: the OS view agrees nothing leaked."""
+        """Belt and braces: the OS view agrees nothing outlives the
+        pool shutdown."""
         import os
         from pathlib import Path
 
@@ -251,5 +262,11 @@ class TestFailurePaths:
         matrix, y = small_dataset()
         config = AnalysisConfig(k_max=5, folds=4, seed=3)
         run_parallel_folds(matrix, y, config, jobs=2, shm=True)
+        # While the pool is warm the cached segment is visible — owned.
+        cached = [p.name
+                  for p in dev_shm.glob(f"{shm.SEGMENT_PREFIX}-{pid}-*")]
+        assert len(cached) == len(pool_mod.arena_cache())
+        # The atexit path (exercised eagerly) must leave the OS clean.
+        pool_mod.shutdown_default()
         mine = [p.name for p in dev_shm.glob(f"{shm.SEGMENT_PREFIX}-{pid}-*")]
         assert mine == []

@@ -305,7 +305,7 @@ class TestSharedRuntimeSurface:
 
     def test_runtime_defaults_identical_across_subcommands(self):
         flags = ("jobs", "cache_dir", "no_cache", "timeout", "shm",
-                 "trace_out")
+                 "dispatch", "trace_out")
         positional = {"analyze": ["odbc"], "census": [],
                       "experiment": ["e1"], "profile": ["odbc"],
                       "sweep": []}
@@ -314,6 +314,20 @@ class TestSharedRuntimeSurface:
             args = build_parser().parse_args([name] + positional[name])
             seen[name] = {flag: getattr(args, flag) for flag in flags}
         assert all(values == seen["analyze"] for values in seen.values())
+
+    def test_main_restores_runtime_options(self, tmp_path, capsys):
+        """An in-process ``main()`` must not leak its runtime policy
+        (notably the CLI's adaptive dispatch default) into later
+        library calls — the library default stays ``parallel``."""
+        from repro.runtime import options as runtime_options
+        before = runtime_options.current()
+        assert before.dispatch == "parallel"
+        rc = main(["analyze", "spec.gzip", "--intervals", "12",
+                   "--k-max", "3", "--scale", "tiny",
+                   "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 0
+        capsys.readouterr()
+        assert runtime_options.current() == before
 
 
 class TestSweepCommand:

@@ -8,6 +8,9 @@ provoke cache churn), then asserts the daemon's long-run invariants:
 
 * **No leaked shared memory** — ``live_segments()`` is empty when the
   load stops.
+* **No leaked worker processes** — the daemon's warm worker pool
+  (census requests fan out across it) shuts down with every forked
+  worker joined and dead; ``leaked_workers()`` reports nothing.
 * **Bounded cache growth** — the result cache holds at most the
   configured ``cache_max_entries``.
 * **Flat RSS** — resident memory after the run is within a tolerance of
@@ -34,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import tempfile
@@ -46,6 +50,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.runtime import pool as pool_mod  # noqa: E402
 from repro.runtime.metrics import MetricsRegistry  # noqa: E402
 from repro.runtime.shm import live_segments  # noqa: E402
 from repro.serve import ServeConfig, create_server  # noqa: E402
@@ -109,6 +114,7 @@ class BurnIn:
                         max_inflight=2, max_queue=64,
                         default_deadline_s=120.0,
                         cache_max_entries=cache_max_entries,
+                        census_jobs=2,  # exercise the warm worker pool
                         memo_max_entries=8),
             metrics=self.metrics)
         self.cache_max_entries = cache_max_entries
@@ -206,6 +212,25 @@ class BurnIn:
 
         leaked = live_segments()
         self._check(not leaked, "shm", f"leaked segments: {leaked}")
+
+        # Worker-process leak: shut the warm pool down and prove every
+        # forked worker is gone (the daemon shares this process's pool).
+        pool = pool_mod.default_pool()
+        worker_pids = list(pool.worker_pids())
+        pool_mod.shutdown_default()
+        still_alive = []
+        for pid in worker_pids:
+            try:
+                os.kill(pid, 0)
+            except OSError:
+                pass
+            else:
+                still_alive.append(pid)
+        self._check(not still_alive and not pool.leaked_workers(),
+                    "workers",
+                    f"worker processes survived pool shutdown: "
+                    f"{still_alive or pool.leaked_workers()}")
+        report["pool_workers_seen"] = len(worker_pids)
 
         entries = stats["cache"]["entries"]
         self._check(entries <= self.cache_max_entries, "cache-bound",
