@@ -130,6 +130,7 @@ def cross_validated_sse(matrix: np.ndarray, y: np.ndarray,
     effective_jobs = (_DEFAULT_CV_JOBS if jobs is None
                       else max(1, int(jobs)))
     observe_keys: tuple[str, ...] = ()
+    token: str | None = None
     if effective_jobs > 1:
         from repro.runtime import options as runtime_options
         mode = (dispatch if dispatch is not None
@@ -151,7 +152,10 @@ def cross_validated_sse(matrix: np.ndarray, y: np.ndarray,
     if effective_jobs > 1:
         from repro.runtime.folds import run_parallel_folds
         with span("cv", folds=config.folds, k_max=k_max) as cv_span:
-            sse = run_parallel_folds(matrix, y, config, effective_jobs)
+            # ``token`` (when the adaptive path hashed the dataset for
+            # its dispatch key) rides along so it isn't hashed twice.
+            sse = run_parallel_folds(matrix, y, config, effective_jobs,
+                                     token=token)
             cv_span.inc("points", len(y))
         return sse
     if observe_keys:

@@ -209,7 +209,8 @@ def execute_fold(spec: FoldSpec) -> FoldResult:
 
 def run_parallel_folds(matrix, y: np.ndarray, config, jobs: int,
                        timeout: float | None = None,
-                       shm: bool | None = None) -> np.ndarray:
+                       shm: bool | None = None,
+                       token: str | None = None) -> np.ndarray:
     """Fan the folds of one cross-validation across worker processes.
 
     Returns the summed held-out squared-error vector E_k — bit-identical
@@ -230,6 +231,10 @@ def run_parallel_folds(matrix, y: np.ndarray, config, jobs: int,
     cached by the same key (a warm worker re-attaches nothing).  The
     pickled transport keeps the legacy per-call pool — its initializer
     must run at worker spawn, so a persistent pool cannot serve it.
+
+    ``token`` is the dataset's content token; callers that already paid
+    for :func:`dataset_token` (the adaptive dispatch path keys its
+    decision by it) pass it through so the dataset is hashed only once.
     """
     from repro.runtime import options as runtime_options
     from repro.runtime import pool as pool_mod
@@ -237,7 +242,8 @@ def run_parallel_folds(matrix, y: np.ndarray, config, jobs: int,
 
     if shm is None:
         shm = runtime_options.current().shm
-    token = dataset_token(matrix, y)
+    if token is None:
+        token = dataset_token(matrix, y)
     publish_dataset(token, matrix, y)
     initializer, initargs, setup = None, (), None
     if shm and jobs > 1:

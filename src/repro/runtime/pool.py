@@ -138,7 +138,10 @@ class WorkerPool:
     ``max_tasks_per_child × size`` tasks (``pool.recycled``), reaped
     after ``idle_ttl_s`` of disuse (``pool.idle_reaped``), and shut down
     at interpreter exit.  All entry points are thread-safe — the serve
-    daemon's request threads share one pool.
+    daemon's request threads share one pool, so growing/recycling waits
+    for the pool to go idle (a teardown would cancel a sibling batch's
+    pending futures) and blocking worker joins run outside the pool
+    lock.
     """
 
     def __init__(self, max_workers: int | None = None,
@@ -153,7 +156,6 @@ class WorkerPool:
         self._executor = None
         self._size = 0
         self._tasks_since_spawn = 0
-        self._broken = False
         self._inflight = 0
         self._last_used = time.monotonic()
         self._reaper: threading.Timer | None = None
@@ -181,32 +183,36 @@ class WorkerPool:
         want = max(1, int(jobs))
         if self._max_workers is not None:
             want = min(want, self._max_workers)
-        with self._lock:
-            self._cancel_reaper()
-            if self._executor is not None:
-                if self._broken:
-                    self._discard_locked(wait=False)
-                elif self._size < want:
-                    # Grow by recycling: a bigger batch deserves the
-                    # workers it asked for.
-                    self._discard_locked(wait=True)
+        stale = None
+        try:
+            with self._lock:
+                self._cancel_reaper()
+                if (self._executor is not None and self._inflight == 0
+                        and (self._size < want
+                             or self._tasks_since_spawn
+                             >= self._max_tasks_per_child * self._size)):
+                    # Grow (a bigger batch deserves the workers it asked
+                    # for) or recycle (task budget spent) — but only while
+                    # idle: with another batch in flight, tearing the
+                    # executor down would cancel its pending futures
+                    # mid-batch.  An undersized or over-budget executor
+                    # keeps serving until the next idle acquire.
+                    stale = self._detach_locked()
                     self._metrics.inc("pool.recycled")
-                elif (self._tasks_since_spawn
-                        >= self._max_tasks_per_child * self._size):
-                    self._discard_locked(wait=True)
-                    self._metrics.inc("pool.recycled")
-            fresh = self._executor is None
-            if fresh:
-                self._executor = self._build(want)
-                self._size = want
-                self._tasks_since_spawn = 0
-                self._broken = False
-                self._metrics.inc("pool.spawns")
-            else:
-                self._metrics.inc("pool.warm_hits")
-            self._inflight += 1
-            self._last_used = time.monotonic()
-            return self._executor, fresh
+                fresh = self._executor is None
+                if fresh:
+                    self._executor = self._build(want)
+                    self._size = want
+                    self._tasks_since_spawn = 0
+                    self._metrics.inc("pool.spawns")
+                else:
+                    self._metrics.inc("pool.warm_hits")
+                self._inflight += 1
+                self._last_used = time.monotonic()
+                executor = self._executor
+        finally:
+            self._shutdown_detached(stale, wait=True)
+        return executor, fresh
 
     def release(self) -> None:
         """End one batch; arms the idle reaper when nothing is running."""
@@ -226,14 +232,18 @@ class WorkerPool:
         want = max(1, int(jobs))
         if self._max_workers is not None:
             want = min(want, self._max_workers)
-        with self._lock:
-            self._discard_locked(wait=False)
-            self._executor = self._build(want)
-            self._size = want
-            self._tasks_since_spawn = 0
-            self._broken = False
-            self._metrics.inc("pool.respawns")
-            return self._executor
+        stale = None
+        try:
+            with self._lock:
+                stale = self._detach_locked()
+                self._executor = self._build(want)
+                self._size = want
+                self._tasks_since_spawn = 0
+                self._metrics.inc("pool.respawns")
+                executor = self._executor
+        finally:
+            self._shutdown_detached(stale, wait=False)
+        return executor
 
     def note_tasks(self, n: int) -> None:
         """Account ``n`` submitted tasks toward the recycle threshold."""
@@ -241,32 +251,46 @@ class WorkerPool:
             self._tasks_since_spawn += max(0, int(n))
 
     def discard(self, wait: bool = False) -> None:
-        """Drop the current executor (timeout/poisoned-batch path)."""
+        """Drop the current executor (broken/timeout/poisoned-batch path)."""
         with self._lock:
-            self._discard_locked(wait=wait)
+            stale = self._detach_locked()
+        self._shutdown_detached(stale, wait=wait)
 
     def shutdown(self) -> None:
         """Shut the pool down, waiting for workers to exit."""
-        with self._lock:
-            self._discard_locked(wait=True)
+        self.discard(wait=True)
 
-    def _discard_locked(self, wait: bool) -> None:
+    def _detach_locked(self):
+        """Swap the executor out under the lock; returns it (or ``None``).
+
+        Pair with :meth:`_shutdown_detached` *after* releasing the lock:
+        a waited ``executor.shutdown`` joins worker processes, and a
+        slow-to-exit worker must not block concurrent ``acquire`` /
+        ``release`` callers on the pool lock for the duration.
+        """
         executor, self._executor = self._executor, None
         self._size = 0
         self._tasks_since_spawn = 0
-        self._broken = False
         self._cancel_reaper()
+        if executor is not None:
+            procs = getattr(executor, "_processes", None) or {}
+            self._retired_pids.update(procs.keys())
+        return executor
+
+    def _shutdown_detached(self, executor, wait: bool) -> None:
+        """Shut a detached executor down (call without the pool lock)."""
         if executor is None:
             return
         procs = getattr(executor, "_processes", None) or {}
-        self._retired_pids.update(procs.keys())
+        pids = set(procs.keys())
         try:
             executor.shutdown(wait=wait, cancel_futures=True)
         except Exception:
             pass
         if wait:
-            # A waited shutdown joins the workers; nothing can linger.
-            self._retired_pids.clear()
+            # A waited shutdown joined these workers; they can't linger.
+            with self._lock:
+                self._retired_pids -= pids
 
     # -- idle reaper ------------------------------------------------------
 
@@ -285,17 +309,19 @@ class WorkerPool:
     def _reap_if_idle(self) -> None:
         with self._lock:
             idle_for = time.monotonic() - self._last_used
-            if (self._inflight == 0 and self._executor is not None
+            if not (self._inflight == 0 and self._executor is not None
                     and idle_for >= self._idle_ttl_s * 0.5):
-                self._discard_locked(wait=True)
-                self._metrics.inc("pool.idle_reaped")
+                return
+            stale = self._detach_locked()
+            self._metrics.inc("pool.idle_reaped")
+        self._shutdown_detached(stale, wait=True)
 
     # -- introspection ----------------------------------------------------
 
     @property
     def is_warm(self) -> bool:
         with self._lock:
-            return self._executor is not None and not self._broken
+            return self._executor is not None
 
     def worker_pids(self) -> tuple:
         """PIDs of the current executor's workers (sorted)."""

@@ -23,7 +23,8 @@ from __future__ import annotations
 import os
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as FuturesTimeout
+from concurrent.futures import (CancelledError, ProcessPoolExecutor,
+                                TimeoutError as FuturesTimeout)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
@@ -170,10 +171,19 @@ def _execute_on_pool(specs: list[JobSpec], keys: list[str], jobs: int,
                     outcome = _run_serial(
                         spec, key,
                         pool_error="".join(traceback.format_exception(exc)))
-                except BrokenProcessPool as exc:
+                except (BrokenProcessPool, CancelledError) as exc:
+                    # BrokenProcessPool: the workers died under this
+                    # batch.  CancelledError: another thread discarded
+                    # the shared executor (timeout, poisoned batch) and
+                    # our pending futures were cancelled — it is a
+                    # BaseException since 3.8, so without this clause it
+                    # would skip the per-job handler below and abort the
+                    # whole batch.  Either way the job recomputes
+                    # in-process and the rest resubmits on a fresh pool.
                     pool_error = "".join(traceback.format_exception(exc))
                     outcome = _run_serial(spec, key, pool_error=pool_error)
                     rest = specs[i + 1:]
+                    respawned = False
                     if rest and futures[i + 1] is not None:
                         # Self-heal: respawn the workers and resubmit the
                         # rest of the batch (bounded, so a reliably
@@ -190,12 +200,21 @@ def _execute_on_pool(specs: list[JobSpec], keys: list[str], jobs: int,
                                         setup)
                                     for s in rest]
                                 worker_pool.note_tasks(len(rest))
+                                respawned = True
                             except pool_mod.POOL_BUILD_ERRORS:
                                 dead_pool_error = traceback.format_exc()
                                 futures[i + 1:] = [None] * len(rest)
                         else:
                             dead_pool_error = pool_error
                             futures[i + 1:] = [None] * len(rest)
+                    if not respawned and isinstance(exc, BrokenProcessPool):
+                        # No fresh executor replaced the broken one (last
+                        # job of the batch, or the respawn budget ran
+                        # out): drop it, or the next batch warm-hits a
+                        # corpse and silently degrades to in-process.  A
+                        # cancelled future doesn't implicate the executor,
+                        # which the discarding thread already handled.
+                        worker_pool.discard(wait=False)
                 except Exception as exc:
                     outcome = JobOutcome(
                         spec=spec, key=key, result=None, cache_hit=False,

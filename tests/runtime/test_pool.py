@@ -10,6 +10,7 @@ serial exactly when parallel could only lose.
 """
 
 import os
+import threading
 import time
 from dataclasses import asdict, dataclass
 from functools import cached_property
@@ -76,6 +77,8 @@ class ProbeResult:
 def _execute_probe(spec: ProbeSpec) -> ProbeResult:
     if spec.mode == "die" and os.getpid() != spec.parent_pid:
         os._exit(1)
+    if spec.mode == "sleep" and os.getpid() != spec.parent_pid:
+        time.sleep(0.5)
     return ProbeResult(key=spec.key, pid=os.getpid())
 
 
@@ -157,6 +160,65 @@ class TestSelfHealing:
             assert metrics.count("pool.spawns") == 2
         finally:
             pool.shutdown()
+        assert pool.leaked_workers() == []
+
+    def test_broken_pool_on_last_job_is_discarded_not_reused(self):
+        # A break with no respawn after it (here: on the batch's last
+        # job) must drop the executor; a warm-cached corpse would make
+        # every later batch silently degrade to in-process.
+        specs = probes(1) + probes(1, start=50, mode="die")
+        outcomes = run_jobs(specs, jobs=2, cache=NullCache())
+        assert all(o.ok for o in outcomes)
+        assert not pool_mod.default_pool().is_warm
+        after = run_jobs(probes(3, start=70), jobs=2, cache=NullCache())
+        assert all(o.ok for o in after)
+        worker_pids = {o.result.pid for o in after} - {os.getpid()}
+        assert worker_pids, "next batch never reached a pool worker"
+
+    def test_acquire_defers_grow_and_recycle_while_batches_inflight(self):
+        # Growing or recycling tears the executor down, cancelling any
+        # in-flight batch's futures — so acquire must serve the current
+        # executor as-is until the pool is idle.
+        metrics = MetricsRegistry()
+        pool = pool_mod.WorkerPool(max_workers=4, max_tasks_per_child=1,
+                                   metrics=metrics)
+        try:
+            first, fresh = pool.acquire(1)
+            assert fresh
+            pool.note_tasks(5)  # over the recycle budget
+            second, fresh = pool.acquire(4)  # bigger, but not while busy
+            assert second is first and not fresh
+            assert metrics.count("pool.recycled") == 0
+            pool.release()
+            pool.release()
+            third, fresh = pool.acquire(4)  # idle now: grow + recycle
+            assert fresh and third is not first
+            assert metrics.count("pool.recycled") == 1
+            pool.release()
+        finally:
+            pool.shutdown()
+        assert pool.leaked_workers() == []
+
+    def test_cancelled_futures_recompute_in_process(self):
+        # Another thread discarding the shared executor mid-batch
+        # cancels our pending futures; CancelledError (a BaseException)
+        # must recompute the job like a broken pool, not abort the batch.
+        pool = pool_mod.WorkerPool(max_workers=1,
+                                   metrics=MetricsRegistry())
+        canceller = threading.Timer(0.15,
+                                    lambda: pool.discard(wait=False))
+        canceller.start()
+        try:
+            outcomes = run_jobs(probes(1, mode="sleep") + probes(1, start=10),
+                                jobs=2, cache=NullCache(), worker_pool=pool)
+        finally:
+            canceller.cancel()
+            pool.shutdown()
+        assert all(o.ok for o in outcomes)
+        # The discarded worker exits as soon as it drains its last task.
+        deadline = time.monotonic() + 5.0
+        while pool.leaked_workers() and time.monotonic() < deadline:
+            time.sleep(0.02)
         assert pool.leaked_workers() == []
 
     def test_idle_reaper_retires_an_unused_pool(self):
