@@ -14,6 +14,9 @@ thing that makes the speedup trustworthy — bit-identical output:
 * ``cv_jobs`` — :func:`cross_validated_sse` serial versus fanned out
   over the runtime scheduler; fold merge order is deterministic, so the
   curves must be identical.
+* ``sweep_cold`` / ``sweep_warm`` — the staged sweep cold versus rerun
+  against a populated artifact store; rows carry the stage-graph
+  hit/miss counters and the warm run must recompute zero collects.
 
 Timings land in ``benchmarks/results/BENCH_pipeline.json`` via the
 ``bench_json`` fixture so the trajectory is comparable across PRs.
@@ -197,6 +200,69 @@ def test_bench_fit_cv_sparse_node_vs_seed(benchmark, bench_json):
                speedup=round(speedup, 1),
                n_points=len(y), n_eips=matrix.shape[1], nnz=matrix.nnz)
     assert speedup >= 2.0
+
+
+# ----------------------------------------------------------------- sweep
+
+def test_bench_sweep_cold_vs_warm(benchmark, bench_json, tmp_path):
+    """Stage-graph reuse across sweeps sharing a collected execution.
+
+    Cold: a 2-workload x 2-interval sweep computes one collect per
+    (workload, machine, seed) cell and one EIPV re-cut per point.
+    Warm: the object tier is dropped (the shape of a config change that
+    invalidates final results but not the measured runs) and the sweep
+    reruns in a fresh directory — every point must reattach to its
+    cell's trace artifact, recomputing zero collect stages.
+    """
+    from repro.runtime.cache import ResultCache
+    from repro.sweep.engine import run_sweep
+    from repro.sweep.space import SweepSpace
+
+    space = SweepSpace(workloads=("spec.gzip", "spec.art"),
+                       interval_instructions=(2_000_000, 5_000_000),
+                       seeds=(7,), n_intervals=4)
+    cache = ResultCache(tmp_path / "cache")
+
+    run = {}
+
+    def _cold():
+        start = time.perf_counter()
+        run["outcome"] = run_sweep(space, tmp_path / "cold", jobs=1,
+                                   cache=cache)
+        run["wall"] = time.perf_counter() - start
+
+    benchmark.pedantic(_cold, rounds=1, iterations=1)
+
+    cold = run["outcome"]
+    cold_stages = cold.stage_stats["stages"]
+    assert cold_stages["collect_computed"] == 2  # one per workload cell
+    assert cold_stages["eipv_computed"] == cold.n_points == 4
+    bench_json("sweep_cold", run["wall"],
+               n_points=cold.n_points,
+               points_per_s=round(cold.n_points / run["wall"], 2),
+               **cold_stages)
+
+    # Invalidate final results only; stage artifacts survive.
+    for entry in cache.entries():
+        entry.unlink()
+
+    warm_start = time.perf_counter()
+    warm = run_sweep(space, tmp_path / "warm", jobs=1, cache=cache)
+    warm_wall = time.perf_counter() - warm_start
+
+    warm_stages = warm.stage_stats["stages"]
+    # The satellite's acceptance bar: a warm sweep recomputes zero
+    # collect stages and reuses at least one collected trace.
+    assert warm_stages["collect_computed"] == 0
+    assert warm_stages["collect_artifact_hits"] >= 1
+    assert warm_stages["eipv_artifact_hits"] == cold_stages["eipv_computed"]
+    # Byte-identity is the invariant that makes the reuse trustworthy.
+    assert warm.report == cold.report
+    bench_json("sweep_warm", warm_wall,
+               n_points=warm.n_points,
+               points_per_s=round(warm.n_points / warm_wall, 2),
+               speedup_vs_cold=round(run["wall"] / warm_wall, 2),
+               **warm_stages)
 
 
 def _usable_cpus() -> int:

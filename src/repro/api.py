@@ -23,6 +23,15 @@ keep stable:
 The report helpers (:func:`format_table`, :func:`format_curve`,
 :func:`sparkline`) are re-exported so example scripts need only this
 module.
+
+Caching: the scheduled surfaces (:func:`census`, :func:`sweep`) run as
+a content-hashed stage graph when the active
+:class:`~repro.runtime.cache.ResultCache` has a disk root — simulated
+traces and EIPV datasets persist in its artifact tier and later calls
+reuse them zero-copy instead of re-simulating.  This is invisible in
+the results (staged and monolithic runs are byte-identical) and
+controlled by the ``artifact_cache`` runtime option
+(:func:`repro.runtime.options.configure`).
 """
 
 from __future__ import annotations
@@ -295,6 +304,12 @@ def sweep(space: SweepSpace | None = None, sweep_dir=None, *,
     options.  A killed sweep rerun with the same arguments resumes:
     completed shards are skipped outright and completed points of
     incomplete shards come back as cache hits.
+
+    With a disk cache the sweep executes as a staged graph: all
+    interval-size variants of one (workload, machine, seed) cell share
+    a single simulated trace through the cache's artifact tier, and a
+    rerun whose artifacts survive recomputes no collect stage at all
+    (``SweepOutcome.stage_stats`` reports the reuse).
     """
     from pathlib import Path
 

@@ -37,8 +37,12 @@ surfaces cannot drift): ``--jobs N`` to
 fan work out across worker processes (census/experiment/sweep
 parallelize whole workloads; analyze parallelizes the cross-validation
 folds of its single run), ``--cache-dir PATH`` to
-relocate the content-addressed result cache, and ``--no-cache`` to
-bypass it.  Results are deterministic: the same seed produces the same
+relocate the content-addressed result cache, ``--no-cache`` to
+bypass it, and ``--artifact-cache/--no-artifact-cache`` to control the
+cache's stage-artifact tier (persisted traces and EIPV datasets that
+later runs reuse instead of re-simulating — a pure performance knob;
+the output bytes never change).  Results are deterministic: the same
+seed produces the same
 bytes on stdout whether computed serially, in parallel, or from a warm
 cache (scheduling details go to stderr and the run manifest instead).
 They also accept ``--trace-out PATH`` to record a JSONL span trace of
@@ -66,8 +70,9 @@ from repro.core.cross_validation import set_default_cv_jobs
 from repro.experiments.common import default_intervals
 from repro.experiments.runner import experiment_ids, run_all
 from repro.runtime import options as runtime_options
+from repro.runtime import stages
 from repro.runtime.cache import ResultCache, default_cache_dir
-from repro.runtime.graph import JobGraph, submit_graph
+from repro.runtime.graph import submit_graph
 from repro.runtime.jobs import JobSpec
 from repro.runtime.manifest import RunManifest
 from repro.sampling.selector import recommend_for
@@ -84,6 +89,7 @@ def _configure_runtime(args) -> runtime_options.RuntimeOptions:
         timeout=getattr(args, "timeout", None),
         shm=getattr(args, "shm", True),
         dispatch=getattr(args, "dispatch", "adaptive"),
+        artifact_cache=getattr(args, "artifact_cache", True),
     )
 
 
@@ -193,18 +199,24 @@ def _run_analyze(args) -> int:
                    seed=args.seed, machine=args.machine, scale=args.scale,
                    k_max=args.k_max)
     cache = opts.build_cache()
-    # One analyze is a one-node graph; --jobs N instead parallelizes its
-    # cross-validation folds (deterministic merge — same bytes out).
-    graph = JobGraph()
-    graph.add(spec)
+    # One analyze is a (collect → eipv → analysis) chain when an
+    # artifact store is available, a one-node graph otherwise; --jobs N
+    # instead parallelizes its cross-validation folds (deterministic
+    # merge — same bytes out).
+    artifacts = stages.artifact_store_for(cache)
+    graph = stages.analysis_graph([spec], cache=cache, artifacts=artifacts)
     from repro.runtime import pool as pool_mod
     bookmark = pool_mod.dispatcher().seq
     previous_cv_jobs = set_default_cv_jobs(opts.jobs)
     try:
-        outcome, = submit_graph(graph, jobs=1, cache=cache,
-                                timeout=opts.timeout)
+        with stages.artifact_context(artifacts):
+            outcomes = submit_graph(graph, jobs=1, cache=cache,
+                                    timeout=opts.timeout)
     finally:
         set_default_cv_jobs(previous_cv_jobs)
+    # Insertion order puts the analysis node last; stage outcomes stay
+    # off stdout and out of the manifest (same records as the monolith).
+    outcome = outcomes[-1]
     if not outcome.ok:
         print(f"analysis failed:\n{outcome.error}", file=sys.stderr)
         return 1
@@ -391,6 +403,7 @@ def _cmd_serve(args) -> int:
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
         no_cache=args.no_cache,
         cache_max_entries=args.cache_max_entries,
+        artifact_cache=args.artifact_cache,
         census_jobs=args.census_jobs,
         sweep_jobs=args.sweep_jobs,
         sweep_dir=Path(args.serve_sweep_dir) if args.serve_sweep_dir
@@ -403,9 +416,13 @@ def _cmd_cache(args) -> int:
     cache = ResultCache(args.cache_dir or default_cache_dir())
     if args.action == "stats":
         print(cache.stats().render())
+        print()
+        print(cache.artifacts.stats().render())
     else:  # clear
-        removed = cache.clear()
-        print(f"removed {removed} cached result(s) from {cache.root}")
+        n_artifacts = cache.artifacts.clear()
+        n_results = cache.clear()
+        print(f"removed {n_results} cached result(s) and {n_artifacts} "
+              f"stage artifact(s) from {cache.root}")
     return 0
 
 
@@ -446,6 +463,14 @@ def runtime_parent() -> argparse.ArgumentParser:
                             "memory instead of pickling them into each "
                             "worker (results identical either way; "
                             "default: --shm)")
+    group.add_argument("--artifact-cache",
+                       action=argparse.BooleanOptionalAction, default=True,
+                       help="persist intermediate stage artifacts (traces, "
+                            "EIPV datasets) beside the result cache so "
+                            "later runs reuse them instead of "
+                            "re-simulating (byte-identical output either "
+                            "way; no effect with --no-cache; "
+                            "default: --artifact-cache)")
     group.add_argument("--dispatch", default="adaptive",
                        choices=list(runtime_options.DISPATCH_MODES),
                        help="serial-vs-parallel policy for multi-job "
@@ -585,6 +610,12 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="prune the cache beyond N entries "
                             "(0 = unbounded; default: 4096)")
+    serve.add_argument("--artifact-cache",
+                       action=argparse.BooleanOptionalAction, default=True,
+                       help="persist stage artifacts (traces, EIPV "
+                            "datasets) beside the result cache so "
+                            "requests over the same measured execution "
+                            "reuse it (default: --artifact-cache)")
     serve.add_argument("--sweep-jobs", type=int, default=1, metavar="N",
                        help="worker processes per served sweep "
                             "(default: %(default)s, in-process)")

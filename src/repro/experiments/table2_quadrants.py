@@ -26,7 +26,8 @@ from repro.experiments.base import Experiment
 from repro.experiments.common import default_intervals
 from repro.runtime import options as runtime_options
 from repro.runtime import pool as pool_mod
-from repro.runtime.graph import JobGraph, submit_graph
+from repro.runtime import stages
+from repro.runtime.graph import submit_graph
 from repro.runtime.jobs import JobSpec
 from repro.runtime.manifest import RunManifest
 from repro.workloads.registry import get_workload, workload_names
@@ -83,17 +84,22 @@ def run(workloads=None, seed: int = 11, k_max: int = 50,
 
     specs = census_specs(workloads, seed=seed, k_max=k_max,
                          n_intervals=n_intervals)
-    # One graph wave: the census has no inter-job dependencies, but it
-    # rides the same submit_graph surface sweeps and folds use.  The
-    # graph dedups identical specs, so a duplicated workload name is
+    # The census rides the same staged submit_graph surface sweeps use:
+    # uncached workloads expand into collect → eipv → analysis nodes so
+    # their traces and datasets persist in the artifact tier for later
+    # runs (a cache-less census degenerates to one node per workload).
+    # The graph dedups identical specs, so a duplicated workload name is
     # computed once and rendered per requested spec below.
-    graph = JobGraph()
-    for spec in specs:
-        graph.add(spec)
+    artifacts = stages.artifact_store_for(cache)
+    graph = stages.analysis_graph(specs, cache=cache, artifacts=artifacts)
+    setup = stages.stage_setup(artifacts) if artifacts is not None else None
     bookmark = pool_mod.dispatcher().seq
-    by_key = {outcome.key: outcome
-              for outcome in submit_graph(graph, jobs=jobs, cache=cache,
-                                          timeout=timeout)}
+    with stages.artifact_context(artifacts):
+        graph_outcomes = submit_graph(graph, jobs=jobs, cache=cache,
+                                      timeout=timeout, setup=setup)
+    # Stage outcomes stay internal: the census result and its manifest
+    # describe analyses, exactly as before the pipeline split.
+    by_key = {outcome.key: outcome for outcome in graph_outcomes}
     outcomes = [by_key[spec.key] for spec in specs]
     manifest = RunManifest.from_outcomes(
         outcomes, command="census", jobs=jobs,

@@ -4,7 +4,12 @@ RL004 mirrors the discipline established in ``runtime/shm.py``: a NumPy
 array built over a ``SharedMemory`` buffer is a window onto pages other
 processes can see, so it must be frozen (``flags.writeable = False``)
 before it escapes the constructing function — an escaped writable view
-lets any caller silently corrupt every attached worker's data.
+lets any caller silently corrupt every attached worker's data.  The
+same applies to memmapped artifact loads (``np.load(...,
+mmap_mode=...)``): those pages back an on-disk artifact shared by every
+process that opens it, so the view must be frozen before escape, and
+returning/yielding the load call directly — with no chance to freeze —
+is flagged outright.
 
 RL005 keeps process-pool construction confined to the scheduler (the one
 place with the fallback/timeout/broken-pool machinery) and keeps big
@@ -40,21 +45,32 @@ class ShmWriteSafety(Rule):
 
     rule_id = "RL004"
     title = "writable shared-memory view escapes"
-    invariant = ("np.ndarray(..., buffer=...) views set "
-                 "flags.writeable = False before being returned or "
-                 "stored (see runtime/shm.py attach_dataset)")
+    invariant = ("np.ndarray(..., buffer=...) and np.load(..., "
+                 "mmap_mode=...) views set flags.writeable = False "
+                 "before being returned or stored (see runtime/shm.py "
+                 "attach_dataset)")
 
     def check(self, ctx, config):
         for function in _function_nodes(ctx.tree):
             yield from self._check_function(ctx, function)
 
     def _check_function(self, ctx, function):
-        views = {}  # local name -> ndarray(buffer=...) call node
+        views = {}  # local name -> shared-buffer view call node
         for node in ast.walk(function):
             if isinstance(node, ast.Assign) and len(node.targets) == 1 \
                     and isinstance(node.targets[0], ast.Name) \
-                    and self._is_buffer_ndarray(node.value, ctx.aliases):
+                    and self._is_view_call(node.value, ctx.aliases):
                 views[node.targets[0].id] = node.value
+            elif isinstance(node, (ast.Return, ast.Yield)) \
+                    and node.value is not None \
+                    and self._is_view_call(node.value, ctx.aliases):
+                # The view escapes inside the same statement that builds
+                # it — there is no name to freeze through at all.
+                yield self.finding(
+                    ctx, node.value,
+                    "shared-buffer ndarray view returned/yielded "
+                    "directly while writable; bind it first, set "
+                    ".flags.writeable = False, then let it escape")
         for name, call in views.items():
             frozen_line = self._freeze_line(function, name)
             escape_line = self._escape_line(function, name)
@@ -73,12 +89,26 @@ class ShmWriteSafety(Rule):
                     f"{name}.flags.writeable = False on line "
                     f"{frozen_line}; freeze the view before it escapes")
 
-    def _is_buffer_ndarray(self, node, aliases) -> bool:
+    def _is_view_call(self, node, aliases) -> bool:
+        """A call building an ndarray view over shared bytes.
+
+        Two constructors qualify: ``np.ndarray(..., buffer=...)`` (a
+        window onto a ``SharedMemory`` segment) and ``np.load(...,
+        mmap_mode=...)`` with a non-``None`` mode (a window onto an
+        on-disk artifact's pages).
+        """
         if not isinstance(node, ast.Call):
             return False
-        if qualified_name(node.func, aliases) != "numpy.ndarray":
-            return False
-        return any(keyword.arg == "buffer" for keyword in node.keywords)
+        name = qualified_name(node.func, aliases)
+        if name == "numpy.ndarray":
+            return any(keyword.arg == "buffer"
+                       for keyword in node.keywords)
+        if name == "numpy.load":
+            for keyword in node.keywords:
+                if keyword.arg == "mmap_mode":
+                    return not (isinstance(keyword.value, ast.Constant)
+                                and keyword.value.value is None)
+        return False
 
     def _freeze_line(self, function, name: str) -> int | None:
         """Line of ``name.flags.writeable = False``, if present."""

@@ -91,6 +91,28 @@ def dataset_token(matrix, y: np.ndarray) -> str:
     return token
 
 
+def register_dataset_token(matrix, y: np.ndarray, token: str) -> None:
+    """Pre-register a known content token for a live (matrix, y) pair.
+
+    Callers that already own a content-addressed identity for a dataset
+    — the artifact store's ``eipv`` stage key covers exactly the bytes
+    :func:`dataset_token` would hash — register it so the fold fan-out
+    and the shared-memory arena never re-hash a memmapped dataset.
+    Registration needs weak references to evict on object death; plain
+    dense ``ndarray``s don't support them, in which case this silently
+    does nothing and :func:`dataset_token` hashes as usual.
+    """
+    memo_key = (id(matrix), id(y))
+    if memo_key in _TOKEN_MEMO:
+        return
+    try:
+        for obj in (matrix, y):
+            weakref.finalize(obj, _TOKEN_MEMO.pop, memo_key, None)
+    except TypeError:
+        return
+    _TOKEN_MEMO[memo_key] = token
+
+
 def publish_dataset(token: str, matrix, y: np.ndarray) -> None:
     """Make a dataset visible to fold jobs executing in this process."""
     _DATASETS[token] = (matrix, y)

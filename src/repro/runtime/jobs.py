@@ -42,7 +42,10 @@ from repro.workloads.scale import get_scale
 
 #: Bump when pipeline semantics change; part of every job's identity, so
 #: stale cache entries from older code can never be served.
-CODE_VERSION = "1.0.0"
+#: 1.1.0: the pipeline split into content-hashed stages (collect/eipv/
+#: analysis) and the sweep space's interval axis now reuses one
+#: execution per (workload, machine, seed) — old keys must not alias.
+CODE_VERSION = "1.1.0"
 
 
 @dataclass(frozen=True)
@@ -64,7 +67,9 @@ JOB_KINDS: dict[str, JobKind] = {}
 
 #: Kinds whose defining module may not be imported yet (pool workers
 #: receive only the kind name, so resolution must be able to import).
-_LAZY_KINDS = {"cv_fold": "repro.runtime.folds"}
+_LAZY_KINDS = {"cv_fold": "repro.runtime.folds",
+               "collect": "repro.runtime.stages",
+               "eipv": "repro.runtime.stages"}
 
 
 def register_job_kind(name: str, *, execute: Callable,
@@ -237,8 +242,34 @@ class JobResult:
         )
 
 
+def _staged_dataset(spec: JobSpec):
+    """The spec's EIPV dataset from the artifact store, or ``None``.
+
+    The staged fast path: when the upstream ``eipv`` stage already
+    published this spec's dataset, load it zero-copy (read-only memmap
+    views) instead of re-simulating.  Identical bytes either way — the
+    artifact holds exactly the arrays ``collect_cached`` would build —
+    so this is purely a performance decision.
+    """
+    from repro.runtime import stages
+
+    store = stages.current_artifact_store()
+    if store is None:
+        return None
+    dataset = stages.load_eipv_dataset(store,
+                                       stages.eipv_spec_for(spec).key)
+    if dataset is not None:
+        dataset.workload_name = spec.workload
+    return dataset
+
+
 def execute_job(spec: JobSpec) -> JobResult:
     """Run the full pipeline for one spec (pure; safe in any worker).
+
+    Prefers a staged dataset (see :func:`_staged_dataset`); a process
+    without an artifact store — or a store without this spec's artifact
+    — runs the monolithic collect, so correctness never depends on the
+    store's contents.
 
     When tracing is enabled the job's span subtree is snapshotted into
     ``JobResult.spans``, which is how worker-process spans travel back to
@@ -246,7 +277,9 @@ def execute_job(spec: JobSpec) -> JobResult:
     """
     start = time.perf_counter()
     with span("job", workload=spec.workload, seed=spec.seed) as job_span:
-        _, dataset = collect_cached(spec.to_run_config())
+        dataset = _staged_dataset(spec)
+        if dataset is None:
+            _, dataset = collect_cached(spec.to_run_config())
         collected = time.perf_counter()
         analysis = analyze_predictability(dataset,
                                           config=spec.analysis_config())

@@ -41,6 +41,11 @@ class RuntimeOptions:
     #: Serial-vs-parallel policy for multi-job dispatches (see
     #: :data:`DISPATCH_MODES`).
     dispatch: str = "parallel"
+    #: Persist and reuse intermediate stage artifacts (traces, EIPV
+    #: datasets) beside the result cache.  Only effective when a disk
+    #: cache is in use; purely a performance knob — staged and
+    #: monolithic runs produce byte-identical results.
+    artifact_cache: bool = True
 
     def build_cache(self):
         """A :class:`ResultCache` per the options (or a null one)."""
@@ -55,6 +60,7 @@ _current = RuntimeOptions()
 def configure(jobs: int = 1, cache_dir=None, no_cache: bool = True,
               timeout: float | None = None,
               shm: bool = True, dispatch: str = "parallel",
+              artifact_cache: bool = True,
               ) -> RuntimeOptions:
     """Install new process-wide defaults; returns them."""
     global _current
@@ -68,6 +74,7 @@ def configure(jobs: int = 1, cache_dir=None, no_cache: bool = True,
         timeout=timeout,
         shm=bool(shm),
         dispatch=dispatch,
+        artifact_cache=bool(artifact_cache),
     )
     return _current
 

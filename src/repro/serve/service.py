@@ -46,6 +46,8 @@ from repro.runtime.cache import NullCache, ResultCache, default_cache_dir
 from repro.runtime.coalesce import (CoalescedFailure, CoalesceTimeout,
                                     JobCoalescer)
 from repro.runtime import pool as pool_mod
+from repro.runtime import stages
+from repro.runtime.graph import submit_graph
 from repro.runtime.jobs import JobResult
 from repro.runtime.metrics import METRICS
 from repro.runtime.scheduler import run_jobs
@@ -90,6 +92,13 @@ class ServeConfig:
     #: request stream (the memo is a pure accelerator — results are
     #: identical with or without it).
     memo_max_entries: int = 32
+    #: Persist stage artifacts (traces, EIPV datasets) beside the result
+    #: cache so distinct requests over the same measured execution —
+    #: different ``k_max``, different interval size — reuse it instead
+    #: of re-simulating.  Purely a performance knob (staged responses
+    #: are byte-identical to monolithic ones); ignored with
+    #: ``no_cache``.
+    artifact_cache: bool = True
 
     def build_cache(self):
         if self.no_cache:
@@ -116,8 +125,17 @@ class AnalysisService:
         self.admission = AdmissionController(
             max_inflight=self.config.max_inflight,
             max_queue=self.config.max_queue, metrics=metrics)
+        # The artifact tier outlives any one request: installing it once
+        # at startup lets every in-process stage execution (analyze,
+        # census, sweep) publish and reuse traces across requests.
+        self.artifacts = stages.artifact_store_for(
+            self.cache, enabled=self.config.artifact_cache)
+        if self.artifacts is not None:
+            stages.install_artifact_store(self.artifacts)
+        self.stage_counters = stages.StageCounters()
         self._started_monotonic = time.monotonic()
         self._memo_lock = threading.Lock()
+        self._stage_lock = threading.Lock()
 
     # -- GET endpoints ----------------------------------------------------
     def healthz(self) -> dict:
@@ -164,6 +182,7 @@ class AnalysisService:
                 "total_bytes": cache_stats.total_bytes,
                 "max_entries": self.config.cache_max_entries,
             },
+            "artifacts": self._artifact_section(snap),
             "coalesce": {
                 "leaders": snap.get("coalesce.leader", 0),
                 "followers": snap.get("coalesce.follower", 0),
@@ -198,6 +217,31 @@ class AnalysisService:
             "memo": {"entries": memo_size(),
                      "max_entries": self.config.memo_max_entries},
         }
+
+    def _artifact_section(self, snap: dict) -> dict:
+        """The artifact-store slice of :meth:`stats`.
+
+        Counter semantics: ``hits``/``misses`` are store probes in *this*
+        process (stage reuse inside pool workers doesn't travel through
+        metrics), so cross-process reuse is what ``stage_cache`` and
+        ``stages`` — tallied from returned outcomes — record.
+        """
+        section = {
+            "enabled": self.artifacts is not None,
+            "hits": snap.get("artifact.hit", 0),
+            "misses": snap.get("artifact.miss", 0),
+            "stores": snap.get("artifact.store", 0),
+            "pruned": snap.get("artifact.pruned", 0),
+            "quarantined": snap.get("artifact.quarantined", 0),
+        }
+        if self.artifacts is not None:
+            store_stats = self.artifacts.stats()
+            section["entries"] = store_stats.entries
+            section["total_bytes"] = store_stats.total_bytes
+            section["by_kind"] = dict(store_stats.by_kind)
+        with self._stage_lock:
+            section.update(self.stage_counters.to_dict())
+        return section
 
     def uptime_s(self) -> float:
         return time.monotonic() - self._started_monotonic
@@ -245,9 +289,7 @@ class AnalysisService:
 
         def compute() -> tuple[int, dict]:
             with self.admission.admit(deadline):
-                outcome, = run_jobs([spec], jobs=1, cache=self.cache,
-                                    timeout=self._remaining(deadline),
-                                    metrics=self.metrics)
+                outcome = self._run_analysis(spec, deadline)
             if not outcome.ok:
                 status = 504 if outcome.timed_out else 500
                 return status, self._error_body(
@@ -263,6 +305,33 @@ class AnalysisService:
             return status, body
         return status, self._respond(req, body, cache_hit=False,
                                      coalesced=not leader)
+
+    def _run_analysis(self, spec, deadline: float | None):
+        """One analysis through the staged graph; its final outcome.
+
+        With an artifact store the request runs as collect → eipv →
+        analysis stage nodes, so a later request over the same measured
+        execution (a different ``k_max``, a different interval size)
+        reuses the stored trace instead of re-simulating.  Responses are
+        byte-identical either way; without a store this is exactly the
+        classic single-job dispatch.
+        """
+        if self.artifacts is None:
+            outcome, = run_jobs([spec], jobs=1, cache=self.cache,
+                                timeout=self._remaining(deadline),
+                                metrics=self.metrics)
+            return outcome
+        graph = stages.analysis_graph([spec], cache=self.cache,
+                                      artifacts=self.artifacts)
+        outcomes = submit_graph(graph, jobs=1, cache=self.cache,
+                                timeout=self._remaining(deadline),
+                                metrics=self.metrics)
+        final = None
+        with self._stage_lock:
+            for outcome in outcomes:
+                if not self.stage_counters.observe(outcome):
+                    final = outcome
+        return final
 
     def _warm_analyze_body(self, req: AnalyzeRequest,
                            key: str) -> dict | None:

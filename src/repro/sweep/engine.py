@@ -26,12 +26,14 @@ version).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
-from repro.runtime.graph import JobGraph, submit_graph
+from repro.runtime import stages
+from repro.runtime.graph import submit_graph
 from repro.runtime.metrics import METRICS
 from repro.sweep.manifest import (
     MANIFEST_NAME,
@@ -53,6 +55,7 @@ DEFAULT_SHARDS = 8
 
 TABLE_DIR = "table"
 REPORT_NAME = "report.txt"
+RUNTIME_STATS_NAME = "runtime_stats.json"
 
 
 class SweepError(RuntimeError):
@@ -90,6 +93,10 @@ class SweepOutcome:
     report_path: str
     manifest_path: str
     notes: tuple = ()
+    #: Stage-graph counters for *this* run (see
+    #: :class:`repro.runtime.stages.StageCounters`) — empty when the
+    #: sweep ran monolithically (no artifact store) or fully resumed.
+    stage_stats: dict = field(default_factory=dict)
 
 
 def run_sweep(space: SweepSpace, sweep_dir, jobs: int = 1,
@@ -148,10 +155,20 @@ def run_sweep(space: SweepSpace, sweep_dir, jobs: int = 1,
         manifest.save(sweep_dir)
 
     counters = {"cached": 0, "executed": 0, "failed": 0}
-    if pending:
-        _run_pending(specs, manifest, pending, sweep_dir, jobs=jobs,
-                     cache=cache, timeout=timeout, stop_after=stop_after,
-                     metrics=metrics, counters=counters)
+    stage_counters = stages.StageCounters()
+    artifacts = stages.artifact_store_for(cache)
+    try:
+        if pending:
+            _run_pending(specs, manifest, pending, sweep_dir, jobs=jobs,
+                         cache=cache, artifacts=artifacts, timeout=timeout,
+                         stop_after=stop_after, metrics=metrics,
+                         counters=counters, stage_counters=stage_counters)
+    finally:
+        # Persisted even for an interrupted run, so crash drills and CI
+        # can assert on what this run reused vs. recomputed.  Counters
+        # only — no wall times — so the file is deterministic.
+        _write_runtime_stats(sweep_dir, space, counters, stage_counters,
+                             artifacts)
     if counters["failed"]:
         raise SweepError(
             f"{counters['failed']} of {total} sweep points failed; "
@@ -174,7 +191,32 @@ def run_sweep(space: SweepSpace, sweep_dir, jobs: int = 1,
         report_path=str(report_path),
         manifest_path=str(sweep_dir / MANIFEST_NAME),
         notes=tuple(notes),
+        stage_stats=stage_counters.to_dict(),
     )
+
+
+def _write_runtime_stats(sweep_dir: Path, space: SweepSpace, counters,
+                         stage_counters, artifacts) -> None:
+    """Atomically record this run's reuse/recompute counters."""
+    store_stats = artifacts.stats() if artifacts is not None else None
+    stats = {
+        "schema": 1,
+        "space_key": space.key,
+        "points": dict(counters),
+        **stage_counters.to_dict(),
+        "artifact_store": (None if store_stats is None else {
+            "root": store_stats.root,
+            "entries": store_stats.entries,
+            "total_bytes": store_stats.total_bytes,
+            "by_kind": store_stats.by_kind,
+            "quarantined": store_stats.quarantined,
+        }),
+    }
+    path = sweep_dir / RUNTIME_STATS_NAME
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(stats, sort_keys=True, indent=1),
+                   encoding="utf-8")
+    tmp.replace(path)
 
 
 def _result_row(point_index: int, result) -> list:
@@ -193,31 +235,43 @@ def _result_row(point_index: int, result) -> list:
 
 
 def _run_pending(specs, manifest: SweepManifest, pending, sweep_dir,
-                 *, jobs, cache, timeout, stop_after, metrics,
-                 counters) -> None:
-    """Submit every incomplete shard's points as one graph wave.
+                 *, jobs, cache, artifacts, timeout, stop_after, metrics,
+                 counters, stage_counters) -> None:
+    """Submit every incomplete shard's points as one graph.
 
     Points are dispatched in global point-index order across shards —
     sharding controls persistence granularity, not execution order — so
     the pool's shared queue load-balances (steals) across shards for
     free.  Each shard's partial is written the moment its last point
     succeeds, and the manifest is re-saved atomically after each one.
+
+    With an artifact store the graph is *staged*: uncached points grow
+    collect/EIPV dependency nodes, deduplicated across the point space,
+    so the DAG collapses from one independent job per point into a
+    shared-prefix forest (every interval-size variant of a cell rides
+    one simulated trace).  Stage outcomes feed ``stage_counters`` and
+    are invisible to the per-point accounting — ``cached``/``executed``/
+    ``failed`` and ``stop_after`` count analysis points only, exactly as
+    in a monolithic sweep.
     """
     # Pending shards ascend and bounds are contiguous, so adding
     # shard-by-shard inserts nodes in global point-index order — the
     # dispatch order the determinism contract needs.
     shard_of = {}
-    graph = JobGraph()
+    ordered = []
     for shard in pending:
         lo, hi = manifest.bounds[shard]
         for index in range(lo, hi):
             shard_of[specs[index].key] = (shard, index)
-            graph.add(specs[index])
+            ordered.append(specs[index])
+    graph = stages.analysis_graph(ordered, cache=cache, artifacts=artifacts)
 
     rows_by_shard: dict[int, dict[int, list]] = {s: {} for s in pending}
     failed_shards: set[int] = set()
 
     def consume(outcome) -> None:
+        if stage_counters.observe(outcome):
+            return
         shard, index = shard_of[outcome.key]
         if outcome.cache_hit:
             counters["cached"] += 1
@@ -243,8 +297,10 @@ def _run_pending(specs, manifest: SweepManifest, pending, sweep_dir,
         if stop_after is not None and counters["executed"] >= stop_after:
             raise SweepInterrupted(counters["executed"], stop_after)
 
-    submit_graph(graph, jobs=jobs, cache=cache, timeout=timeout,
-                 metrics=metrics, on_outcome=consume)
+    setup = stages.stage_setup(artifacts) if artifacts is not None else None
+    with stages.artifact_context(artifacts):
+        submit_graph(graph, jobs=jobs, cache=cache, timeout=timeout,
+                     metrics=metrics, setup=setup, on_outcome=consume)
 
 
 def _merge(space: SweepSpace, specs, manifest: SweepManifest,

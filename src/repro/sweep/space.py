@@ -47,6 +47,13 @@ class SweepSpace:
     interval_instructions: tuple = DEFAULT_INTERVALS
     seeds: tuple = (11,)
     scale: str = "tiny"
+    #: Intervals per point *at the largest interval size*.  Every point
+    #: of one (workload, machine, seed) cell analyzes the same
+    #: ``n_intervals * max(interval_instructions)`` instruction
+    #: execution, re-cut at each interval size (see :meth:`specs`) — so
+    #: the interval axis varies the EIPV granularity of one measured
+    #: run, exactly the paper's interval-size sensitivity question, and
+    #: all variants share a single collect stage.
     n_intervals: int = 12
     k_max: int = 5
     folds: int = 4
@@ -129,12 +136,34 @@ class SweepSpace:
         kept = rng.permutation(total)[: self.limit]
         return sorted(int(i) for i in kept)
 
+    def total_instructions(self) -> int:
+        """Instructions simulated per (workload, machine, seed) cell."""
+        return self.n_intervals * max(self.interval_instructions)
+
+    def point_intervals(self, interval: int) -> int:
+        """Interval count for one point at the given interval size.
+
+        The run length is held constant across the interval axis
+        (:meth:`total_instructions`), so smaller intervals yield
+        proportionally more of them; a size that doesn't divide the
+        total floors down (its trailing partial interval is dropped by
+        the EIPV builder anyway).  Never below ``n_intervals``, so the
+        ``folds <= n_intervals`` validation covers every point.
+        """
+        return max(self.n_intervals, self.total_instructions() // interval)
+
     def specs(self) -> list[JobSpec]:
         """Every point of the space as a content-hashed job spec.
 
         Fixed expansion order: ``product(workloads, machines,
         interval_instructions, seeds)``, the slowest-varying axis first.
         Point ``i`` of a space is the same job everywhere, forever.
+
+        All interval-size variants of one (workload, machine, seed)
+        cell describe the *same* simulated execution — identical
+        ``n_intervals * interval_instructions`` products — so their
+        collect stages share one content key and a staged sweep
+        simulates each cell once.
         """
         grid = list(product(self.workloads, self.machines,
                             self.interval_instructions, self.seeds))
@@ -143,7 +172,7 @@ class SweepSpace:
             workload, machine, interval, seed = grid[index]
             out.append(JobSpec(
                 workload=workload,
-                n_intervals=self.n_intervals,
+                n_intervals=self.point_intervals(interval),
                 seed=seed,
                 machine=machine,
                 scale=self.scale,

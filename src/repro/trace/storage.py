@@ -308,7 +308,14 @@ class ColumnStore:
         """A read-only memmap of one column (pages load on demand)."""
         if name not in self.COLUMNS:
             raise KeyError(f"unknown {self.KIND} column {name!r}")
-        return np.load(self.root / f"{name}.npy", mmap_mode="r")
+        view = np.load(self.root / f"{name}.npy", mmap_mode="r")
+        # mmap_mode="r" already maps the pages read-only, but the
+        # escaping ndarray must say so too (RL004): a writable-looking
+        # view over shared bytes invites in-place edits that would
+        # either crash (SIGSEGV on a read-only map) or corrupt every
+        # other reader of the artifact.
+        view.flags.writeable = False
+        return view
 
 
 class TraceStore(ColumnStore):

@@ -229,6 +229,50 @@ class TestRL004:
             """)
         assert lint_project.rules_hit() == []
 
+    def test_escaping_writable_mmap_view_flagged(self, lint_project):
+        lint_project.write("pkg/mod.py", """\
+            import numpy as np
+
+            def load(path):
+                view = np.load(path, mmap_mode="r")
+                return view
+            """)
+        assert lint_project.rules_hit() == ["RL004"]
+
+    def test_mmap_view_returned_directly_flagged(self, lint_project):
+        # No binding at all: nothing the freeze discipline could even
+        # attach to, so the return itself is the violation.
+        lint_project.write("pkg/mod.py", """\
+            import numpy as np
+
+            def column(root, name):
+                return np.load(root / name, mmap_mode="r")
+            """)
+        assert lint_project.rules_hit() == ["RL004"]
+
+    def test_mmap_view_frozen_before_return_ok(self, lint_project):
+        lint_project.write("pkg/mod.py", """\
+            import numpy as np
+
+            def column(root, name):
+                view = np.load(root / name, mmap_mode="r")
+                view.flags.writeable = False
+                return view
+            """)
+        assert lint_project.rules_hit() == []
+
+    def test_plain_np_load_ok(self, lint_project):
+        # An in-memory load owns its buffer; mmap_mode=None is the same.
+        lint_project.write("pkg/mod.py", """\
+            import numpy as np
+
+            def load(path, other):
+                data = np.load(path)
+                copy = np.load(other, mmap_mode=None)
+                return data, copy
+            """)
+        assert lint_project.rules_hit() == []
+
 
 # -- RL005: pool hygiene --------------------------------------------------
 

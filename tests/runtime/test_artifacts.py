@@ -1,0 +1,238 @@
+"""The artifact store: atomic publication, quarantine, bounded pruning.
+
+The store holds the pipeline's bulky intermediates (traces, EIPV
+matrices) as memmappable directories, so its guarantees are the result
+cache's at directory granularity: a reader sees a complete artifact or
+a miss (never a partial one), damage quarantines and silently
+recomputes, and eviction is bounded together with the object tier in
+deterministic sorted order.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.runtime.cache import ArtifactStore, ResultCache
+from repro.runtime.metrics import MetricsRegistry
+
+KEY = "cd" * 32
+OTHER = "ef" * 32
+
+
+def put_simple(store: ArtifactStore, key: str = KEY,
+               kind: str = "eipv", value: float = 1.5) -> None:
+    with store.put(kind, key, {"n": 3}) as staging:
+        np.save(staging / "data.npy", np.full(3, value))
+
+
+class TestRoundTrip:
+    def test_put_then_open_meta_and_load(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        put_simple(store)
+        assert store.has("eipv", KEY)
+        assert store.open_meta("eipv", KEY) == {"n": 3}
+        view = store.load_array("eipv", KEY, "data")
+        assert view is not None
+        np.testing.assert_array_equal(np.asarray(view), np.full(3, 1.5))
+
+    def test_loaded_views_are_read_only(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        put_simple(store)
+        view = store.load_array("eipv", KEY, "data")
+        assert view.flags.writeable is False
+        with pytest.raises((ValueError, RuntimeError)):
+            view[0] = 99.0
+
+    def test_missing_artifact_is_a_miss(self, tmp_path):
+        metrics = MetricsRegistry()
+        store = ArtifactStore(tmp_path, metrics=metrics)
+        assert store.has("eipv", KEY) is False
+        assert store.open_meta("eipv", KEY) is None
+        assert metrics.snapshot()["counters"].get("artifact.miss") == 1
+
+    def test_kind_and_key_are_distinct_namespaces(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        put_simple(store, kind="trace", value=1.0)
+        put_simple(store, kind="eipv", value=2.0)
+        assert np.asarray(store.load_array("trace", KEY, "data"))[0] == 1.0
+        assert np.asarray(store.load_array("eipv", KEY, "data"))[0] == 2.0
+
+    def test_put_failure_leaves_no_litter_and_no_artifact(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(RuntimeError):
+            with store.put("eipv", KEY, {}) as staging:
+                np.save(staging / "data.npy", np.zeros(2))
+                raise RuntimeError("publisher died mid-write")
+        assert store.has("eipv", KEY) is False
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+
+class TestQuarantine:
+    def test_truncated_array_quarantines_whole_artifact(self, tmp_path):
+        metrics = MetricsRegistry()
+        store = ArtifactStore(tmp_path, metrics=metrics)
+        put_simple(store)
+        npy = store.entry_dir("eipv", KEY) / "data.npy"
+        npy.write_bytes(npy.read_bytes()[:10])  # torn write
+        assert store.load_array("eipv", KEY, "data") is None
+        # The whole directory moved aside: next probe is a clean miss,
+        # so the producing stage silently recomputes.
+        assert store.has("eipv", KEY) is False
+        assert len(store.quarantined()) == 1
+        counters = metrics.snapshot()["counters"]
+        assert counters.get("artifact.quarantined") == 1
+
+    def test_garbage_meta_quarantines(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        put_simple(store)
+        (store.entry_dir("eipv", KEY) / "meta.json").write_text("{oops")
+        assert store.open_meta("eipv", KEY) is None
+        assert store.has("eipv", KEY) is False
+        assert len(store.quarantined()) == 1
+
+    def test_wrong_schema_or_identity_quarantines(self, tmp_path):
+        import json
+        store = ArtifactStore(tmp_path)
+        put_simple(store)
+        meta_path = store.entry_dir("eipv", KEY) / "meta.json"
+        envelope = json.loads(meta_path.read_text())
+        envelope["key"] = OTHER
+        meta_path.write_text(json.dumps(envelope))
+        assert store.open_meta("eipv", KEY) is None
+        assert len(store.quarantined()) == 1
+
+    def test_repeated_quarantine_keeps_every_specimen(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for _ in range(2):
+            put_simple(store)
+            (store.entry_dir("eipv", KEY) / "meta.json").write_text("x")
+            assert store.open_meta("eipv", KEY) is None
+        names = [p.name for p in store.quarantined()]
+        assert names == [KEY, f"{KEY}.1"]
+
+
+class TestMaintenance:
+    def test_entries_sorted_and_exclude_quarantine(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        put_simple(store, key=OTHER)
+        put_simple(store, key=KEY)
+        put_simple(store, key="aa" * 32, kind="trace")
+        (store.entry_dir("eipv", KEY) / "meta.json").write_text("x")
+        assert store.open_meta("eipv", KEY) is None  # quarantined
+        entries = store.entries()
+        assert entries == sorted(entries)  # full-path (kind-major) order
+        names = [p.name for p in entries]
+        assert KEY not in names and OTHER in names
+
+    def test_stats_counts_by_kind(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        put_simple(store, key=KEY, kind="trace")
+        put_simple(store, key=KEY, kind="eipv")
+        put_simple(store, key=OTHER, kind="eipv")
+        stats = store.stats()
+        assert stats.entries == 3
+        assert stats.by_kind == {"eipv": 2, "trace": 1}
+        assert stats.total_bytes > 0
+        assert "artifact store" in stats.render()
+
+    def test_prune_is_deterministic_sorted_eviction(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        keys = [f"{i:064x}" for i in (7, 1, 4, 9)]
+        for key in keys:
+            put_simple(store, key=key)
+        assert store.prune(max_entries=2) == 2
+        survivors = [p.name for p in store.entries()]
+        assert survivors == sorted(keys)[2:]
+
+    def test_clear_removes_artifacts_and_quarantine(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        put_simple(store, key=KEY)
+        put_simple(store, key=OTHER)
+        (store.entry_dir("eipv", KEY) / "meta.json").write_text("x")
+        store.open_meta("eipv", KEY)
+        assert store.clear() == 1  # OTHER; KEY was quarantined
+        assert store.entries() == []
+        assert store.quarantined() == []
+
+
+class TestResultCacheIntegration:
+    def test_cache_prune_bounds_both_tiers(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(4):
+            key = f"{i:064x}"
+            cache.put(key, {"k": key})
+            put_simple(cache.artifacts, key=key)
+        removed = cache.prune(max_entries=1)
+        assert removed == 6  # 3 objects + 3 artifacts
+        assert len(cache.entries()) == 1
+        assert len(cache.artifacts.entries()) == 1
+        # Deterministic on both tiers: the lexically-latest entries live.
+        assert cache.entries()[0].stem == f"{3:064x}"
+        assert cache.artifacts.entries()[0].name == f"{3:064x}"
+
+    def test_cache_clear_covers_artifacts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, {"k": 1})
+        put_simple(cache.artifacts, key=KEY)
+        put_simple(cache.artifacts, key=OTHER, kind="trace")
+        assert cache.clear() == 3
+        assert cache.entries() == []
+        assert cache.artifacts.entries() == []
+
+    def test_contains_probe_has_no_metrics_side_effect(self, tmp_path):
+        metrics = MetricsRegistry()
+        cache = ResultCache(tmp_path, metrics=metrics)
+        assert cache.contains(KEY) is False
+        cache.put(KEY, {"k": 1})
+        assert cache.contains(KEY) is True
+        counters = metrics.snapshot()["counters"]
+        assert "cache.hit" not in counters
+        assert "cache.miss" not in counters
+
+
+def _race_publisher(root: str, key: str, barrier, rounds: int) -> None:
+    """One racing publisher: rendezvous, then publish the same artifact
+    repeatedly so two writers genuinely overlap in the rename window."""
+    store = ArtifactStore(Path(root))
+    for _ in range(rounds):
+        barrier.wait(timeout=30)
+        with store.put("eipv", key, {"n": 4}) as staging:
+            np.save(staging / "data.npy", np.arange(4.0))
+
+
+class TestConcurrentPublishers:
+    def test_same_key_race_leaves_one_valid_artifact(self, tmp_path):
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+            barrier = ctx.Barrier(3)
+        except (OSError, PermissionError, ValueError):
+            pytest.skip("multiprocessing unavailable in this environment")
+        rounds = 25
+        workers = [ctx.Process(target=_race_publisher,
+                               args=(str(tmp_path), KEY, barrier, rounds))
+                   for _ in range(2)]
+        for worker in workers:
+            worker.start()
+        store = ArtifactStore(tmp_path)
+        for _ in range(rounds):
+            barrier.wait(timeout=30)
+            # Readers racing the publishers must only ever see a
+            # complete artifact or a miss — never a partial directory.
+            meta = store.open_meta("eipv", KEY)
+            assert meta is None or meta == {"n": 4}
+        for worker in workers:
+            worker.join(30)
+            assert worker.exitcode == 0
+
+        # Exactly one valid artifact for the key...
+        assert store.open_meta("eipv", KEY) == {"n": 4}
+        np.testing.assert_array_equal(
+            np.asarray(store.load_array("eipv", KEY, "data")),
+            np.arange(4.0))
+        assert [p.name for p in store.entries()] == [KEY]
+        # ...no quarantine debris and no leaked temp directories.
+        assert store.quarantined() == []
+        assert list(tmp_path.rglob("*.tmp")) == []

@@ -49,9 +49,10 @@ class TestAnalyze:
         assert warm["key"] == JobSpec(
             workload="spec.gzip", n_intervals=12, seed=7, scale="tiny",
             k_max=5).key
-        # The warm path never touched admission or the scheduler.
+        # The warm path never touched admission or the scheduler: only
+        # the cold request's staged graph (collect, eipv, fit) ran.
         assert service.metrics.count("serve.warm_hit") == 1
-        assert service.metrics.count("jobs.executed") == 1
+        assert service.metrics.count("jobs.executed") == 3
 
     def test_render_false_omits_the_report(self, tmp_path):
         service = _make(tmp_path)
@@ -65,18 +66,19 @@ class TestAnalyze:
 
     def test_thundering_herd_executes_once(self, tmp_path, monkeypatch):
         service = _make(tmp_path)
-        real_run_jobs = service_module.run_jobs
+        real_submit_graph = service_module.submit_graph
         calls = []
         entered = threading.Event()
         release = threading.Event()
 
-        def gated_run_jobs(specs, **kwargs):
-            calls.append([spec.key for spec in specs])
+        def gated_submit_graph(graph, **kwargs):
+            calls.append(graph.keys())
             entered.set()
             release.wait(30)
-            return real_run_jobs(specs, **kwargs)
+            return real_submit_graph(graph, **kwargs)
 
-        monkeypatch.setattr(service_module, "run_jobs", gated_run_jobs)
+        monkeypatch.setattr(service_module, "submit_graph",
+                            gated_submit_graph)
         n = 6
         results = [None] * n
 
@@ -110,13 +112,16 @@ class TestAnalyze:
                                                     monkeypatch):
         service = _make(tmp_path)
 
-        def failing_run_jobs(specs, **kwargs):
-            return [JobOutcome(spec=specs[0], key=specs[0].key,
+        def failing_submit_graph(graph, **kwargs):
+            # The analysis node is inserted last, after its stages.
+            spec = graph.node(graph.keys()[-1]).spec
+            return [JobOutcome(spec=spec, key=spec.key,
                                result=None, cache_hit=False,
                                wall_time=0.0, worker="test",
                                error="Traceback: boom")]
 
-        monkeypatch.setattr(service_module, "run_jobs", failing_run_jobs)
+        monkeypatch.setattr(service_module, "submit_graph",
+                            failing_submit_graph)
         status, body = service.handle("/analyze", dict(TINY))
         assert status == 500
         assert "boom" in body["traceback"]
@@ -125,15 +130,16 @@ class TestAnalyze:
     def test_job_timeout_maps_to_504(self, tmp_path, monkeypatch):
         service = _make(tmp_path)
 
-        def timing_out_run_jobs(specs, **kwargs):
-            return [JobOutcome(spec=specs[0], key=specs[0].key,
+        def timing_out_submit_graph(graph, **kwargs):
+            spec = graph.node(graph.keys()[-1]).spec
+            return [JobOutcome(spec=spec, key=spec.key,
                                result=None, cache_hit=False,
                                wall_time=0.0, worker="test",
                                error="job exceeded the timeout",
                                timed_out=True)]
 
-        monkeypatch.setattr(service_module, "run_jobs",
-                            timing_out_run_jobs)
+        monkeypatch.setattr(service_module, "submit_graph",
+                            timing_out_submit_graph)
         status, _ = service.handle("/analyze", dict(TINY))
         assert status == 504
 
@@ -144,14 +150,15 @@ class TestAdmissionIntegration:
         service = _make(tmp_path, max_inflight=1, max_queue=0)
         entered = threading.Event()
         release = threading.Event()
-        real_run_jobs = service_module.run_jobs
+        real_submit_graph = service_module.submit_graph
 
-        def gated_run_jobs(specs, **kwargs):
+        def gated_submit_graph(graph, **kwargs):
             entered.set()
             release.wait(30)
-            return real_run_jobs(specs, **kwargs)
+            return real_submit_graph(graph, **kwargs)
 
-        monkeypatch.setattr(service_module, "run_jobs", gated_run_jobs)
+        monkeypatch.setattr(service_module, "submit_graph",
+                            gated_submit_graph)
         first = {}
 
         def occupant():
@@ -174,14 +181,15 @@ class TestAdmissionIntegration:
         service = _make(tmp_path, max_inflight=1, max_queue=1)
         entered = threading.Event()
         release = threading.Event()
-        real_run_jobs = service_module.run_jobs
+        real_submit_graph = service_module.submit_graph
 
-        def gated_run_jobs(specs, **kwargs):
+        def gated_submit_graph(graph, **kwargs):
             entered.set()
             release.wait(30)
-            return real_run_jobs(specs, **kwargs)
+            return real_submit_graph(graph, **kwargs)
 
-        monkeypatch.setattr(service_module, "run_jobs", gated_run_jobs)
+        monkeypatch.setattr(service_module, "submit_graph",
+                            gated_submit_graph)
         thread = threading.Thread(
             target=lambda: service.handle("/analyze", dict(TINY)))
         thread.start()
@@ -216,7 +224,11 @@ class TestHousekeeping:
         assert service.metrics.count("cache.pruned") >= 1
 
     def test_memo_growth_is_bounded(self, tmp_path):
-        service = _make(tmp_path, memo_max_entries=0)
+        # The monolithic path is the one that feeds the in-process
+        # collect memo; staged requests persist through the artifact
+        # store instead and never touch it.
+        service = _make(tmp_path, memo_max_entries=0,
+                        artifact_cache=False)
         service.handle("/analyze", dict(TINY))
         assert memo_size() == 0
         assert service.metrics.count("serve.memo_cleared") >= 1
@@ -228,9 +240,16 @@ class TestHousekeeping:
         stats = service.stats()
         assert stats["requests"]["analyze"] == 2
         assert stats["cache"]["warm_responses"] == 1
-        assert stats["cache"]["entries"] == 1
+        # Three object entries: collect + eipv stage results + analysis.
+        assert stats["cache"]["entries"] == 3
         assert stats["coalesce"]["leaders"] == 1
-        assert stats["jobs"]["executed"] == 1
+        assert stats["jobs"]["executed"] == 3
         assert stats["shm"]["live_segments"] == []
         assert stats["admission"]["running"] == 0
+        assert stats["artifacts"]["enabled"] is True
+        assert stats["artifacts"]["by_kind"] == {"eipv": 1, "trace": 1}
+        assert stats["artifacts"]["stores"] == 2
+        assert stats["artifacts"]["stages"] == {
+            "collect_computed": 1, "collect_artifact_hits": 0,
+            "eipv_computed": 1, "eipv_artifact_hits": 0}
         assert service.healthz()["status"] == "ok"

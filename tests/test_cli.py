@@ -195,7 +195,9 @@ class TestRuntimeCommands:
         assert "entries" in out and str(tmp_path) in out
         assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
-        assert "removed 1 cached result(s)" in out
+        # Three object entries (collect + eipv stage results + the
+        # analysis) and two artifacts (the trace and the EIPV dataset).
+        assert "removed 3 cached result(s) and 2 stage artifact(s)" in out
 
     def test_no_cache_creates_no_directories(self, capsys, tmp_path):
         cache_dir = tmp_path / "cache"
