@@ -75,3 +75,9 @@ def bench_shm_json():
 def bench_serve_json():
     """Record analysis-daemon timings into ``BENCH_serve.json``."""
     return json_recorder(RESULTS_DIR / "BENCH_serve.json")
+
+
+@pytest.fixture(scope="session")
+def bench_lint_json():
+    """Record lint-engine timings into ``BENCH_lint.json``."""
+    return json_recorder(RESULTS_DIR / "BENCH_lint.json")

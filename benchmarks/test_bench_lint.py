@@ -1,0 +1,58 @@
+"""Lint engine benchmark: full-repo wall time and per-rule cost.
+
+The semantic rules (RL007-RL010) build a project-wide symbol table,
+call graph, lock model and taint summaries on every run, so the lint
+gate's cost now scales with the whole tree rather than per file. This
+benchmark pins that cost: one full run over the repository's configured
+paths, recorded to ``benchmarks/results/BENCH_lint.json`` as total wall
+time, files/sec, and the per-rule breakdown the engine already collects
+(``LintResult.rule_timings``).
+
+The ceiling asserted is deliberately generous — the gate runs in CI
+containers of unknown speed — but a 10x regression (an accidental
+quadratic fixpoint, an unbounded call-graph walk) still fails here
+before it turns the CI lint job into the critical path.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.lint import load_config, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Full-repo wall ceiling, seconds. The run takes ~5s on the dev
+#: container; 60s absorbs slow CI hardware while still catching
+#: order-of-magnitude blowups.
+WALL_CEILING_S = 60.0
+
+
+def test_full_repo_lint_cost(bench_lint_json):
+    config = load_config(root=REPO_ROOT)
+
+    start = time.perf_counter()
+    result = run_lint(config)
+    wall = time.perf_counter() - start
+
+    assert result.files_checked > 100
+    assert result.ok, [f.location() for f in result.new]
+
+    per_rule = {rule: round(seconds, 4) for rule, seconds
+                in sorted(result.rule_timings.items())}
+    graph = result.call_graph or {}
+    bench_lint_json("lint_full_repo", wall,
+          files_checked=result.files_checked,
+          files_per_s=round(result.files_checked / wall, 1),
+          n_functions=graph.get("n_functions"),
+          n_edges=graph.get("n_edges"),
+          rule_timings_s=per_rule)
+
+    assert wall < WALL_CEILING_S, (
+        f"full-repo lint took {wall:.1f}s (> {WALL_CEILING_S:.0f}s "
+        f"ceiling); per-rule: {per_rule}")
+    # Every registered rule must report a timing — a rule silently
+    # skipped by the engine would otherwise look free forever.
+    assert set(per_rule) == set(result.rule_timings)
+    assert all(cost >= 0 for cost in per_rule.values())

@@ -431,7 +431,9 @@ def _cmd_lint(args) -> int:
     return run_cli(paths=args.paths, format=args.format,
                    baseline=args.baseline,
                    write_baseline_flag=args.write_baseline,
-                   root=args.root, verbose=args.verbose)
+                   root=args.root, verbose=args.verbose,
+                   changed=args.changed, graph_out=args.graph_out,
+                   timings_out=args.timings_out)
 
 
 def runtime_parent() -> argparse.ArgumentParser:

@@ -18,7 +18,23 @@ RL005     pool hygiene (pool construction outside the scheduler,
           closures submitted to pools)
 RL006     ambient I/O in hot-path files (print/open/logging outside
           repro.obs)
+RL007     blocking call (Future.result, shutdown(wait=True), join,
+          sleep, file/socket I/O) reachable while a guarded lock is
+          held — project-wide, through the call graph
+RL008     lock-order inversion: two locks acquired in opposite orders
+          on two call paths (both witness paths reported)
+RL009     nondeterminism taint: wall-clock/RNG/env/pid/fs-order values
+          reaching hashed-spec or render sinks through any call chain
+RL010     writable buffer=/mmap_mode= ndarray view returned by one
+          function and stored/yielded by a caller before freezing
+RL099     unknown rule ID in a suppression comment (meta)
 ========  ==============================================================
+
+RL007–RL010 are *project rules*: they run over a shared semantic model
+(symbol table, call graph, lock model, taint summaries — see
+:mod:`repro.lint.semantic`) built from every configured file, so a
+``--changed`` run restricted to two files still resolves calls across
+the whole tree.
 
 Usage::
 
@@ -56,11 +72,15 @@ __all__ = ["Finding", "LintResult", "LintConfig", "load_config",
 
 def run_cli(paths=(), format: str = "text", baseline: str | None = None,
             write_baseline_flag: bool = False, root: str | None = None,
-            verbose: bool = False, stdout=None) -> int:
+            verbose: bool = False, stdout=None, changed: bool = False,
+            graph_out: str | None = None,
+            timings_out: str | None = None) -> int:
     """The lint command body (shared by ``repro lint`` and ``-m``).
 
-    Returns the process exit code: 0 clean, 1 new findings, 2 when the
-    configuration or baseline itself is unusable.
+    Returns the process exit code: 0 clean, 1 new findings (or stale
+    baseline entries — a committed entry pointing at nothing is
+    baseline rot and fails the gate), 2 when the configuration or
+    baseline itself is unusable.
     """
     out = stdout if stdout is not None else sys.stdout
     try:
@@ -68,7 +88,19 @@ def run_cli(paths=(), format: str = "text", baseline: str | None = None,
     except ConfigError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
-    if paths:
+    only = None
+    if changed:
+        file_list = list(paths)
+        if not file_list or file_list == ["-"]:
+            file_list = [line.strip() for line in sys.stdin
+                         if line.strip()]
+        try:
+            only = [_root_relative(entry, config.root)
+                    for entry in file_list]
+        except ValueError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+    elif paths:
         from dataclasses import replace
         config = replace(config, paths=tuple(paths))
     baseline_path = Path(baseline) if baseline else config.baseline_path
@@ -85,15 +117,41 @@ def run_cli(paths=(), format: str = "text", baseline: str | None = None,
         return 0
 
     try:
-        result = run_lint(config, baseline_path=baseline_path)
+        result = run_lint(config, baseline_path=baseline_path, only=only)
     except BaselineError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
+    if graph_out:
+        import json as _json
+        Path(graph_out).write_text(
+            _json.dumps(result.call_graph or {}, indent=2,
+                        sort_keys=True) + "\n", encoding="utf-8")
+    if timings_out:
+        import json as _json
+        payload = {rule: round(seconds, 6) for rule, seconds
+                   in sorted(result.rule_timings.items())}
+        Path(timings_out).write_text(
+            _json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
     if format == "json":
         out.write(render_json(result))
     else:
         print(render_text(result, verbose=verbose), file=out)
+    if result.stale_baseline:
+        return 1
     return 0 if result.ok else 1
+
+
+def _root_relative(entry: str, root: Path) -> str:
+    """Normalize a ``--changed`` file argument to a root-relative path."""
+    candidate = Path(entry)
+    if not candidate.is_absolute():
+        candidate = root / candidate
+    try:
+        return candidate.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        raise ValueError(f"--changed file {entry!r} is outside the "
+                         f"lint root {root}") from None
 
 
 def add_arguments(parser: argparse.ArgumentParser) -> None:
@@ -117,6 +175,18 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--verbose", action="store_true",
                         help="also list baselined and suppressed "
                              "findings in text output")
+    parser.add_argument("--changed", action="store_true",
+                        help="treat PATH arguments (or stdin, one per "
+                             "line, with no PATHs or '-') as the only "
+                             "files to report on; the whole project "
+                             "still feeds the symbol table, so cross-"
+                             "module rules behave as in a full run")
+    parser.add_argument("--graph-out", default=None, metavar="PATH",
+                        help="write the project call graph (JSON, "
+                             "deterministic) to PATH")
+    parser.add_argument("--timings-out", default=None, metavar="PATH",
+                        help="write per-rule wall-time breakdown "
+                             "(JSON) to PATH")
 
 
 def main(argv=None) -> int:
@@ -128,4 +198,6 @@ def main(argv=None) -> int:
     return run_cli(paths=args.paths, format=args.format,
                    baseline=args.baseline,
                    write_baseline_flag=args.write_baseline,
-                   root=args.root, verbose=args.verbose)
+                   root=args.root, verbose=args.verbose,
+                   changed=args.changed, graph_out=args.graph_out,
+                   timings_out=args.timings_out)

@@ -56,6 +56,14 @@ class LintConfig:
     rl006_hot_paths: tuple = ("src/repro/trace/sampler.py",
                               "src/repro/core/regression_tree.py",
                               "src/repro/sparse.py")
+    #: Files whose threading locks are guarded by RL007: nothing
+    #: reachable while one of their locks is held may block.
+    rl007_lock_paths: tuple = ("src/repro/runtime/pool.py",
+                               "src/repro/runtime/coalesce.py",
+                               "src/repro/serve/service.py")
+    #: Dotted names (suffix-matched against resolved call targets) of
+    #: hashed-spec constructors and render helpers guarded by RL009.
+    rl009_sinks: tuple = ()
     #: Per-path rule scoping: ``"RULE:glob"`` entries.  A finding whose
     #: rule and file match an entry is *scoped-allowed* — reported (and
     #: visible with ``--verbose``) but never failing, like a baseline
@@ -91,6 +99,8 @@ _KEYS = {
     "rl003-paths": "rl003_paths",
     "rl005-pool-sites": "rl005_pool_sites",
     "rl006-hot-paths": "rl006_hot_paths",
+    "rl007-lock-paths": "rl007_lock_paths",
+    "rl009-sinks": "rl009_sinks",
     "scoped-allow": "scoped_allow",
 }
 

@@ -3,35 +3,47 @@
 :func:`run_lint` is the one entry point.  It walks every configured
 path (sorted — the determinism linter is itself deterministic), parses
 each file once into a :class:`FileContext` (AST, parent map, import
-aliases, suppression comments), runs every registered rule over it,
-then applies per-line suppressions and the committed baseline.
+aliases, suppression comments), runs every registered per-file rule
+over it, then runs the project rules (RL007+) over a
+:class:`~repro.lint.semantic.ProjectModel` built from *all* parsed
+files, and finally applies per-line suppressions and the committed
+baseline.
 
 Suppressions are per line, per rule::
 
     entries = list(path.glob("*.json"))  # repro-lint: disable=RL001
 
 ``disable=RL001,RL004`` silences several rules on one line;
-``disable=all`` silences the line entirely.  A file that fails to parse
-produces a single ``RL000`` finding rather than crashing the run.
+``disable=all`` silences the line entirely — including the engine's
+own ``RL000`` parse-error pseudo-rule, whose findings carry the error
+line so a ``disable=all`` (or ``disable=RL000``) on that line applies.
+A token naming no known rule is itself reported (RL099) instead of
+silently suppressing nothing.
+
+``only`` (the CLI's ``--changed``) restricts which files *report*
+findings; every configured file still parses into the project model,
+so cross-module resolution — and therefore RL007–RL010 — behave
+identically to a full run.
 """
 
 from __future__ import annotations
 
 import ast
 import re
+import time
 from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.lint.baseline import apply_baseline, load_baseline
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding, LintResult
-from repro.lint.rules import all_rules, import_aliases
+from repro.lint.rules import ProjectRule, all_rules, import_aliases
 
 #: Pseudo-rule for files the engine itself cannot analyze.
 ENGINE_ERROR_RULE = "RL000"
 
 _SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)\s*(?:#|$)")
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s\-]+?)\s*(?:#|$)")
 
 
 @dataclass
@@ -88,61 +100,121 @@ def build_parents(tree: ast.AST) -> dict:
 
 
 def load_context(path: Path, config: LintConfig) -> FileContext | Finding:
-    """Parse one file; a syntax/read error becomes an RL000 finding."""
+    """Parse one file; a syntax/read error becomes an RL000 finding.
+
+    Suppression comments parse from the raw text *before* the AST, so
+    a ``disable=all`` / ``disable=RL000`` on the offending line of an
+    unparseable file silences the parse error like any other finding.
+    """
     relpath = path.relative_to(config.root).as_posix()
     try:
         source = path.read_text(encoding="utf-8")
     except (OSError, UnicodeDecodeError) as exc:
         return Finding(path=relpath, line=1, col=1, rule=ENGINE_ERROR_RULE,
                        message=f"cannot read file: {exc}")
+    suppressions = parse_suppressions(source)
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return Finding(path=relpath, line=exc.lineno or 1,
-                       col=(exc.offset or 0) + 1, rule=ENGINE_ERROR_RULE,
-                       message=f"cannot parse file: {exc.msg}")
+        finding = Finding(path=relpath, line=exc.lineno or 1,
+                          col=(exc.offset or 0) + 1,
+                          rule=ENGINE_ERROR_RULE,
+                          message=f"cannot parse file: {exc.msg}")
+        rules_off = suppressions.get(finding.line, ())
+        if finding.rule in rules_off or "all" in rules_off:
+            finding = replace(finding, suppressed=True)
+        return finding
     return FileContext(path=path, relpath=relpath, source=source,
                        tree=tree, parents=build_parents(tree),
                        aliases=import_aliases(tree),
-                       suppressions=parse_suppressions(source))
+                       suppressions=suppressions)
 
 
-def check_file(ctx: FileContext, config: LintConfig) -> list:
+def apply_disposition(finding: Finding, ctx: FileContext | None,
+                      config: LintConfig) -> Finding:
+    """Mark ``finding`` suppressed/scoped per its file's context."""
+    if ctx is not None:
+        rules_off = ctx.suppressions.get(finding.line, ())
+        if finding.rule in rules_off or "all" in rules_off:
+            return replace(finding, suppressed=True)
+    if finding.rule in config.scoped_rules(finding.path):
+        return replace(finding, scoped=True)
+    return finding
+
+
+def check_file(ctx: FileContext, config: LintConfig,
+               timings: dict | None = None) -> list:
     """All findings for one parsed file, suppressions applied, sorted."""
     findings = []
-    scoped_here = config.scoped_rules(ctx.relpath)
     for rule in all_rules():
+        if isinstance(rule, ProjectRule):
+            continue
+        started = time.perf_counter()
         for finding in rule.check(ctx, config):
-            rules_off = ctx.suppressions.get(finding.line, ())
-            if finding.rule in rules_off or "all" in rules_off:
-                finding = replace(finding, suppressed=True)
-            elif finding.rule in scoped_here:
-                finding = replace(finding, scoped=True)
-            findings.append(finding)
+            findings.append(apply_disposition(finding, ctx, config))
+        if timings is not None:
+            timings[rule.rule_id] = timings.get(rule.rule_id, 0.0) \
+                + (time.perf_counter() - started)
     # A rule may flag the same node twice through different walks.
     return sorted(set(findings), key=lambda f: f.sort_key)
 
 
 def run_lint(config: LintConfig, baseline_path: Path | None = None,
-             use_baseline: bool = True) -> LintResult:
+             use_baseline: bool = True, only=None) -> LintResult:
     """Lint everything under ``config``; returns the sorted result.
 
     ``baseline_path`` overrides the configured baseline location;
     ``use_baseline=False`` reports raw findings (what
-    ``--write-baseline`` captures).
+    ``--write-baseline`` captures).  ``only`` — root-relative POSIX
+    paths — restricts which files report findings while the whole
+    project still feeds the symbol table and call graph.
     """
     findings = []
     files = iter_source_files(config)
+    contexts = []
+    by_relpath: dict = {}
+    only_set = set(only) if only is not None else None
     for path in files:
         ctx = load_context(path, config)
         if isinstance(ctx, Finding):
-            findings.append(ctx)
+            if only_set is None or ctx.path in only_set:
+                findings.append(ctx)
             continue
-        findings.extend(check_file(ctx, config))
-    findings.sort(key=lambda f: f.sort_key)
+        contexts.append(ctx)
+        by_relpath[ctx.relpath] = ctx
+    timings: dict = {}
+    for ctx in contexts:
+        if only_set is not None and ctx.relpath not in only_set:
+            continue
+        findings.extend(check_file(ctx, config, timings))
+    call_graph = None
+    project_rules = [rule for rule in all_rules()
+                     if isinstance(rule, ProjectRule)]
+    if project_rules and contexts:
+        from repro.lint.semantic import ProjectModel
+        model = ProjectModel(contexts, config)
+        for rule in project_rules:
+            started = time.perf_counter()
+            for finding in rule.check_project(model, config):
+                if only_set is not None \
+                        and finding.path not in only_set:
+                    continue
+                findings.append(apply_disposition(
+                    finding, by_relpath.get(finding.path), config))
+            timings[rule.rule_id] = timings.get(rule.rule_id, 0.0) \
+                + (time.perf_counter() - started)
+        call_graph = model.callgraph.to_dict()
+    findings = sorted(set(findings), key=lambda f: f.sort_key)
     stale = []
     if use_baseline:
         entries = load_baseline(baseline_path or config.baseline_path)
         findings, stale = apply_baseline(findings, entries)
+        if only_set is not None:
+            # Files outside the changed set produced no findings, so
+            # their baseline entries cannot have matched; staleness is
+            # only decidable for entries inside the changed set.
+            stale = [entry for entry in stale
+                     if entry.path in only_set]
     return LintResult(findings=findings, stale_baseline=stale,
-                      files_checked=len(files))
+                      files_checked=len(files),
+                      rule_timings=timings, call_graph=call_graph)

@@ -81,6 +81,14 @@ class LintResult:
     findings: list = field(default_factory=list)
     stale_baseline: list = field(default_factory=list)
     files_checked: int = 0
+    #: rule id -> seconds spent in that rule this run.  Wall-clock data
+    #: stays OUT of the JSON report (which is byte-stable by contract);
+    #: the CLI dumps it separately via ``--timings-out``.
+    rule_timings: dict = field(default_factory=dict)
+    #: The project call graph as a JSON-able dict (``--graph-out``),
+    #: present when the project rules ran.  Deterministic, but kept out
+    #: of the report for size.
+    call_graph: dict | None = None
 
     @property
     def new(self) -> list:

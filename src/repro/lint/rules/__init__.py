@@ -41,6 +41,30 @@ class Rule:
                        message=message)
 
 
+class ProjectRule(Rule):
+    """A rule that analyzes the whole project at once.
+
+    Per-file rules see one :class:`FileContext`; project rules receive
+    the engine's :class:`~repro.lint.semantic.ProjectModel` (symbol
+    table, call graph, lock model, taint summaries) and may emit
+    findings in any file.  The engine still owns suppression,
+    scoped-allow and baselining — a project-rule finding is silenced by
+    a ``disable`` comment on its line exactly like a per-file one.
+    """
+
+    def check(self, ctx, config):
+        return ()
+
+    def check_project(self, model, config):
+        """Yield findings across the whole project.  Override."""
+        raise NotImplementedError
+
+    def finding_at(self, relpath, line, col, message):
+        from repro.lint.findings import Finding
+        return Finding(path=relpath, line=line, col=col,
+                       rule=self.rule_id, message=message)
+
+
 def register(cls):
     """Class decorator adding one instance of ``cls`` to the registry."""
     instance = cls()
@@ -130,3 +154,6 @@ def names_in(node: ast.AST):
 from repro.lint.rules import determinism as _determinism  # noqa: E402,F401
 from repro.lint.rules import memory as _memory            # noqa: E402,F401
 from repro.lint.rules import io as _io                    # noqa: E402,F401
+from repro.lint.rules import concurrency as _concurrency  # noqa: E402,F401
+from repro.lint.rules import flow as _flow                # noqa: E402,F401
+from repro.lint.rules import meta as _meta                # noqa: E402,F401

@@ -1,0 +1,231 @@
+"""Dataflow rules: RL009 (nondeterminism taint), RL010 (view escapes).
+
+RL009 generalizes RL003 from "a wall-clock call in a hashed file" to
+"a nondeterministic value *reaches* hashed or rendered content through
+any call chain" — the exact failure RL003's one baseline entry records
+(a manifest timestamp) but caught wherever the flow starts.  The taint
+engine lives in :mod:`repro.lint.semantic.taint`; this rule just
+renders its sink hits.
+
+RL010 generalizes RL004 across functions: a factory returning a
+writable ``buffer=``/``mmap_mode=`` view is a latent corruption bug in
+every caller that stores or yields the view before freezing it —
+inside the constructing function RL004 sees it, one call away it
+cannot.  Function summaries (returns a writable view / a frozen view /
+no view) reach a fixpoint over the call graph, then each caller's
+bindings are checked with the same freeze/escape discipline RL004
+applies locally.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules import ProjectRule, register
+from repro.lint.rules.memory import escape_line, freeze_line, is_view_call
+from repro.lint.semantic.callgraph import own_statements
+from repro.lint.semantic.symbols import FunctionInfo
+from repro.lint.semantic.taint import KIND_LABELS
+
+#: Fixpoint bound for view-return summaries (bounds factory chains).
+_MAX_VIEW_PASSES = 6
+
+
+@register
+class NondeterminismTaint(ProjectRule):
+    """RL009: tainted values must not reach hashed/rendered sinks."""
+
+    rule_id = "RL009"
+    title = "nondeterminism reaches a hashed or rendered sink"
+    invariant = ("no value derived from the wall clock, RNG state, the "
+                 "environment, process ids or filesystem enumeration "
+                 "order reaches an rl009-sinks callable (spec/key "
+                 "constructors, token hashing, stdout renderers), "
+                 "through any call chain")
+
+    def check_project(self, model, config):
+        if not config.rl009_sinks:
+            return
+        taint = model.taint
+        graph = model.callgraph
+        for qname in sorted(taint.functions):
+            summary = taint.functions[qname]
+            if not summary.hits:
+                continue
+            function = graph.functions[qname]
+            for hit in summary.hits:
+                labels = ", ".join(KIND_LABELS.get(kind, kind)
+                                   for kind in hit.kinds)
+                via = ""
+                if len(hit.path) > 1:
+                    via = f" (path: {' -> '.join(hit.path)})"
+                yield self.finding_at(
+                    function.relpath, hit.line, hit.col,
+                    f"value derived from {labels} reaches "
+                    f"{hit.sink}{via}; nondeterminism in hashed specs "
+                    f"or rendered output breaks byte-identity across "
+                    f"runs")
+
+
+@register
+class CrossFunctionViewEscape(ProjectRule):
+    """RL010: writable views must not cross a second function line."""
+
+    rule_id = "RL010"
+    title = "writable shared view escapes through a caller"
+    invariant = ("a buffer=/mmap_mode= ndarray view returned writable "
+                 "by one function is frozen (flags.writeable = False) "
+                 "by its caller before being stored or yielded")
+
+    def check_project(self, model, config):
+        graph = model.callgraph
+        status = self._view_statuses(model)
+        for qname in sorted(graph.functions):
+            function = graph.functions[qname]
+            module = model.symbols.modules[function.module]
+            yield from self._check_caller(model, function, module,
+                                          status)
+
+    # -- producer summaries ------------------------------------------------
+
+    def _view_statuses(self, model) -> dict:
+        """qname -> 'writable' | 'frozen' for view-returning functions.
+
+        A function returns a view when a return/yield value is a view
+        constructor call, a local bound to one, or a call into another
+        view-returning function; 'writable' wins over 'frozen' when
+        different exits disagree (conservative).
+        """
+        graph = model.callgraph
+        status: dict = {}
+        for _ in range(_MAX_VIEW_PASSES):
+            changed = False
+            for qname in sorted(graph.functions):
+                function = graph.functions[qname]
+                module = model.symbols.modules[function.module]
+                new = self._status_of(model, function, module, status)
+                if status.get(qname) != new:
+                    changed = True
+                if new is None:
+                    status.pop(qname, None)
+                else:
+                    status[qname] = new
+            if not changed:
+                break
+        return status
+
+    def _status_of(self, model, function: FunctionInfo, module,
+                   status) -> str | None:
+        bindings = self._view_bindings(model, function, module, status)
+        result = None
+        for node in own_statements(function):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value_status = self._value_status(model, function, module,
+                                              status, bindings,
+                                              node.value, node.lineno)
+            if value_status == "writable":
+                return "writable"
+            if value_status == "frozen":
+                result = "frozen"
+        return result
+
+    def _value_status(self, model, function, module, status, bindings,
+                      value, use_line) -> str | None:
+        """Status of an escaping expression at ``use_line``."""
+        if is_view_call(value, module.ctx.aliases):
+            return "writable"
+        if isinstance(value, ast.Call):
+            callee = model.callgraph.resolve_call(value, function,
+                                                  module)
+            if callee is not None:
+                return status.get(callee.qname)
+            return None
+        if isinstance(value, ast.Name) and value.id in bindings:
+            frozen = freeze_line(function.node, value.id)
+            if frozen is not None and frozen < use_line:
+                return "frozen"
+            return bindings[value.id]
+        return None
+
+    def _view_bindings(self, model, function, module, status) -> dict:
+        """Local name -> raw status of the view call bound to it."""
+        bindings: dict = {}
+        for node in own_statements(function):
+            if not (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                continue
+            value = node.value
+            if is_view_call(value, module.ctx.aliases):
+                bindings[node.targets[0].id] = "writable"
+            elif isinstance(value, ast.Call):
+                callee = model.callgraph.resolve_call(value, function,
+                                                      module)
+                if callee is not None \
+                        and status.get(callee.qname) is not None:
+                    bindings[node.targets[0].id] = status[callee.qname]
+        return bindings
+
+    # -- caller-side check -------------------------------------------------
+
+    def _check_caller(self, model, function: FunctionInfo, module,
+                      status):
+        for node in own_statements(function):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                producer = self._writable_producer(model, function,
+                                                   module, status,
+                                                   node.value)
+                if producer is None:
+                    continue
+                name = node.targets[0].id
+                frozen = freeze_line(function.node, name)
+                escaped = escape_line(function.node, name,
+                                      include_returns=False)
+                if escaped is not None \
+                        and (frozen is None or frozen > escaped):
+                    yield self.finding_at(
+                        function.relpath, node.value.lineno,
+                        node.value.col_offset + 1,
+                        f"'{name}' is a writable shared-buffer view "
+                        f"returned by {producer}; it escapes on line "
+                        f"{escaped} before {name}.flags.writeable = "
+                        f"False — freeze the view before storing or "
+                        f"yielding it")
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)) \
+                    and node.value is not None:
+                producer = self._writable_producer(model, function,
+                                                   module, status,
+                                                   node.value)
+                if producer is not None:
+                    yield self.finding_at(
+                        function.relpath, node.value.lineno,
+                        node.value.col_offset + 1,
+                        f"writable shared-buffer view returned by "
+                        f"{producer} is yielded directly; bind it, set "
+                        f".flags.writeable = False, then yield")
+            elif isinstance(node, ast.Assign) \
+                    and any(isinstance(t, (ast.Subscript, ast.Attribute))
+                            for t in node.targets):
+                producer = self._writable_producer(model, function,
+                                                   module, status,
+                                                   node.value)
+                if producer is not None:
+                    yield self.finding_at(
+                        function.relpath, node.value.lineno,
+                        node.value.col_offset + 1,
+                        f"writable shared-buffer view returned by "
+                        f"{producer} is stored directly into a "
+                        f"container/attribute; bind it, set "
+                        f".flags.writeable = False, then store it")
+
+    def _writable_producer(self, model, function, module, status,
+                           value) -> str | None:
+        """Qname of the writable-view factory ``value`` calls, if any."""
+        if not isinstance(value, ast.Call):
+            return None
+        callee = model.callgraph.resolve_call(value, function, module)
+        if callee is not None and status.get(callee.qname) == "writable":
+            return callee.qname
+        return None

@@ -39,6 +39,75 @@ def _function_nodes(tree: ast.AST):
             yield node
 
 
+def is_view_call(node, aliases) -> bool:
+    """A call building an ndarray view over shared bytes.
+
+    Two constructors qualify: ``np.ndarray(..., buffer=...)`` (a window
+    onto a ``SharedMemory`` segment) and ``np.load(..., mmap_mode=...)``
+    with a non-``None`` mode (a window onto an on-disk artifact's
+    pages).  Shared between RL004 (same-function escapes) and RL010
+    (cross-function escapes).
+    """
+    if not isinstance(node, ast.Call):
+        return False
+    name = qualified_name(node.func, aliases)
+    if name == "numpy.ndarray":
+        return any(keyword.arg == "buffer" for keyword in node.keywords)
+    if name == "numpy.load":
+        for keyword in node.keywords:
+            if keyword.arg == "mmap_mode":
+                return not (isinstance(keyword.value, ast.Constant)
+                            and keyword.value.value is None)
+    return False
+
+
+def freeze_line(function, name: str) -> int | None:
+    """Line of ``name.flags.writeable = False`` in ``function``."""
+    for node in ast.walk(function):
+        if not (isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Constant)
+                and node.value.value is False):
+            continue
+        for target in node.targets:
+            if (isinstance(target, ast.Attribute)
+                    and target.attr == "writeable"
+                    and isinstance(target.value, ast.Attribute)
+                    and target.value.attr == "flags"
+                    and isinstance(target.value.value, ast.Name)
+                    and target.value.value.id == name):
+                return node.lineno
+    return None
+
+
+def escape_line(function, name: str,
+                include_returns: bool = True) -> int | None:
+    """First line where the view named ``name`` leaves the function.
+
+    Escapes are: appearing in a return/yield value, or being assigned
+    *into* a container or attribute (``views[k] = view``, ``self.view =
+    view``).  Writing into the view itself (``view[...] = data`` — the
+    publish path) is not an escape.  ``include_returns=False`` restricts
+    to store/yield escapes (RL010's caller-side check, where a plain
+    return just propagates the view onward).
+    """
+    lines = []
+    for node in ast.walk(function):
+        if isinstance(node, ast.Return) and include_returns \
+                and node.value is not None \
+                and name in set(names_in(node.value)):
+            lines.append(node.lineno)
+        elif isinstance(node, (ast.Yield, ast.YieldFrom)) \
+                and node.value is not None \
+                and name in set(names_in(node.value)):
+            lines.append(node.lineno)
+        elif isinstance(node, ast.Assign) \
+                and name in set(names_in(node.value)) \
+                and any(isinstance(t, (ast.Subscript, ast.Attribute))
+                        for t in node.targets):
+            lines.append(node.lineno)
+    return min(lines) if lines else None
+
+
 @register
 class ShmWriteSafety(Rule):
     """RL004: buffer-backed ndarray views must be frozen before escape."""
@@ -90,66 +159,13 @@ class ShmWriteSafety(Rule):
                     f"{frozen_line}; freeze the view before it escapes")
 
     def _is_view_call(self, node, aliases) -> bool:
-        """A call building an ndarray view over shared bytes.
-
-        Two constructors qualify: ``np.ndarray(..., buffer=...)`` (a
-        window onto a ``SharedMemory`` segment) and ``np.load(...,
-        mmap_mode=...)`` with a non-``None`` mode (a window onto an
-        on-disk artifact's pages).
-        """
-        if not isinstance(node, ast.Call):
-            return False
-        name = qualified_name(node.func, aliases)
-        if name == "numpy.ndarray":
-            return any(keyword.arg == "buffer"
-                       for keyword in node.keywords)
-        if name == "numpy.load":
-            for keyword in node.keywords:
-                if keyword.arg == "mmap_mode":
-                    return not (isinstance(keyword.value, ast.Constant)
-                                and keyword.value.value is None)
-        return False
+        return is_view_call(node, aliases)
 
     def _freeze_line(self, function, name: str) -> int | None:
-        """Line of ``name.flags.writeable = False``, if present."""
-        for node in ast.walk(function):
-            if not (isinstance(node, ast.Assign)
-                    and isinstance(node.value, ast.Constant)
-                    and node.value.value is False):
-                continue
-            for target in node.targets:
-                if (isinstance(target, ast.Attribute)
-                        and target.attr == "writeable"
-                        and isinstance(target.value, ast.Attribute)
-                        and target.value.attr == "flags"
-                        and isinstance(target.value.value, ast.Name)
-                        and target.value.value.id == name):
-                    return node.lineno
-        return None
+        return freeze_line(function, name)
 
     def _escape_line(self, function, name: str) -> int | None:
-        """First line where the view leaves the function's locals.
-
-        Escapes are: appearing in a return/yield value, or being
-        assigned *into* a container or attribute (``views[k] = view``,
-        ``self.view = view``).  Writing into the view itself
-        (``view[...] = data`` — the publish path) is not an escape.
-        """
-        lines = []
-        for node in ast.walk(function):
-            if isinstance(node, ast.Return) and node.value is not None \
-                    and name in set(names_in(node.value)):
-                lines.append(node.lineno)
-            elif isinstance(node, (ast.Yield, ast.YieldFrom)) \
-                    and node.value is not None \
-                    and name in set(names_in(node.value)):
-                lines.append(node.lineno)
-            elif isinstance(node, ast.Assign) \
-                    and name in set(names_in(node.value)) \
-                    and any(isinstance(t, (ast.Subscript, ast.Attribute))
-                            for t in node.targets):
-                lines.append(node.lineno)
-        return min(lines) if lines else None
+        return escape_line(function, name)
 
 
 @register

@@ -1,0 +1,41 @@
+"""Meta rule: RL099 — suppression comments must name real rules.
+
+A ``# repro-lint: disable=RL0O1`` typo (letter O) used to be silently
+ignored: the token matched no rule, so nothing was suppressed *and*
+nothing said so, which is the worst of both worlds.  RL099 reports any
+token in a disable comment that is neither a registered rule ID, the
+engine's ``RL000`` pseudo-rule, nor the ``all`` wildcard.
+
+The ID sits apart from the analysis rules (RL001...) so the block of
+semantic IDs stays contiguous; like every rule it can be suppressed,
+which takes ``disable=RL099,NOT-A-RULE`` from "two findings" to "a
+documented oddity".
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import REGISTRY, Rule, register
+from repro.lint.findings import Finding
+
+
+@register
+class UnknownSuppression(Rule):
+    """RL099: unknown tokens in disable comments are reported."""
+
+    rule_id = "RL099"
+    title = "unknown rule id in suppression comment"
+    invariant = ("every token in a '# repro-lint: disable=' comment is "
+                 "a registered rule ID, RL000, or 'all' (a typo there "
+                 "silently suppresses nothing)")
+
+    def check(self, ctx, config):
+        known = set(REGISTRY) | {"RL000", "all"}
+        for lineno in sorted(ctx.suppressions):
+            for token in sorted(ctx.suppressions[lineno] - known):
+                yield Finding(
+                    path=ctx.relpath, line=lineno, col=1,
+                    rule=self.rule_id,
+                    message=f"suppression comment names unknown rule "
+                            f"{token!r}; it suppresses nothing (valid "
+                            f"tokens: registered RLxxx IDs, RL000, "
+                            f"'all')")

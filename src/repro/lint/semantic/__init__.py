@@ -1,0 +1,43 @@
+"""Project-wide semantic analysis core for :mod:`repro.lint`.
+
+PR 5's rules were per-file pattern matchers: they could see a wall-clock
+call in *this* file, a writable view escaping *this* function.  The
+invariants the repo's byte-identity promise now rests on span modules —
+a nondeterministic value flowing through two calls into a hashed
+``JobSpec``, a blocking join reachable three frames below a held pool
+lock.  This package gives rules the cross-module view those invariants
+need, while keeping the linter's own contract: **stdlib-only, and
+deterministic to the byte** (every table is keyed and iterated in
+sorted order, every fixpoint has a bounded, deterministic worklist).
+
+Layers (each one file, each usable on its own):
+
+``symbols``
+    A project symbol table: module naming from file paths, per-module
+    function/class/method definitions, and dotted-name resolution that
+    follows import aliases and re-exports across modules.
+``callgraph``
+    A conservative call graph over the symbol table: edges only where
+    the callee provably resolves (bare names, ``self.method``, imported
+    functions, module attributes, class constructors) — never guessed
+    from attribute names on unknown receivers.
+``locks``
+    ``threading.Lock/RLock/Condition`` discovery plus per-function
+    acquisition facts: which locks a function acquires (``with`` blocks
+    and ``acquire``/``release`` pairs), which calls and blocking
+    operations happen while each lock is held.
+``taint``
+    An intraprocedural dataflow/taint framework with call-graph
+    propagation: nondeterminism sources (wall clock, RNG, environment,
+    pids, filesystem order) flow through assignments and calls into
+    per-function summaries that compose along call edges.
+``project``
+    :class:`ProjectModel` — the lazily-built bundle of all of the above
+    that the engine hands to every :class:`~repro.lint.rules.ProjectRule`.
+"""
+
+from __future__ import annotations
+
+from repro.lint.semantic.project import ProjectModel
+
+__all__ = ["ProjectModel"]

@@ -1,0 +1,189 @@
+"""Conservative call graph over the project symbol table.
+
+An edge ``f → g`` exists only when the callee provably resolves to one
+project definition: a bare name bound in the enclosing function's nested
+defs or its module, ``self.method``/``cls.method`` on the enclosing
+class (including project-resolvable bases), an imported function (via
+alias resolution and re-export following), or a class constructor
+(edged to ``__init__`` when defined).  Attribute calls on arbitrary
+receivers (``obj.fn()``) resolve to nothing — a semantic lint must
+never invent an edge, because every downstream rule (lock reachability,
+taint propagation) treats edges as facts.
+
+A function's **own statements** exclude the bodies of functions defined
+inside it; those nested functions are graph nodes of their own, with an
+implicit edge from the enclosing function at the ``def`` site (the
+enclosing scope is what arranges for them to run — directly, through a
+pool submission, or through a coalescer).
+
+Everything is deterministic: nodes and edges are built in sorted-qname
+order, adjacency lists are sorted, and :func:`reachable` walks BFS over
+sorted neighbors, so witness paths are byte-stable across runs and file
+discovery orders.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.lint.rules import qualified_name
+from repro.lint.semantic.symbols import (ClassInfo, FunctionInfo,
+                                         SymbolTable)
+
+#: Bound on reachability walks (call-chain depth).
+MAX_CALL_DEPTH = 10
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call inside a function's own statements."""
+
+    caller: str      # qname
+    callee: str      # qname
+    line: int
+    node_id: int     # id(ast node) — intra-run only, never serialized
+
+
+def own_statements(function: FunctionInfo) -> list:
+    """AST nodes of ``function`` excluding nested function bodies.
+
+    The ``def`` statements of nested functions are included (their
+    decorators and defaults run in the enclosing scope); their bodies
+    are not.
+    """
+    out = []
+    stack = list(ast.iter_child_nodes(function.node))
+    while stack:
+        node = stack.pop(0)
+        out.append(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        stack[:0] = list(ast.iter_child_nodes(node))
+    return out
+
+
+class CallGraph:
+    """Nodes are function qnames; edges are resolved call sites."""
+
+    def __init__(self, symbols: SymbolTable) -> None:
+        self.symbols = symbols
+        self.functions: dict[str, FunctionInfo] = {
+            f.qname: f for f in symbols.all_functions()}
+        self.calls: dict[str, list] = {}
+        self._adjacency: dict[str, list] = {}
+        for qname in sorted(self.functions):
+            self.calls[qname] = self._calls_of(self.functions[qname])
+        for qname, sites in self.calls.items():
+            seen = sorted({site.callee for site in sites})
+            self._adjacency[qname] = seen
+
+    # -- construction ------------------------------------------------------
+
+    def _calls_of(self, function: FunctionInfo) -> list:
+        module = self.symbols.modules[function.module]
+        sites = []
+        for name in sorted(function.nested):
+            nested = function.nested[name]
+            sites.append(CallSite(caller=function.qname,
+                                  callee=nested.qname,
+                                  line=nested.node.lineno,
+                                  node_id=id(nested.node)))
+        for node in own_statements(function):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self.resolve_call(node, function, module)
+            if callee is not None:
+                sites.append(CallSite(caller=function.qname,
+                                      callee=callee.qname,
+                                      line=node.lineno,
+                                      node_id=id(node)))
+        return sorted(sites, key=lambda s: (s.line, s.callee))
+
+    def resolve_call(self, node: ast.Call, function: FunctionInfo,
+                     module) -> FunctionInfo | None:
+        """The function a call lands in, or ``None`` when unprovable."""
+        resolved = self.resolve_target(node.func, function, module)
+        if isinstance(resolved, ClassInfo):
+            return self.symbols.method_of(resolved, "__init__")
+        return resolved
+
+    def resolve_target(self, func: ast.AST, function: FunctionInfo,
+                       module):
+        """Resolve a call-target expression to a project symbol."""
+        receiver = _self_or_cls_attr(func)
+        if receiver is not None:
+            if function.class_name is None:
+                return None
+            cls = module.defs.get(function.class_name)
+            if not isinstance(cls, ClassInfo):
+                return None
+            return self.symbols.method_of(cls, receiver)
+        dotted = qualified_name(func, module.ctx.aliases)
+        if dotted is None or dotted.startswith("self.") \
+                or dotted.startswith("cls."):
+            return None
+        if "." not in dotted:
+            nested = _nested_lookup(function, dotted)
+            if nested is not None:
+                return nested
+        return self.symbols.resolve(dotted, module)
+
+    # -- queries -----------------------------------------------------------
+
+    def neighbors(self, qname: str) -> list:
+        return self._adjacency.get(qname, [])
+
+    def reachable(self, start: str,
+                  max_depth: int = MAX_CALL_DEPTH) -> dict[str, tuple]:
+        """``{qname: witness path}`` for everything reachable from
+        ``start`` (inclusive), BFS over sorted neighbors — the recorded
+        path is therefore the shortest, first-in-sorted-order witness."""
+        paths = {start: (start,)}
+        frontier = [start]
+        for _ in range(max_depth):
+            next_frontier = []
+            for qname in frontier:
+                for callee in self.neighbors(qname):
+                    if callee in paths or callee not in self.functions:
+                        continue
+                    paths[callee] = paths[qname] + (callee,)
+                    next_frontier.append(callee)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        return paths
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON-able dump (the ``--graph-out`` payload)."""
+        modules = {}
+        for name in sorted(self.symbols.modules):
+            info = self.symbols.modules[name]
+            functions = sorted(q for q, f in self.functions.items()
+                               if f.module == name)
+            modules[name] = {"path": info.relpath, "functions": functions}
+        edges = sorted({(s.caller, s.callee, s.line)
+                        for sites in self.calls.values() for s in sites})
+        return {
+            "modules": modules,
+            "edges": [{"caller": c, "callee": e, "line": n}
+                      for c, e, n in edges],
+            "n_functions": len(self.functions),
+            "n_edges": len(edges),
+        }
+
+
+def _self_or_cls_attr(func: ast.AST) -> str | None:
+    """``x`` for a plain ``self.x``/``cls.x`` target, else ``None``."""
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name) \
+            and func.value.id in ("self", "cls"):
+        return func.attr
+    return None
+
+
+def _nested_lookup(function: FunctionInfo, name: str):
+    """A bare name's nested-def binding, innermost scope only."""
+    return function.nested.get(name)

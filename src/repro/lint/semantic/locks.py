@@ -1,0 +1,266 @@
+"""Lock model: who creates locks, who holds them, what runs under them.
+
+Locks are discovered at two kinds of definition sites — module-level
+``NAME = threading.Lock()`` assignments and ``self.NAME =
+threading.RLock()`` assignments inside methods — and identified by the
+qname of that site (``src.repro.runtime.pool.WorkerPool._lock``).  A
+lock reference at a use site resolves the same way call targets do:
+bare module-level names, ``self.X``/``cls.X`` against the enclosing
+class and its project-resolvable bases, and imported names through the
+alias map.  Anything that cannot be pinned to one discovered lock is
+not a lock — the model never guesses.
+
+Per function, :class:`FunctionLockFacts` records what happens *while a
+lock is held*: every call expression (for blocking-operation scans),
+every call that resolves to a project function (for call-graph
+composition — the lock is still held inside the callee), and every
+nested acquisition (for lock-order analysis).  Held regions come from
+``with lock:`` blocks (structurally — multiple ``with`` items acquire
+in order, each held across the later ones and the body) and from
+``lock.acquire()`` statements (held until the first following sibling
+statement containing ``lock.release()``, or to the end of the
+enclosing block).  Nested function bodies are excluded, mirroring the
+call graph: the nested def is a call edge, not inline code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.rules import qualified_name
+from repro.lint.semantic.callgraph import CallGraph
+from repro.lint.semantic.symbols import ClassInfo, FunctionInfo
+
+#: Constructors that create a lock object we track.
+_LOCK_CONSTRUCTORS = {
+    "threading.Lock": "Lock",
+    "threading.RLock": "RLock",
+    "threading.Condition": "Condition",
+}
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """One discovered lock definition site."""
+
+    lock_id: str     # qname of the definition site
+    kind: str        # Lock | RLock | Condition
+    module: str
+    relpath: str
+    line: int
+
+
+@dataclass
+class FunctionLockFacts:
+    """Everything one function does with (or under) locks."""
+
+    qname: str
+    #: Every acquisition in this function: (lock_id, line).
+    acquired: list = field(default_factory=list)
+    #: Inner acquired while outer held: (outer_id, inner_id, line).
+    nested_orders: list = field(default_factory=list)
+    #: lock_id -> [(callee qname, line, col)] — resolved calls while held.
+    calls_under: dict = field(default_factory=dict)
+    #: lock_id -> [ast.Call] — every call expression while held.
+    ops_under: dict = field(default_factory=dict)
+
+
+class LockModel:
+    """Lock discovery + per-function held-region facts."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.symbols = graph.symbols
+        self.locks: dict[str, LockInfo] = {}
+        self._discover()
+        self.functions: dict[str, FunctionLockFacts] = {}
+        for qname in sorted(graph.functions):
+            function = graph.functions[qname]
+            facts = FunctionLockFacts(qname=qname)
+            module = self.symbols.modules[function.module]
+            self._scan_stmts(list(ast.iter_child_nodes(function.node)),
+                             [], facts, function, module)
+            self.functions[qname] = facts
+
+    # -- discovery ---------------------------------------------------------
+
+    def _discover(self) -> None:
+        for name in sorted(self.symbols.modules):
+            module = self.symbols.modules[name]
+            for node in ast.iter_child_nodes(module.ctx.tree):
+                kind = self._lock_kind_of_assign(node, module)
+                if kind and isinstance(node.targets[0], ast.Name):
+                    self._add_lock(f"{name}.{node.targets[0].id}", kind,
+                                   module, node.lineno)
+            for def_name in sorted(module.defs):
+                cls = module.defs[def_name]
+                if not isinstance(cls, ClassInfo):
+                    continue
+                for method_name in sorted(cls.methods):
+                    method = cls.methods[method_name]
+                    for node in ast.walk(method.node):
+                        kind = self._lock_kind_of_assign(node, module)
+                        if not kind:
+                            continue
+                        target = node.targets[0]
+                        if isinstance(target, ast.Attribute) \
+                                and isinstance(target.value, ast.Name) \
+                                and target.value.id == "self":
+                            self._add_lock(f"{cls.qname}.{target.attr}",
+                                           kind, module, node.lineno)
+
+    def _lock_kind_of_assign(self, node, module) -> str | None:
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.value, ast.Call)):
+            return None
+        name = qualified_name(node.value.func, module.ctx.aliases)
+        return _LOCK_CONSTRUCTORS.get(name or "")
+
+    def _add_lock(self, lock_id, kind, module, line) -> None:
+        self.locks[lock_id] = LockInfo(lock_id=lock_id, kind=kind,
+                                       module=module.name,
+                                       relpath=module.relpath, line=line)
+
+    # -- lock reference resolution -----------------------------------------
+
+    def resolve_lock(self, expr: ast.AST,
+                     function: FunctionInfo) -> str | None:
+        """The lock a use-site expression refers to, or ``None``."""
+        module = self.symbols.modules[function.module]
+        if isinstance(expr, ast.Attribute) \
+                and isinstance(expr.value, ast.Name) \
+                and expr.value.id in ("self", "cls"):
+            if function.class_name is None:
+                return None
+            cls = module.defs.get(function.class_name)
+            return self._class_lock(cls, expr.attr) \
+                if isinstance(cls, ClassInfo) else None
+        dotted = qualified_name(expr, module.ctx.aliases)
+        if dotted is None:
+            return None
+        if "." not in dotted:
+            lock_id = f"{module.name}.{dotted}"
+            return lock_id if lock_id in self.locks else None
+        head, _, last = dotted.rpartition(".")
+        target = self.symbols.resolve_module(head)
+        if target is not None:
+            lock_id = f"{target.name}.{last}"
+            if lock_id in self.locks:
+                return lock_id
+        return None
+
+    def _class_lock(self, cls: ClassInfo, attr: str,
+                    depth: int = 0) -> str | None:
+        lock_id = f"{cls.qname}.{attr}"
+        if lock_id in self.locks or depth > 4:
+            return lock_id if lock_id in self.locks else None
+        owner = self.symbols.modules.get(cls.module)
+        for base in cls.bases:
+            resolved = self.symbols.resolve(base, owner) if owner else None
+            if isinstance(resolved, ClassInfo):
+                found = self._class_lock(resolved, attr, depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    # -- held-region scan --------------------------------------------------
+
+    def _scan_stmts(self, stmts, held, facts, function, module) -> None:
+        index = 0
+        while index < len(stmts):
+            stmt = stmts[index]
+            acquired_here = self._acquire_calls_in(stmt, function)
+            self._scan_node(stmt, held, facts, function, module)
+            if acquired_here:
+                for lock_id in acquired_here:
+                    facts.acquired.append((lock_id, stmt.lineno))
+                    for outer in held:
+                        facts.nested_orders.append(
+                            (outer, lock_id, stmt.lineno))
+                end = index + 1
+                while end < len(stmts) and not self._releases_any(
+                        stmts[end], acquired_here, function):
+                    end += 1
+                self._scan_stmts(stmts[index + 1:end],
+                                 held + acquired_here, facts, function,
+                                 module)
+                index = end
+                continue
+            index += 1
+
+    def _scan_node(self, node, held, facts, function, module) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nested = function.nested.get(node.name)
+            if nested is not None and nested.node is node:
+                for lock_id in held:
+                    facts.calls_under.setdefault(lock_id, []).append(
+                        (nested.qname, node.lineno, node.col_offset + 1))
+            return
+        if isinstance(node, (ast.Lambda, ast.ClassDef)):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._scan_with(node, held, facts, function, module)
+            return
+        if isinstance(node, ast.Call):
+            for lock_id in held:
+                facts.ops_under.setdefault(lock_id, []).append(node)
+            callee = self.graph.resolve_call(node, function, module)
+            if callee is not None:
+                for lock_id in held:
+                    facts.calls_under.setdefault(lock_id, []).append(
+                        (callee.qname, node.lineno, node.col_offset + 1))
+        for _, value in ast.iter_fields(node):
+            if isinstance(value, list):
+                if value and all(isinstance(x, ast.stmt) for x in value):
+                    self._scan_stmts(value, held, facts, function, module)
+                else:
+                    for item in value:
+                        if isinstance(item, ast.AST):
+                            self._scan_node(item, held, facts, function,
+                                            module)
+            elif isinstance(value, ast.AST):
+                self._scan_node(value, held, facts, function, module)
+
+    def _scan_with(self, node, held, facts, function, module) -> None:
+        """``with a, b:`` — a is held across b's acquisition and body."""
+        inner = list(held)
+        for item in node.items:
+            self._scan_node(item.context_expr, inner, facts, function,
+                            module)
+            lock_id = self.resolve_lock(item.context_expr, function)
+            if lock_id is not None:
+                facts.acquired.append((lock_id, item.context_expr.lineno))
+                for outer in inner:
+                    facts.nested_orders.append(
+                        (outer, lock_id, item.context_expr.lineno))
+                inner = inner + [lock_id]
+        self._scan_stmts(node.body, inner, facts, function, module)
+
+    def _acquire_calls_in(self, stmt, function) -> list:
+        """Locks acquired by explicit ``.acquire()`` calls in ``stmt``
+        (``with`` statements manage their own regions)."""
+        if isinstance(stmt, (ast.With, ast.AsyncWith, ast.FunctionDef,
+                             ast.AsyncFunctionDef, ast.ClassDef)):
+            return []
+        found = []
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "acquire":
+                lock_id = self.resolve_lock(node.func.value, function)
+                if lock_id is not None and lock_id not in found:
+                    found.append(lock_id)
+        return found
+
+    def _releases_any(self, stmt, lock_ids, function) -> bool:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return False
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "release":
+                if self.resolve_lock(node.func.value, function) in lock_ids:
+                    return True
+        return False

@@ -1,0 +1,53 @@
+"""The lazily-built semantic bundle handed to every project rule.
+
+The engine constructs one :class:`ProjectModel` per run from the full
+set of parsed :class:`~repro.lint.engine.FileContext`\\ s (all files,
+even under ``--changed`` — cross-module resolution needs the whole
+project) plus the lint config.  Layers build on first access and are
+cached: a run where no project rule asks for taint never pays for the
+fixpoint.
+"""
+
+from __future__ import annotations
+
+from repro.lint.semantic.callgraph import CallGraph
+from repro.lint.semantic.locks import LockModel
+from repro.lint.semantic.symbols import SymbolTable
+from repro.lint.semantic.taint import TaintAnalysis
+
+
+class ProjectModel:
+    """Symbol table, call graph, lock model and taint, built lazily."""
+
+    def __init__(self, contexts, config) -> None:
+        self.contexts = sorted(contexts, key=lambda ctx: ctx.relpath)
+        self.config = config
+        self._symbols = None
+        self._callgraph = None
+        self._locks = None
+        self._taint = None
+
+    @property
+    def symbols(self) -> SymbolTable:
+        if self._symbols is None:
+            self._symbols = SymbolTable(self.contexts)
+        return self._symbols
+
+    @property
+    def callgraph(self) -> CallGraph:
+        if self._callgraph is None:
+            self._callgraph = CallGraph(self.symbols)
+        return self._callgraph
+
+    @property
+    def locks(self) -> LockModel:
+        if self._locks is None:
+            self._locks = LockModel(self.callgraph)
+        return self._locks
+
+    @property
+    def taint(self) -> TaintAnalysis:
+        if self._taint is None:
+            self._taint = TaintAnalysis(
+                self.callgraph, sinks=self.config.rl009_sinks)
+        return self._taint

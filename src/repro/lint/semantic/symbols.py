@@ -1,0 +1,272 @@
+"""Project symbol table: modules, definitions, dotted-name resolution.
+
+Module names derive from file paths (``src/repro/runtime/pool.py`` →
+``src.repro.runtime.pool``), and every dotted *suffix* of that name is
+indexed, so an ``import repro.runtime.pool`` resolves even though the
+on-disk name carries the ``src`` prefix (and fixture projects resolve
+``pkg.mod`` without packaging ceremony).  A suffix shared by two modules
+is ambiguous and resolves to nothing — the table never guesses.
+
+Resolution (:meth:`SymbolTable.resolve`) accepts the dotted names that
+:func:`repro.lint.rules.qualified_name` produces — already substituted
+through the file's import aliases — and walks them to a concrete
+:class:`FunctionInfo` / :class:`ClassInfo`: longest module prefix first,
+then definitions, then re-exported names (an alias in the target module,
+followed recursively with a depth bound).  Relative aliases (leading
+dots, as recorded by :func:`~repro.lint.rules.import_aliases`) are made
+absolute against the importing module before lookup.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Re-export chains longer than this stop resolving (cycle guard).
+MAX_REEXPORT_DEPTH = 8
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qname: str                 # module.fn / module.Cls.fn / ...<locals>.fn
+    module: str                # dotted module name
+    relpath: str               # file, POSIX relative to the lint root
+    node: ast.AST              # the FunctionDef / AsyncFunctionDef
+    class_name: str | None = None
+    #: Functions defined directly inside this one, by bare name.
+    nested: dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its directly-defined methods."""
+
+    qname: str
+    module: str
+    relpath: str
+    node: ast.AST
+    methods: dict = field(default_factory=dict)   # name -> FunctionInfo
+    bases: tuple = ()                             # dotted base names
+
+
+@dataclass
+class ModuleInfo:
+    """One linted source file, as a module."""
+
+    name: str                  # full dotted name (src.repro.runtime.pool)
+    relpath: str
+    ctx: object                # the engine's FileContext
+    is_package: bool = False   # an __init__.py
+    defs: dict = field(default_factory=dict)   # name -> Function/ClassInfo
+
+
+def module_name_for(relpath: str) -> tuple[str, bool]:
+    """``(dotted module name, is_package)`` for a root-relative path."""
+    parts = relpath.split("/")
+    is_package = parts[-1] == "__init__.py"
+    if is_package:
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1] + [parts[-1][: -len(".py")]]
+    return ".".join(parts), is_package
+
+
+def _collect_defs(module: ModuleInfo) -> None:
+    """Populate ``module.defs`` (and nested-function maps) from the AST."""
+    tree = module.ctx.tree
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = FunctionInfo(qname=f"{module.name}.{node.name}",
+                                module=module.name, relpath=module.relpath,
+                                node=node)
+            _collect_nested(info)
+            module.defs[node.name] = info
+        elif isinstance(node, ast.ClassDef):
+            cls = ClassInfo(qname=f"{module.name}.{node.name}",
+                            module=module.name, relpath=module.relpath,
+                            node=node,
+                            bases=tuple(_base_name(b) for b in node.bases
+                                        if _base_name(b) is not None))
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    method = FunctionInfo(
+                        qname=f"{cls.qname}.{child.name}",
+                        module=module.name, relpath=module.relpath,
+                        node=child, class_name=node.name)
+                    _collect_nested(method)
+                    cls.methods[child.name] = method
+            module.defs[node.name] = cls
+
+
+def _collect_nested(info: FunctionInfo) -> None:
+    """Register functions defined directly inside ``info``."""
+    for node in ast.iter_child_nodes(info.node):
+        yield_from = _nested_defs_in(node)
+        for child in yield_from:
+            nested = FunctionInfo(
+                qname=f"{info.qname}.<locals>.{child.name}",
+                module=info.module, relpath=info.relpath, node=child,
+                class_name=info.class_name)
+            _collect_nested(nested)
+            info.nested[child.name] = nested
+
+
+def _nested_defs_in(node: ast.AST) -> list:
+    """Function defs under ``node`` without crossing another def/class."""
+    found = []
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return [node]
+    if isinstance(node, (ast.ClassDef, ast.Lambda)):
+        return []
+    for child in ast.iter_child_nodes(node):
+        found.extend(_nested_defs_in(child))
+    return found
+
+
+def _base_name(node: ast.AST) -> str | None:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class SymbolTable:
+    """All modules of one lint run, with dotted-name resolution."""
+
+    def __init__(self, contexts) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self._suffixes: dict[str, list] = {}
+        for ctx in sorted(contexts, key=lambda c: c.relpath):
+            name, is_package = module_name_for(ctx.relpath)
+            module = ModuleInfo(name=name, relpath=ctx.relpath, ctx=ctx,
+                                is_package=is_package)
+            _collect_defs(module)
+            self.modules[name] = module
+            parts = name.split(".")
+            for i in range(len(parts)):
+                suffix = ".".join(parts[i:])
+                self._suffixes.setdefault(suffix, []).append(name)
+
+    # -- lookup ------------------------------------------------------------
+
+    def module_for(self, relpath: str) -> ModuleInfo | None:
+        name, _ = module_name_for(relpath)
+        return self.modules.get(name)
+
+    def resolve_module(self, dotted: str) -> ModuleInfo | None:
+        """The module a dotted name refers to, or None when ambiguous."""
+        if dotted in self.modules:
+            return self.modules[dotted]
+        candidates = self._suffixes.get(dotted, ())
+        if len(candidates) == 1:
+            return self.modules[candidates[0]]
+        return None
+
+    def all_functions(self) -> list:
+        """Every function/method/nested function, sorted by qname."""
+        out = []
+
+        def _add(info: FunctionInfo) -> None:
+            out.append(info)
+            for name in sorted(info.nested):
+                _add(info.nested[name])
+
+        for name in sorted(self.modules):
+            module = self.modules[name]
+            for def_name in sorted(module.defs):
+                sym = module.defs[def_name]
+                if isinstance(sym, FunctionInfo):
+                    _add(sym)
+                else:
+                    for method_name in sorted(sym.methods):
+                        _add(sym.methods[method_name])
+        return out
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve(self, dotted: str | None, module: ModuleInfo,
+                depth: int = 0):
+        """A :class:`FunctionInfo`/:class:`ClassInfo` for ``dotted``.
+
+        ``dotted`` is an alias-substituted name as produced by
+        ``qualified_name`` (or an alias target recorded by
+        ``import_aliases``, which may carry leading dots for relative
+        imports).  Returns ``None`` whenever the target cannot be pinned
+        to exactly one project definition.
+        """
+        if dotted is None or depth > MAX_REEXPORT_DEPTH:
+            return None
+        if dotted.startswith("."):
+            dotted = self._absolutize(dotted, module)
+            if dotted is None:
+                return None
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            sym = module.defs.get(parts[0])
+            if sym is not None:
+                return sym
+            alias = module.ctx.aliases.get(parts[0])
+            if alias is not None and alias != parts[0]:
+                return self.resolve(alias, module, depth + 1)
+            return None
+        for i in range(len(parts) - 1, 0, -1):
+            target = self.resolve_module(".".join(parts[:i]))
+            if target is None:
+                continue
+            found = self._resolve_in(target, parts[i:], depth)
+            if found is not None:
+                return found
+        return None
+
+    def _resolve_in(self, module: ModuleInfo, tail: list, depth: int):
+        name = tail[0]
+        sym = module.defs.get(name)
+        if sym is not None:
+            if len(tail) == 1:
+                return sym
+            if isinstance(sym, ClassInfo) and len(tail) == 2:
+                return self.method_of(sym, tail[1])
+            return None
+        alias = module.ctx.aliases.get(name)
+        if alias is not None:
+            rest = ".".join([alias] + tail[1:])
+            return self.resolve(rest, module, depth + 1)
+        return None
+
+    def method_of(self, cls: ClassInfo, name: str,
+                  depth: int = 0) -> FunctionInfo | None:
+        """``name`` on ``cls`` or (project-resolvable) base classes."""
+        method = cls.methods.get(name)
+        if method is not None or depth > 4:
+            return method
+        owner = self.modules.get(cls.module)
+        for base in cls.bases:
+            resolved = self.resolve(base, owner) if owner else None
+            if isinstance(resolved, ClassInfo):
+                method = self.method_of(resolved, name, depth + 1)
+                if method is not None:
+                    return method
+        return None
+
+    def _absolutize(self, dotted: str, module: ModuleInfo) -> str | None:
+        level = len(dotted) - len(dotted.lstrip("."))
+        rest = dotted[level:]
+        parts = module.name.split(".")
+        package = parts if module.is_package else parts[:-1]
+        if level - 1 > len(package):
+            return None
+        if level > 1:
+            package = package[: len(package) - (level - 1)]
+        return ".".join(package + rest.split(".")) if rest \
+            else ".".join(package)

@@ -1,0 +1,361 @@
+"""Nondeterminism taint: sources, propagation, hashed-spec sinks.
+
+Five source kinds — ``wall-clock``, ``rng``, ``env``, ``pid`` and
+``fs-order`` — cover the ways a value can differ between two runs on
+identical inputs.  Taint propagates through assignments, expressions
+and calls: a call that resolves to a project function composes that
+function's summary (what its return derives from, which parameters pass
+through); a call that does not resolve conservatively passes its
+receiver's and arguments' taint to its result.  ``sorted()`` and
+``len()`` sanitize ``fs-order`` (a sorted listing, or a count, no
+longer depends on enumeration order) and nothing else.
+
+Sinks are configured dotted names (``pyproject.toml`` →
+``rl009-sinks``): the spec/key constructors and render helpers whose
+inputs become hashed or user-visible bytes.  A sink call with a tainted
+argument is a :class:`SinkHit`; a sink call whose argument derives from
+a *parameter* records that parameter as sinked, so a caller passing a
+tainted value composes into a hit with the full call path as witness.
+
+Summaries reach a fixpoint over the whole project: functions are
+re-analyzed in sorted-qname order until nothing changes, bounded by
+:data:`MAX_GLOBAL_PASSES` (which also bounds witness-path length).
+Everything is deterministic — iteration order is sorted, hit sets are
+sorted tuples — so RL009 output is byte-stable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.rules import qualified_name
+from repro.lint.rules.determinism import (_NP_RANDOM_OK, _STDLIB_RANDOM,
+                                          _WALL_CLOCK)
+from repro.lint.semantic.callgraph import CallGraph
+from repro.lint.semantic.symbols import ClassInfo, FunctionInfo
+
+#: Global fixpoint bound (also bounds cross-call witness depth).
+MAX_GLOBAL_PASSES = 6
+
+_PID_SOURCES = {"os.getpid", "os.getppid", "threading.get_ident",
+                "threading.get_native_id"}
+_ENV_SOURCES = {"os.getenv"}
+_FS_SOURCE_FUNCTIONS = {"os.listdir", "os.scandir"}
+_FS_SOURCE_METHODS = {"glob", "rglob", "iterdir"}
+#: Builtin -> taint kinds its result no longer carries.
+_SANITIZERS = {"sorted": {"fs-order"}, "len": {"fs-order"}}
+
+#: kind -> human phrase for findings.
+KIND_LABELS = {
+    "wall-clock": "the wall clock",
+    "rng": "global RNG state",
+    "env": "the process environment",
+    "pid": "a process/thread id",
+    "fs-order": "filesystem enumeration order",
+}
+
+_PARAM = "param:"
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """A tainted value reaching a configured sink."""
+
+    sink: str        # the configured sink name it matched
+    line: int        # call line in the reporting function's file
+    col: int
+    kinds: tuple     # sorted concrete taint kinds
+    path: tuple      # qnames from the reporting function to the sink call
+
+
+@dataclass
+class FunctionTaint:
+    """One function's summary after the last completed pass."""
+
+    qname: str
+    returns: frozenset = frozenset()        # concrete kinds of the return
+    param_returns: frozenset = frozenset()  # params that flow to the return
+    #: param name -> sorted tuple of (sink, path) the param flows into.
+    param_sinks: dict = field(default_factory=dict)
+    hits: tuple = ()                        # sorted SinkHits in this body
+
+
+class _State:
+    """Mutable per-analysis scratch: collected returns/hits/param-sinks."""
+
+    def __init__(self) -> None:
+        self.returns: set = set()
+        self.hits: set = set()
+        self.param_sinks: dict = {}
+
+    def add_param_sink(self, param: str, sink: str, path: tuple) -> None:
+        self.param_sinks.setdefault(param, set()).add((sink, path))
+
+
+class TaintAnalysis:
+    """Project-wide nondeterminism-taint summaries."""
+
+    def __init__(self, graph: CallGraph, sinks=()) -> None:
+        self.graph = graph
+        self.symbols = graph.symbols
+        self.sinks = tuple(sinks)
+        self.functions: dict[str, FunctionTaint] = {
+            qname: FunctionTaint(qname=qname)
+            for qname in graph.functions}
+        self.passes = 0
+        for _ in range(MAX_GLOBAL_PASSES):
+            self.passes += 1
+            changed = False
+            for qname in sorted(self.graph.functions):
+                summary = self._analyze(self.graph.functions[qname])
+                if summary != self.functions[qname]:
+                    changed = True
+                self.functions[qname] = summary
+            if not changed:
+                break
+
+    # -- per-function analysis ---------------------------------------------
+
+    def _analyze(self, function: FunctionInfo) -> FunctionTaint:
+        module = self.symbols.modules[function.module]
+        args = function.node.args
+        params = [a.arg for a in
+                  args.posonlyargs + args.args + args.kwonlyargs]
+        state = _State()
+        env = {p: {_PARAM + p} for p in params}
+        # Two intraprocedural passes so loop-carried flows stabilize.
+        for _ in range(2):
+            self._exec(function.node.body, dict(env), state, function,
+                       module)
+        concrete = {k for k in state.returns if not k.startswith(_PARAM)}
+        passthrough = {k[len(_PARAM):] for k in state.returns
+                       if k.startswith(_PARAM)}
+        return FunctionTaint(
+            qname=function.qname,
+            returns=frozenset(concrete),
+            param_returns=frozenset(p for p in passthrough if p in params),
+            param_sinks={p: tuple(sorted(entries))
+                         for p, entries in sorted(
+                             state.param_sinks.items())},
+            hits=tuple(sorted(
+                state.hits,
+                key=lambda h: (h.line, h.col, h.sink, h.kinds, h.path))))
+
+    # -- statement execution -----------------------------------------------
+
+    def _exec(self, stmts, env, state, function, module) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt, env, state, function, module)
+
+    def _exec_stmt(self, stmt, env, state, function, module) -> None:
+        ev = lambda node: self._eval(node, env, state, function, module)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.Assign):
+            taint = ev(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taint, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, ev(stmt.value), env)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = ev(stmt.value) | ev(stmt.target)
+            self._bind(stmt.target, taint, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                state.returns |= ev(stmt.value)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind(stmt.target, ev(stmt.iter), env)
+            self._exec(stmt.body, env, state, function, module)
+            self._exec(stmt.orelse, env, state, function, module)
+        elif isinstance(stmt, (ast.While, ast.If)):
+            ev(stmt.test)
+            self._exec(stmt.body, env, state, function, module)
+            self._exec(stmt.orelse, env, state, function, module)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = ev(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taint, env)
+            self._exec(stmt.body, env, state, function, module)
+        elif isinstance(stmt, ast.Try):
+            self._exec(stmt.body, env, state, function, module)
+            for handler in stmt.handlers:
+                self._exec(handler.body, env, state, function, module)
+            self._exec(stmt.orelse, env, state, function, module)
+            self._exec(stmt.finalbody, env, state, function, module)
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    ev(child)
+
+    def _bind(self, target, taint, env) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = set(taint)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taint, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taint, env)
+        # Attribute/Subscript targets: out of scope (no heap model).
+
+    # -- expression evaluation ---------------------------------------------
+
+    def _eval(self, node, env, state, function, module) -> set:
+        if isinstance(node, ast.Name):
+            return set(env.get(node.id, ()))
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env, state, function, module)
+        if isinstance(node, ast.Attribute):
+            if qualified_name(node, module.ctx.aliases) == "os.environ":
+                return {"env"}
+            return self._eval(node.value, env, state, function, module)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                state.returns |= self._eval(node.value, env, state,
+                                            function, module)
+            return set()
+        if isinstance(node, (ast.Lambda, ast.FunctionDef,
+                             ast.AsyncFunctionDef)):
+            return set()
+        taint: set = set()
+        for child in ast.iter_child_nodes(node):
+            taint |= self._eval(child, env, state, function, module)
+        return taint
+
+    def _eval_call(self, node, env, state, function, module) -> set:
+        ev = lambda child: self._eval(child, env, state, function, module)
+        arg_taints = [(arg, ev(arg)) for arg in node.args
+                      if not isinstance(arg, ast.Starred)]
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                arg_taints.append((arg, ev(arg.value)))
+        kw_taints = [(kw, ev(kw.value)) for kw in node.keywords]
+        sink = self._sink_match(node, function, module)
+        if sink is not None:
+            self._record_sink(node, sink, (),
+                              [t for _, t in arg_taints + kw_taints],
+                              state, function)
+        resolved = self.graph.resolve_target(node.func, function, module)
+        if isinstance(resolved, ClassInfo):
+            init = self.symbols.method_of(resolved, "__init__")
+            resolved = init
+        if isinstance(resolved, FunctionInfo):
+            return self._compose(node, resolved, arg_taints, kw_taints,
+                                 state, function)
+        return self._passthrough(node, arg_taints, kw_taints, env, state,
+                                 function, module)
+
+    def _compose(self, node, callee, arg_taints, kw_taints, state,
+                 function) -> set:
+        """Apply ``callee``'s summary at this call site."""
+        summary = self.functions.get(callee.qname)
+        if summary is None:
+            return set()
+        result = set(summary.returns)
+        for param, taint in self._map_params(callee, arg_taints,
+                                             kw_taints):
+            if param in summary.param_returns:
+                result |= taint
+            for sink, path in summary.param_sinks.get(param, ()):
+                self._record_sink(node, sink, path, [taint], state,
+                                  function)
+        return result
+
+    def _passthrough(self, node, arg_taints, kw_taints, env, state,
+                     function, module) -> set:
+        """Unresolved call: receiver + arguments flow to the result."""
+        taint: set = set()
+        if isinstance(node.func, ast.Attribute):
+            taint |= self._eval(node.func.value, env, state, function,
+                                module)
+        for _, arg_taint in arg_taints + kw_taints:
+            taint |= arg_taint
+        name = qualified_name(node.func, module.ctx.aliases)
+        cleared = _SANITIZERS.get(name or "")
+        if cleared:
+            taint -= cleared
+        taint |= self._source_kinds(node, module)
+        return taint
+
+    def _map_params(self, callee: FunctionInfo, arg_taints, kw_taints):
+        """(param name, taint) pairs for a call into ``callee``."""
+        args = callee.node.args
+        names = [a.arg for a in args.posonlyargs + args.args]
+        if callee.class_name is not None and names \
+                and names[0] in ("self", "cls"):
+            names = names[1:]
+        pairs = []
+        for index, (_, taint) in enumerate(arg_taints):
+            if index < len(names):
+                pairs.append((names[index], taint))
+        known = set(names) | {a.arg for a in args.kwonlyargs}
+        for keyword, taint in ((kw, t) for (kw, t) in kw_taints
+                               if kw.arg is not None):
+            if keyword.arg in known:
+                pairs.append((keyword.arg, taint))
+        return pairs
+
+    # -- sources and sinks -------------------------------------------------
+
+    def _source_kinds(self, node: ast.Call, module) -> set:
+        name = qualified_name(node.func, module.ctx.aliases)
+        if name is None:
+            return set()
+        if name in _WALL_CLOCK:
+            return {"wall-clock"}
+        if name in _PID_SOURCES:
+            return {"pid"}
+        if name in _ENV_SOURCES:
+            return {"env"}
+        if name in _FS_SOURCE_FUNCTIONS:
+            return {"fs-order"}
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _FS_SOURCE_METHODS:
+            return {"fs-order"}
+        if name.startswith("numpy.random."):
+            member = name.split(".", 2)[2].split(".")[0]
+            if member == "default_rng":
+                return {"rng"} if not node.args and not node.keywords \
+                    else set()
+            if member not in _NP_RANDOM_OK:
+                return {"rng"}
+        if name.startswith("random.") \
+                and name.split(".", 1)[1] in _STDLIB_RANDOM:
+            return {"rng"}
+        if name in ("uuid.uuid1", "uuid.uuid4") \
+                or name.startswith("secrets."):
+            return {"rng"}
+        return set()
+
+    def _sink_match(self, node: ast.Call, function, module) -> str | None:
+        if not self.sinks:
+            return None
+        resolved = self.graph.resolve_target(node.func, function, module)
+        name = getattr(resolved, "qname", None) \
+            or qualified_name(node.func, module.ctx.aliases)
+        if name is None:
+            return None
+        for sink in self.sinks:
+            if name == sink or name.endswith("." + sink):
+                return sink
+        return None
+
+    def _record_sink(self, node, sink, tail_path, taints, state,
+                     function) -> None:
+        concrete: set = set()
+        params: set = set()
+        for taint in taints:
+            concrete |= {k for k in taint if not k.startswith(_PARAM)}
+            params |= {k[len(_PARAM):] for k in taint
+                       if k.startswith(_PARAM)}
+        path = (function.qname,) + tuple(tail_path)
+        if concrete:
+            state.hits.add(SinkHit(sink=sink, line=node.lineno,
+                                   col=node.col_offset + 1,
+                                   kinds=tuple(sorted(concrete)),
+                                   path=path))
+        for param in params:
+            state.add_param_sink(param, sink, path)

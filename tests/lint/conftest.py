@@ -31,6 +31,9 @@ rl002-allow = ["pkg/rng_ok.py"]
 rl003-paths = ["pkg/runtime/*.py"]
 rl005-pool-sites = ["pkg/runtime/sched.py", "pkg/runtime/pool.py"]
 rl006-hot-paths = ["pkg/hot.py"]
+rl007-lock-paths = ["pkg/runtime/pool.py", "pkg/service.py"]
+rl009-sinks = ["pkg.keys.spec_key", "pkg.keys.JobSpec",
+               "pkg.report.render"]
 """
 
 

@@ -317,10 +317,11 @@ class TestScopedAllow:
 
 
 class TestRegistry:
-    def test_all_six_rules_registered_in_order(self):
+    def test_all_rules_registered_in_order(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005",
-                       "RL006"]
+                       "RL006", "RL007", "RL008", "RL009", "RL010",
+                       "RL099"]
 
     def test_every_rule_documents_its_invariant(self):
         for rule in all_rules():

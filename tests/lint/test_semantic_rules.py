@@ -1,0 +1,812 @@
+"""Project rules RL007-RL010 and the semantic core behind them.
+
+Every test drives the full engine over a fixture project (config, walk,
+parse, symbol table, call graph, locks, taint), mirroring the style of
+``test_rules.py``.  The fixture ``pyproject.toml`` (see ``conftest.py``)
+guards locks in ``pkg/runtime/pool.py`` and ``pkg/service.py`` and
+declares ``pkg.keys.spec_key`` / ``pkg.keys.JobSpec`` / ``pkg.report.
+render`` as RL009 sinks.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.lint.baseline import write_baseline
+
+#: The hashed-spec module every RL009 fixture calls into.
+KEYS = """\
+    import hashlib
+
+
+    class JobSpec:
+        def __init__(self, name, payload):
+            self.name = name
+            self.payload = payload
+
+
+    def spec_key(payload):
+        blob = repr(sorted(payload.items())).encode()
+        return hashlib.sha256(blob).hexdigest()
+    """
+
+#: The PR 8 review bug, reduced: a mid-batch reconfigure joining worker
+#: processes while still holding the pool lock every dispatch needs.
+PR8_REGRESSION = """\
+    import threading
+
+
+    class WorkerPool:
+        def __init__(self):
+            self._lock = threading.RLock()
+            self._executor = None
+
+        def configure(self, executor):
+            with self._lock:
+                stale = self._executor
+                self._executor = executor
+                if stale is not None:
+                    stale.shutdown(wait=True)
+    """
+
+#: The shape the review fix gave runtime/pool.py: swap under the lock,
+#: join outside it.
+PR8_FIXED = """\
+    import threading
+
+
+    class WorkerPool:
+        def __init__(self):
+            self._lock = threading.RLock()
+            self._executor = None
+
+        def configure(self, executor):
+            stale = None
+            try:
+                with self._lock:
+                    stale = self._executor
+                    self._executor = executor
+            finally:
+                if stale is not None:
+                    stale.shutdown(wait=True)
+    """
+
+
+def _rules(result):
+    return sorted({f.rule for f in result.new})
+
+
+def _messages(result, rule):
+    return [f.message for f in result.new if f.rule == rule]
+
+
+def _baseline_fixture(lint_project):
+    """Freeze the project's current findings into its baseline file."""
+    raw = lint_project.run(use_baseline=False)
+    write_baseline(lint_project.root / "lint-baseline.json",
+                   raw.findings, [])
+
+
+# -- RL007: blocking call under a guarded lock ----------------------------
+
+class TestRL007:
+    def test_pr8_regression_shutdown_under_rlock_flagged(self,
+                                                         lint_project):
+        lint_project.write("pkg/runtime/pool.py", PR8_REGRESSION)
+        result = lint_project.run()
+        assert _rules(result) == ["RL007"]
+        message, = _messages(result, "RL007")
+        assert "shutdown(wait=True)" in message
+        assert "pkg.runtime.pool.WorkerPool._lock" in message
+
+    def test_pr8_fix_shape_passes(self, lint_project):
+        lint_project.write("pkg/runtime/pool.py", PR8_FIXED)
+        assert lint_project.rules_hit() == []
+
+    def test_blocking_reached_through_call_chain_flagged(self,
+                                                         lint_project):
+        lint_project.write("pkg/runtime/pool.py", """\
+            import threading
+            import time
+
+            _LOCK = threading.Lock()
+
+
+            def drain():
+                with _LOCK:
+                    _settle()
+
+
+            def _settle():
+                _really_settle()
+
+
+            def _really_settle():
+                time.sleep(0.1)
+            """)
+        result = lint_project.run()
+        assert _rules(result) == ["RL007"]
+        message, = _messages(result, "RL007")
+        assert "time.sleep()" in message
+        assert ("pkg.runtime.pool.drain -> pkg.runtime.pool._settle "
+                "-> pkg.runtime.pool._really_settle") in message
+
+    def test_future_result_and_join_under_lock_flagged(self,
+                                                       lint_project):
+        lint_project.write("pkg/runtime/pool.py", """\
+            import threading
+
+
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def wait_all(self, futures, worker):
+                    with self._lock:
+                        done = [f.result() for f in futures]
+                        worker.join()
+                    return done
+            """)
+        result = lint_project.run()
+        assert [f.rule for f in result.new] == ["RL007", "RL007"]
+
+    def test_str_join_under_lock_not_confused(self, lint_project):
+        lint_project.write("pkg/runtime/pool.py", """\
+            import threading
+
+            _LOCK = threading.Lock()
+
+
+            def render(parts):
+                with _LOCK:
+                    return ", ".join(parts)
+            """)
+        assert lint_project.rules_hit() == []
+
+    def test_condition_wait_on_held_lock_ok(self, lint_project):
+        lint_project.write("pkg/runtime/pool.py", """\
+            import threading
+
+
+            class Gate:
+                def __init__(self):
+                    self._cond = threading.Condition()
+
+                def block_until_open(self):
+                    with self._cond:
+                        while not self.is_open():
+                            self._cond.wait()
+
+                def is_open(self):
+                    return True
+            """)
+        assert lint_project.rules_hit() == []
+
+    def test_wait_on_other_object_under_lock_flagged(self, lint_project):
+        lint_project.write("pkg/runtime/pool.py", """\
+            import threading
+
+            _LOCK = threading.Lock()
+
+
+            def stall(event):
+                with _LOCK:
+                    event.wait()
+            """)
+        assert lint_project.rules_hit() == ["RL007"]
+
+    def test_unguarded_lock_file_not_flagged(self, lint_project):
+        # Same code, but the lock lives outside rl007-lock-paths.
+        lint_project.write("pkg/elsewhere.py", PR8_REGRESSION)
+        assert lint_project.rules_hit() == []
+
+    def test_acquire_release_region_flagged(self, lint_project):
+        lint_project.write("pkg/runtime/pool.py", """\
+            import threading
+            import time
+
+            _LOCK = threading.Lock()
+
+
+            def locked_sleep():
+                _LOCK.acquire()
+                time.sleep(0.5)
+                _LOCK.release()
+
+
+            def sleep_after_release():
+                _LOCK.acquire()
+                _LOCK.release()
+                time.sleep(0.5)
+            """)
+        result = lint_project.run()
+        # Anchored at the blocking call, not the acquire.
+        assert [(f.rule, f.line) for f in result.new] == [("RL007", 9)]
+
+    def test_suppression_comment(self, lint_project):
+        lint_project.write("pkg/runtime/pool.py", """\
+            import threading
+            import time
+
+            _LOCK = threading.Lock()
+
+
+            def settle():
+                with _LOCK:
+                    time.sleep(0.01)  # repro-lint: disable=RL007
+            """)
+        result = lint_project.run()
+        assert result.ok
+        assert [f.rule for f in result.suppressed] == ["RL007"]
+
+    def test_baselined(self, lint_project):
+        lint_project.write("pkg/runtime/pool.py", PR8_REGRESSION)
+        _baseline_fixture(lint_project)
+        result = lint_project.run()
+        assert result.ok
+        assert [f.rule for f in result.baselined] == ["RL007"]
+
+
+# -- RL008: lock-order inversion ------------------------------------------
+
+INVERSION = """\
+    import threading
+
+    lock_a = threading.Lock()
+    lock_b = threading.Lock()
+
+
+    def forward():
+        with lock_a:
+            with lock_b:
+                pass
+
+
+    def backward():
+        with lock_b:
+            with lock_a:
+                pass
+    """
+
+
+class TestRL008:
+    def test_opposite_orders_flagged_with_both_paths(self, lint_project):
+        lint_project.write("pkg/order.py", INVERSION)
+        result = lint_project.run()
+        assert _rules(result) == ["RL008"]
+        message, = _messages(result, "RL008")
+        assert "pkg.order.forward" in message
+        assert "pkg.order.backward" in message
+        assert "pkg/order.py:9" in message
+        assert "pkg/order.py:15" in message
+
+    def test_consistent_order_ok(self, lint_project):
+        lint_project.write("pkg/order.py", """\
+            import threading
+
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+
+            def first():
+                with lock_a:
+                    with lock_b:
+                        pass
+
+
+            def second():
+                with lock_a:
+                    with lock_b:
+                        pass
+            """)
+        assert lint_project.rules_hit() == []
+
+    def test_inversion_through_call_chain_flagged(self, lint_project):
+        lint_project.write("pkg/order.py", """\
+            import threading
+
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+
+            def forward():
+                with lock_a:
+                    _grab_b()
+
+
+            def _grab_b():
+                with lock_b:
+                    pass
+
+
+            def backward():
+                with lock_b:
+                    _grab_a()
+
+
+            def _grab_a():
+                with lock_a:
+                    pass
+            """)
+        result = lint_project.run()
+        assert _rules(result) == ["RL008"]
+        message, = _messages(result, "RL008")
+        assert "pkg.order.forward -> pkg.order._grab_b" in message
+        assert "pkg.order.backward -> pkg.order._grab_a" in message
+
+    def test_multi_item_with_statement_orders(self, lint_project):
+        lint_project.write("pkg/order.py", """\
+            import threading
+
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+
+            def forward():
+                with lock_a, lock_b:
+                    pass
+
+
+            def backward():
+                with lock_b, lock_a:
+                    pass
+            """)
+        assert lint_project.rules_hit() == ["RL008"]
+
+    def test_suppression_comment(self, lint_project):
+        # The finding anchors at the inner acquisition of the first
+        # witness, so that's where the disable comment belongs.
+        source = INVERSION.replace(
+            "with lock_b:",
+            "with lock_b:  # repro-lint: disable=RL008", 1)
+        lint_project.write("pkg/order.py", source)
+        result = lint_project.run()
+        assert result.ok
+        assert [f.rule for f in result.suppressed] == ["RL008"]
+
+    def test_baselined(self, lint_project):
+        lint_project.write("pkg/order.py", INVERSION)
+        _baseline_fixture(lint_project)
+        result = lint_project.run()
+        assert result.ok
+        assert [f.rule for f in result.baselined] == ["RL008"]
+
+
+# -- RL009: nondeterminism taint into hashed specs ------------------------
+
+class TestRL009:
+    def test_wall_clock_into_spec_key_flagged(self, lint_project):
+        lint_project.write("pkg/keys.py", KEYS)
+        lint_project.write("pkg/build.py", """\
+            import time
+
+            from pkg.keys import spec_key
+
+
+            def build(n):
+                payload = {"n": n, "at": time.time()}
+                return spec_key(payload)
+            """)
+        result = lint_project.run()
+        assert _rules(result) == ["RL009"]
+        message, = _messages(result, "RL009")
+        assert "wall clock" in message
+        assert "pkg.keys.spec_key" in message
+
+    def test_taint_through_helper_return_flagged(self, lint_project):
+        lint_project.write("pkg/keys.py", KEYS)
+        lint_project.write("pkg/build.py", """\
+            import time
+
+            from pkg.keys import spec_key
+
+
+            def _stamp():
+                return time.time()
+
+
+            def build(n):
+                return spec_key({"n": n, "at": _stamp()})
+            """)
+        assert lint_project.rules_hit() == ["RL009"]
+
+    def test_taint_through_parameter_into_sink_reports_path(
+            self, lint_project):
+        lint_project.write("pkg/keys.py", KEYS)
+        lint_project.write("pkg/build.py", """\
+            import os
+
+            from pkg.keys import spec_key
+
+
+            def _finish(payload):
+                return spec_key(payload)
+
+
+            def build(n):
+                return _finish({"n": n, "pid": os.getpid()})
+            """)
+        result = lint_project.run()
+        assert _rules(result) == ["RL009"]
+        message, = _messages(result, "RL009")
+        assert "process/thread id" in message
+        assert "pkg.build.build -> pkg.build._finish" in message
+
+    def test_jobspec_constructor_is_a_sink(self, lint_project):
+        lint_project.write("pkg/keys.py", KEYS)
+        lint_project.write("pkg/build.py", """\
+            import random
+
+            from pkg.keys import JobSpec
+
+
+            def build(name):
+                nonce = random.random()  # repro-lint: disable=RL002
+                return JobSpec(name, {"nonce": nonce})
+            """)
+        result = lint_project.run()
+        assert _rules(result) == ["RL009"]
+        message, = _messages(result, "RL009")
+        assert "RNG" in message
+
+    def test_env_and_listdir_taints_flagged(self, lint_project):
+        lint_project.write("pkg/keys.py", KEYS)
+        lint_project.write("pkg/build.py", """\
+            import os
+
+            from pkg.keys import spec_key
+
+
+            def from_env():
+                return spec_key({"home": os.environ["HOME"]})
+
+
+            def from_listing(root):
+                files = os.listdir(root)  # repro-lint: disable=RL001
+                return spec_key({"files": files})
+            """)
+        result = lint_project.run()
+        assert [f.rule for f in result.new] == ["RL009", "RL009"]
+
+    def test_deterministic_inputs_ok(self, lint_project):
+        lint_project.write("pkg/keys.py", KEYS)
+        lint_project.write("pkg/build.py", """\
+            import os
+            import time
+
+            from pkg.keys import spec_key
+
+
+            def build(root, n, seed):
+                files = sorted(os.listdir(root))
+                raw = os.listdir(root)  # repro-lint: disable=RL001
+                count = len(raw)
+                elapsed = time.perf_counter()
+                del elapsed
+                return spec_key({"files": files, "count": count,
+                                 "n": n, "seed": seed})
+            """)
+        assert lint_project.rules_hit() == []
+
+    def test_taint_not_reaching_sink_ok(self, lint_project):
+        lint_project.write("pkg/keys.py", KEYS)
+        lint_project.write("pkg/build.py", """\
+            import time
+
+            from pkg.keys import spec_key
+
+
+            def build(n):
+                started = time.time()
+                key = spec_key({"n": n})
+                return key, time.time() - started
+            """)
+        # RL003 would flag this in runtime/ paths; here only the flow
+        # into the sink matters, and there is none.
+        assert lint_project.rules_hit() == []
+
+    def test_suppression_comment(self, lint_project):
+        lint_project.write("pkg/keys.py", KEYS)
+        lint_project.write("pkg/build.py", """\
+            import time
+
+            from pkg.keys import spec_key
+
+
+            def build(n):
+                payload = {"n": n, "at": time.time()}
+                return spec_key(payload)  # repro-lint: disable=RL009
+            """)
+        result = lint_project.run()
+        assert result.ok
+        assert [f.rule for f in result.suppressed] == ["RL009"]
+
+    def test_baselined(self, lint_project):
+        lint_project.write("pkg/keys.py", KEYS)
+        lint_project.write("pkg/build.py", """\
+            import time
+
+            from pkg.keys import spec_key
+
+
+            def build(n):
+                return spec_key({"n": n, "at": time.time()})
+            """)
+        _baseline_fixture(lint_project)
+        result = lint_project.run()
+        assert result.ok
+        assert [f.rule for f in result.baselined] == ["RL009"]
+
+
+# -- RL010: cross-function writable-view escape ---------------------------
+
+#: A factory that intentionally returns a writable view (the publish
+#: path needs one); RL004 is suppressed at the source, so what remains
+#: is the *callers'* obligation to freeze before storing — RL010's job.
+FACTORY = """\
+    import numpy as np
+
+
+    def attach(segment, shape):
+        view = np.ndarray(  # repro-lint: disable=RL004
+            shape, dtype="f8", buffer=segment.buf)
+        return view
+    """
+
+
+class TestRL010:
+    def test_store_before_freeze_flagged(self, lint_project):
+        lint_project.write("pkg/views.py", FACTORY)
+        lint_project.write("pkg/caller.py", """\
+            from pkg.views import attach
+
+
+            def collect(segment, shape, registry):
+                view = attach(segment, shape)
+                registry["x"] = view
+                view.flags.writeable = False
+            """)
+        result = lint_project.run()
+        assert _rules(result) == ["RL010"]
+        message, = _messages(result, "RL010")
+        assert "pkg.views.attach" in message
+
+    def test_freeze_before_store_ok(self, lint_project):
+        lint_project.write("pkg/views.py", FACTORY)
+        lint_project.write("pkg/caller.py", """\
+            from pkg.views import attach
+
+
+            def collect(segment, shape, registry):
+                view = attach(segment, shape)
+                view.flags.writeable = False
+                registry["x"] = view
+            """)
+        assert lint_project.rules_hit() == []
+
+    def test_yield_direct_flagged(self, lint_project):
+        lint_project.write("pkg/views.py", FACTORY)
+        lint_project.write("pkg/caller.py", """\
+            from pkg.views import attach
+
+
+            def windows(segments, shape):
+                for segment in segments:
+                    yield attach(segment, shape)
+            """)
+        assert lint_project.rules_hit() == ["RL010"]
+
+    def test_store_call_result_directly_flagged(self, lint_project):
+        lint_project.write("pkg/views.py", FACTORY)
+        lint_project.write("pkg/caller.py", """\
+            from pkg.views import attach
+
+
+            def register(segment, shape, registry):
+                registry["x"] = attach(segment, shape)
+            """)
+        assert lint_project.rules_hit() == ["RL010"]
+
+    def test_frozen_factory_ok(self, lint_project):
+        lint_project.write("pkg/views.py", """\
+            import numpy as np
+
+
+            def attach(segment, shape):
+                view = np.ndarray(shape, dtype="f8", buffer=segment.buf)
+                view.flags.writeable = False
+                return view
+            """)
+        lint_project.write("pkg/caller.py", """\
+            from pkg.views import attach
+
+
+            def collect(segment, shape, registry):
+                registry["x"] = attach(segment, shape)
+            """)
+        assert lint_project.rules_hit() == []
+
+    def test_writable_status_propagates_through_wrappers(
+            self, lint_project):
+        lint_project.write("pkg/views.py", FACTORY)
+        lint_project.write("pkg/caller.py", """\
+            from pkg.views import attach
+
+
+            def wrapped(segment, shape):
+                return attach(segment, shape)
+
+
+            def collect(segment, shape, registry):
+                registry["x"] = wrapped(segment, shape)
+            """)
+        assert lint_project.rules_hit() == ["RL010"]
+
+    def test_plain_array_factory_ok(self, lint_project):
+        lint_project.write("pkg/views.py", """\
+            import numpy as np
+
+
+            def make(shape):
+                return np.zeros(shape, dtype="f8")
+            """)
+        lint_project.write("pkg/caller.py", """\
+            from pkg.views import make
+
+
+            def collect(shape, registry):
+                registry["x"] = make(shape)
+            """)
+        assert lint_project.rules_hit() == []
+
+    def test_suppression_comment(self, lint_project):
+        lint_project.write("pkg/views.py", FACTORY)
+        lint_project.write("pkg/caller.py", """\
+            from pkg.views import attach
+
+
+            def register(segment, shape, registry):
+                registry["x"] = attach(segment, shape)  \
+# repro-lint: disable=RL010
+            """)
+        result = lint_project.run()
+        assert result.ok
+        # The factory's own disable=RL004 is the second suppression.
+        assert sorted(f.rule for f in result.suppressed) \
+            == ["RL004", "RL010"]
+
+    def test_baselined(self, lint_project):
+        lint_project.write("pkg/views.py", FACTORY)
+        lint_project.write("pkg/caller.py", """\
+            from pkg.views import attach
+
+
+            def register(segment, shape, registry):
+                registry["x"] = attach(segment, shape)
+            """)
+        _baseline_fixture(lint_project)
+        result = lint_project.run()
+        assert result.ok
+        assert [f.rule for f in result.baselined] == ["RL010"]
+
+
+# -- determinism of the semantic core -------------------------------------
+
+def _violation_soup(lint_project):
+    """One project that exercises every project rule at once."""
+    lint_project.write("pkg/keys.py", KEYS)
+    lint_project.write("pkg/runtime/pool.py", PR8_REGRESSION)
+    lint_project.write("pkg/order.py", INVERSION)
+    lint_project.write("pkg/views.py", FACTORY)
+    lint_project.write("pkg/caller.py", """\
+        from pkg.views import attach
+
+
+        def register(segment, shape, registry):
+            registry["x"] = attach(segment, shape)
+        """)
+    lint_project.write("pkg/build.py", """\
+        import time
+
+        from pkg.keys import spec_key
+
+
+        def build(n):
+            return spec_key({"n": n, "at": time.time()})
+        """)
+
+
+class TestSemanticDeterminism:
+    def test_two_runs_byte_identical(self, lint_project):
+        from repro.lint import render_json
+        _violation_soup(lint_project)
+        first = render_json(lint_project.run())
+        second = render_json(lint_project.run())
+        assert first == second
+        rules = {f["rule"] for f in json.loads(first)["findings"]}
+        assert {"RL007", "RL008", "RL009", "RL010"} <= rules
+
+    def test_shuffled_discovery_order_byte_identical(self, lint_project,
+                                                     monkeypatch):
+        from repro.lint import engine, render_json
+        _violation_soup(lint_project)
+        baseline_render = render_json(lint_project.run())
+        real_walk = engine.iter_source_files
+        rng = random.Random(20260807)
+
+        def shuffled_walk(config):
+            files = real_walk(config)
+            rng.shuffle(files)
+            return files
+
+        monkeypatch.setattr(engine, "iter_source_files", shuffled_walk)
+        for _ in range(3):
+            assert render_json(lint_project.run()) == baseline_render
+
+    def test_call_graph_stable_across_context_order(self, lint_project):
+        from repro.lint.engine import iter_source_files, load_context
+        from repro.lint.semantic.callgraph import CallGraph
+        from repro.lint.semantic.symbols import SymbolTable
+        _violation_soup(lint_project)
+        config = lint_project.config()
+        contexts = [load_context(path, config)
+                    for path in iter_source_files(config)]
+        rng = random.Random(7)
+        dumps = []
+        for _ in range(3):
+            shuffled = list(contexts)
+            rng.shuffle(shuffled)
+            graph = CallGraph(SymbolTable(shuffled))
+            dumps.append(json.dumps(graph.to_dict(), sort_keys=True))
+        assert dumps[0] == dumps[1] == dumps[2]
+
+    def test_taint_fixpoint_stable_across_context_order(self,
+                                                        lint_project):
+        from repro.lint.engine import iter_source_files, load_context
+        from repro.lint.semantic.callgraph import CallGraph
+        from repro.lint.semantic.symbols import SymbolTable
+        from repro.lint.semantic.taint import TaintAnalysis
+        _violation_soup(lint_project)
+        config = lint_project.config()
+        contexts = [load_context(path, config)
+                    for path in iter_source_files(config)]
+        rng = random.Random(11)
+        snapshots = []
+        for _ in range(2):
+            shuffled = list(contexts)
+            rng.shuffle(shuffled)
+            taint = TaintAnalysis(CallGraph(SymbolTable(shuffled)),
+                                  sinks=config.rl009_sinks)
+            snapshots.append([
+                (q, sorted(s.returns), sorted(s.param_returns), s.hits)
+                for q, s in sorted(taint.functions.items())])
+        assert snapshots[0] == snapshots[1]
+
+    def test_reachability_paths_are_sorted_bfs_witnesses(self,
+                                                         lint_project):
+        from repro.lint.engine import iter_source_files, load_context
+        from repro.lint.semantic.callgraph import CallGraph
+        from repro.lint.semantic.symbols import SymbolTable
+        lint_project.write("pkg/chain.py", """\
+            def a():
+                c()
+                b()
+
+
+            def b():
+                c()
+
+
+            def c():
+                pass
+            """)
+        config = lint_project.config()
+        contexts = [load_context(path, config)
+                    for path in iter_source_files(config)]
+        graph = CallGraph(SymbolTable(contexts))
+        paths = graph.reachable("pkg.chain.a")
+        # c is adjacent to a; the two-hop route through b never
+        # overwrites the shorter witness.
+        assert paths["pkg.chain.c"] == ("pkg.chain.a", "pkg.chain.c")
+        assert paths["pkg.chain.b"] == ("pkg.chain.a", "pkg.chain.b")

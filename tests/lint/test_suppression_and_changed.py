@@ -1,0 +1,355 @@
+"""The suppression contract (``all``, RL000, RL099 unknown-token
+meta-findings), ``--changed`` incremental mode, and the new CLI outputs
+(--graph-out, --timings-out, stale-baseline failure)."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import run_cli, run_lint
+from repro.lint.baseline import write_baseline
+from repro.lint.rules import REGISTRY
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def in_project(lint_project, monkeypatch):
+    monkeypatch.chdir(lint_project.root)
+    return lint_project
+
+
+# -- the `all` token ------------------------------------------------------
+
+#: One file per rule, each violation carrying ``disable=all``. RL003
+#: needs a runtime/ path, RL006 the hot-path file, RL007 a guarded lock
+#: file; the project rules need their cross-module scaffolding.
+ALL_TOKEN_FIXTURES = {
+    "RL001": ("pkg/mod1.py",
+              "import os\nxs = os.listdir('.')  # repro-lint: disable=all\n"),
+    "RL002": ("pkg/mod2.py",
+              "import numpy as np\n"
+              "r = np.random.rand(3)  # repro-lint: disable=all\n"),
+    "RL003": ("pkg/runtime/mod3.py",
+              "import time\nT = time.time()  # repro-lint: disable=all\n"),
+    "RL004": ("pkg/mod4.py",
+              "import numpy as np\n\n\ndef f(seg, shape):\n"
+              "    v = np.ndarray(  # repro-lint: disable=all\n"
+              "        shape, buffer=seg.buf)\n"
+              "    return v\n"),
+    "RL005": ("pkg/mod5.py",
+              "from multiprocessing import Pool\n"
+              "p = Pool(2)  # repro-lint: disable=all\n"),
+    "RL006": ("pkg/hot.py",
+              "def kernel(xs):\n"
+              "    print(xs)  # repro-lint: disable=all\n"),
+    "RL007": ("pkg/runtime/pool.py",
+              "import threading\nimport time\n\n"
+              "_LOCK = threading.Lock()\n\n\n"
+              "def settle():\n"
+              "    with _LOCK:\n"
+              "        time.sleep(1)  # repro-lint: disable=all\n"),
+    "RL008": ("pkg/mod8.py",
+              "import threading\n\n"
+              "la = threading.Lock()\n"
+              "lb = threading.Lock()\n\n\n"
+              "def fwd():\n"
+              "    with la:\n"
+              "        with lb:  # repro-lint: disable=all\n"
+              "            pass\n\n\n"
+              "def bwd():\n"
+              "    with lb:\n"
+              "        with la:  # repro-lint: disable=all\n"
+              "            pass\n"),
+    "RL009": ("pkg/mod9.py",
+              "import time\n\nfrom pkg.keys import spec_key\n\n\n"
+              "def build(n):\n"
+              "    return spec_key(  # repro-lint: disable=all\n"
+              "        {'n': n, 'at': time.time()})\n"),
+    "RL010": ("pkg/mod10.py",
+              "from pkg.views import attach\n\n\n"
+              "def reg(seg, shape, registry):\n"
+              "    registry['x'] = attach(  # repro-lint: disable=all\n"
+              "        seg, shape)\n"),
+    # `all` swallows even the meta-finding about the bogus token.
+    "RL099": ("pkg/mod99.py",
+              "x = 1  # repro-lint: disable=BOGUS,all\n"),
+}
+
+KEYS = """\
+    import hashlib
+
+
+    def spec_key(payload):
+        return hashlib.sha256(repr(payload).encode()).hexdigest()
+    """
+
+VIEWS = """\
+    import numpy as np
+
+
+    def attach(seg, shape):
+        return np.ndarray(  # repro-lint: disable=all
+            shape, dtype="f8", buffer=seg.buf)
+    """
+
+
+class TestDisableAll:
+    def test_all_silences_every_registered_rule(self, lint_project):
+        lint_project.write("pkg/keys.py", KEYS)
+        lint_project.write("pkg/views.py", VIEWS)
+        for relpath, source in ALL_TOKEN_FIXTURES.values():
+            lint_project.write(relpath, source)
+        result = lint_project.run()
+        assert result.ok
+        assert result.new == []
+        silenced = {f.rule for f in result.suppressed}
+        # RL009's wall-clock read doubles as the RL003 witness only in
+        # runtime/ paths, so it is absent here; everything written to a
+        # fixture above must have fired and been swallowed by `all`.
+        assert silenced >= set(ALL_TOKEN_FIXTURES)
+        assert silenced >= set(REGISTRY)
+
+    def test_all_silences_rl000_parse_errors(self, lint_project):
+        lint_project.write("pkg/broken.py",
+                           "def f(:  # repro-lint: disable=all\n")
+        result = lint_project.run()
+        assert result.ok
+        assert [f.rule for f in result.suppressed] == ["RL000"]
+
+    def test_rl000_token_silences_parse_errors(self, lint_project):
+        lint_project.write("pkg/broken.py",
+                           "def f(:  # repro-lint: disable=RL000\n")
+        result = lint_project.run()
+        assert result.ok
+        assert [f.rule for f in result.suppressed] == ["RL000"]
+
+    def test_unsuppressed_parse_error_still_fails(self, lint_project):
+        lint_project.write("pkg/broken.py", "def f(:\n")
+        assert lint_project.rules_hit() == ["RL000"]
+
+
+# -- RL099: unknown suppression tokens ------------------------------------
+
+class TestRL099:
+    def test_typo_reports_meta_finding_and_rule_still_fires(
+            self, lint_project):
+        lint_project.write("pkg/mod.py", """\
+            import numpy as np
+
+            r = np.random.rand(3)  # repro-lint: disable=RL0O2
+            """)
+        result = lint_project.run()
+        assert sorted(f.rule for f in result.new) == ["RL002", "RL099"]
+        meta, = [f for f in result.new if f.rule == "RL099"]
+        assert "RL0O2" in meta.message
+        assert meta.line == 3
+
+    def test_dashed_typo_is_captured_not_ignored(self, lint_project):
+        lint_project.write("pkg/mod.py",
+                           "x = 1  # repro-lint: disable=RL-001\n")
+        assert lint_project.rules_hit() == ["RL099"]
+
+    def test_known_tokens_produce_no_meta_finding(self, lint_project):
+        lint_project.write("pkg/mod.py", """\
+            a = 1  # repro-lint: disable=RL001
+            b = 2  # repro-lint: disable=RL000
+            c = 3  # repro-lint: disable=all
+            d = 4  # repro-lint: disable=RL001,RL009
+            """)
+        assert lint_project.rules_hit() == []
+
+    def test_rl099_is_itself_suppressible(self, lint_project):
+        lint_project.write(
+            "pkg/mod.py",
+            "x = 1  # repro-lint: disable=BOGUS,RL099\n")
+        result = lint_project.run()
+        assert result.ok
+        assert [f.rule for f in result.suppressed] == ["RL099"]
+
+
+# -- --changed mode -------------------------------------------------------
+
+def _two_module_project(lint_project):
+    lint_project.write("pkg/keys.py", KEYS)
+    lint_project.write("pkg/build.py", """\
+        import time
+
+        from pkg.keys import spec_key
+
+
+        def build(n):
+            return spec_key({"n": n, "at": time.time()})
+        """)
+    lint_project.write("pkg/other.py", """\
+        import numpy as np
+
+        r = np.random.rand(3)
+        """)
+
+
+class TestChangedMode:
+    def test_only_restricts_reporting_not_analysis(self, lint_project):
+        _two_module_project(lint_project)
+        result = lint_project.run(only=["pkg/build.py"])
+        # The RL009 flow needs pkg/keys.py in the symbol table even
+        # though only build.py is reported; other.py's RL002 is out.
+        assert [(f.rule, f.path) for f in result.new] \
+            == [("RL009", "pkg/build.py")]
+
+    def test_full_run_sees_both(self, lint_project):
+        _two_module_project(lint_project)
+        assert lint_project.rules_hit() == ["RL002", "RL009"]
+
+    def test_cli_changed_with_path_arguments(self, in_project, capsys):
+        _two_module_project(in_project)
+        assert cli_main(["lint", "--changed", "pkg/build.py"]) == 1
+        out = capsys.readouterr().out
+        assert "RL009" in out
+        assert "RL002" not in out
+
+    def test_cli_changed_reads_stdin(self, in_project, capsys,
+                                     monkeypatch):
+        _two_module_project(in_project)
+        monkeypatch.setattr("sys.stdin", io.StringIO("pkg/other.py\n"))
+        assert cli_main(["lint", "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "RL002" in out
+        assert "RL009" not in out
+
+    def test_cli_changed_clean_file_exits_zero(self, in_project,
+                                               capsys):
+        _two_module_project(in_project)
+        in_project.write("pkg/clean.py", "x = 1\n")
+        assert cli_main(["lint", "--changed", "pkg/clean.py"]) == 0
+
+    def test_changed_file_outside_root_is_config_error(self, in_project,
+                                                       capsys):
+        assert cli_main(["lint", "--changed", "/etc/passwd"]) == 2
+
+    def test_changed_does_not_misreport_other_files_baseline_stale(
+            self, in_project, capsys):
+        # A baseline entry for an *unchanged* file can't match anything
+        # (unchanged files produce no findings under --changed), but
+        # that is not staleness — the full run must stay the judge.
+        _two_module_project(in_project)
+        raw = in_project.run(use_baseline=False)
+        write_baseline(in_project.root / "lint-baseline.json",
+                       raw.findings, [])
+        in_project.write("pkg/clean.py", "x = 1\n")
+        assert cli_main(["lint", "--changed", "pkg/clean.py"]) == 0
+        assert "stale" not in capsys.readouterr().out
+        # The entry really is consulted when its file *is* changed.
+        assert cli_main(["lint", "--changed", "pkg/build.py"]) == 0
+
+    def test_changed_syntax_error_reported_for_changed_file_only(
+            self, lint_project):
+        lint_project.write("pkg/broken.py", "def f(:\n")
+        lint_project.write("pkg/also_broken.py", "def g(:\n")
+        result = lint_project.run(only=["pkg/broken.py"])
+        assert [(f.rule, f.path) for f in result.new] \
+            == [("RL000", "pkg/broken.py")]
+
+
+# -- CLI artifacts and stale-baseline failure -----------------------------
+
+class TestCliArtifacts:
+    def test_graph_out_written_and_deterministic(self, in_project):
+        _two_module_project(in_project)
+        first = in_project.root / "g1.json"
+        second = in_project.root / "g2.json"
+        run_cli(graph_out=str(first), stdout=io.StringIO())
+        run_cli(graph_out=str(second), stdout=io.StringIO())
+        assert first.read_bytes() == second.read_bytes()
+        graph = json.loads(first.read_text())
+        assert "pkg.build" in graph["modules"]
+        assert {"caller": "pkg.build.build",
+                "callee": "pkg.keys.spec_key",
+                "line": 7} in graph["edges"]
+        assert graph["n_functions"] >= 2
+
+    def test_timings_out_covers_every_rule(self, in_project):
+        in_project.write("pkg/mod.py", "x = 1\n")
+        out = in_project.root / "timings.json"
+        run_cli(timings_out=str(out), stdout=io.StringIO())
+        timings = json.loads(out.read_text())
+        assert set(timings) == set(REGISTRY)
+        assert all(isinstance(v, float) and v >= 0
+                   for v in timings.values())
+
+    def test_timings_stay_out_of_the_json_report(self, in_project,
+                                                 capsys):
+        in_project.write("pkg/mod.py", "x = 1\n")
+        cli_main(["lint", "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert "rule_timings" not in report
+        assert "timings" not in report
+
+    def test_stale_baseline_entry_fails_the_cli(self, in_project,
+                                                capsys):
+        in_project.write("pkg/mod.py", "x = 1\n")
+        stale = (in_project.root / "lint-baseline.json")
+        stale.write_text(json.dumps({
+            "version": 1,
+            "entries": [{"path": "pkg/gone.py", "rule": "RL002",
+                         "line": 3, "justification": "was removed"}],
+        }) + "\n", encoding="utf-8")
+        assert cli_main(["lint"]) == 1
+        assert "stale" in capsys.readouterr().out
+
+    def test_up_to_date_baseline_exits_zero(self, in_project, capsys):
+        in_project.write("pkg/mod.py", """\
+            import numpy as np
+
+            r = np.random.rand(3)
+            """)
+        raw = in_project.run(use_baseline=False)
+        write_baseline(in_project.root / "lint-baseline.json",
+                       raw.findings, [])
+        assert cli_main(["lint"]) == 0
+
+
+# -- acceptance: the real repo under the new rules ------------------------
+
+class TestRealRepoSemantics:
+    @pytest.fixture(scope="class")
+    def repo_result(self):
+        from repro.lint import load_config
+        return run_lint(load_config(root=REPO_ROOT), use_baseline=False)
+
+    def test_no_rl007_findings_in_src(self, repo_result):
+        # runtime/pool.py's teardown joins workers *outside* _lock (the
+        # PR 8 review fix); RL007 must agree.
+        assert [f for f in repo_result.findings if f.rule == "RL007"] \
+            == []
+
+    def test_no_lock_order_inversions(self, repo_result):
+        assert [f for f in repo_result.findings if f.rule == "RL008"] \
+            == []
+
+    def test_no_taint_into_hashed_specs(self, repo_result):
+        assert [f for f in repo_result.findings if f.rule == "RL009"] \
+            == []
+
+    def test_no_unfrozen_view_escapes(self, repo_result):
+        assert [f for f in repo_result.findings if f.rule == "RL010"] \
+            == []
+
+    def test_call_graph_covers_the_runtime(self):
+        from repro.lint import load_config
+        from repro.lint.engine import iter_source_files, load_context
+        from repro.lint.semantic.callgraph import CallGraph
+        from repro.lint.semantic.symbols import SymbolTable
+        config = load_config(root=REPO_ROOT)
+        contexts = [load_context(path, config)
+                    for path in iter_source_files(config)]
+        graph = CallGraph(SymbolTable(contexts))
+        data = graph.to_dict()
+        assert "src.repro.runtime.pool" in data["modules"]
+        assert data["n_functions"] > 500
+        assert data["n_edges"] > 500
